@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bench_util Format List Multics_hw Multics_kernel Multics_services Printf

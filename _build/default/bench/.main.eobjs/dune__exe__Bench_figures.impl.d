@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Bench_util Format List Multics_depgraph Multics_kernel Multics_legacy

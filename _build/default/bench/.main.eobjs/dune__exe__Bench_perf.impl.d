@@ -1,0 +1,1 @@
+bench/bench_perf.ml: Array Bench_util Buffer Float Format List Multics_aim Multics_census Multics_hw Multics_kernel Multics_legacy Multics_services Printf

@@ -1,0 +1,1 @@
+bench/bench_size.ml: Bench_util Format List Multics_census Multics_kernel Multics_services

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_figures Bench_micro Bench_perf Bench_size Format List String Sys

@@ -1,0 +1,105 @@
+(* Bechamel wall-clock micro-benchmarks of the simulator's hot paths.
+   One Test.make per paper artifact (the table, the figures, and each
+   performance experiment's inner loop), so the harness itself can be
+   profiled.  The default bench run prints simulated-time tables; this
+   measures the OCaml implementation. *)
+
+module K = Multics_kernel
+module L = Multics_legacy
+module Dg = Multics_depgraph
+module Hw = Multics_hw
+
+let t1_census () =
+  (* T1: apply the whole restructuring pipeline. *)
+  let _final, summaries =
+    Multics_census.Restructure.apply_all Multics_census.Inventory.base_1973
+  in
+  assert (List.length summaries = 6)
+
+let figures () =
+  (* F2-F4: build the three graphs and run the loop analysis. *)
+  assert (not (Dg.Graph.is_loop_free (Dg.Figures.fig2_superficial ())));
+  assert (not (Dg.Graph.is_loop_free (Dg.Figures.fig3_actual ())));
+  assert (Dg.Graph.is_loop_free (Dg.Figures.fig4_redesign ()))
+
+let translation_hit =
+  (* The hardware hot path: one address translation that hits. *)
+  let config = { Hw.Hw_config.legacy_multics with Hw.Hw_config.memory_frames = 32 } in
+  let machine = Hw.Machine.create config in
+  let mem = machine.Hw.Machine.mem in
+  Hw.Ptw.write mem 100 (Hw.Ptw.in_core ~frame:10);
+  Hw.Sdw.write_at mem 4
+    (Hw.Sdw.make ~page_table:100 ~length:1 ~read:true ~write:true
+       ~execute:true ~r1:7 ~r2:7 ~r3:7);
+  let cpu = machine.Hw.Machine.cpus.(0) in
+  Hw.Cpu.load_user_dbr cpu (Some { Hw.Cpu.base = 0; n_segments = 8 });
+  let virt = Hw.Addr.of_page ~segno:2 ~pageno:0 ~offset:5 in
+  fun () ->
+    match Hw.Cpu.translate config mem cpu virt Hw.Fault.Read with
+    | Ok _ -> ()
+    | Error _ -> assert false
+
+let eventcount_cycle () =
+  (* The synchronisation primitive of the two-level design. *)
+  let ec = Multics_sync.Eventcount.create () in
+  let woken = ref 0 in
+  for i = 1 to 8 do
+    ignore
+      (Multics_sync.Eventcount.await ec ~value:i ~notify:(fun () -> incr woken))
+  done;
+  for _ = 1 to 8 do
+    Multics_sync.Eventcount.advance ec
+  done;
+  assert (!woken = 8)
+
+let kernel_boot () =
+  (* Boot Kernel/Multics from nothing. *)
+  ignore (K.Kernel.boot K.Kernel.small_config)
+
+let kernel_workload () =
+  (* P4's inner loop: a writer process end to end on the new kernel. *)
+  let k = Bench_util.boot_new ~config:K.Kernel.small_config () in
+  ignore
+    (K.Kernel.spawn k ~pname:"w"
+       (Bench_util.file_writer ~dir:">home" ~name:"f" ~pages:6));
+  assert (K.Kernel.run_to_completion k)
+
+let legacy_workload () =
+  let s = Bench_util.boot_old ~config:L.Old_supervisor.small_config () in
+  ignore
+    (L.Old_supervisor.spawn s ~pname:"w"
+       (Bench_util.file_writer ~dir:">home" ~name:"f" ~pages:6));
+  assert (L.Old_supervisor.run_to_completion s)
+
+let tests =
+  let open Bechamel in
+  [ Test.make ~name:"T1: census apply_all" (Staged.stage t1_census);
+    Test.make ~name:"F2-F4: figures + loop analysis" (Staged.stage figures);
+    Test.make ~name:"hw: translation hit" (Staged.stage translation_hit);
+    Test.make ~name:"sync: eventcount 8 waiters" (Staged.stage eventcount_cycle);
+    Test.make ~name:"kernel: boot" (Staged.stage kernel_boot);
+    Test.make ~name:"P4 inner: new-kernel writer" (Staged.stage kernel_workload);
+    Test.make ~name:"P4 inner: legacy writer" (Staged.stage legacy_workload) ]
+
+let run () =
+  Bench_util.section "MICRO" "Bechamel wall-clock micro-benchmarks";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"multics" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> Format.printf "  %-40s %12.0f ns/run@." name ns
+      | _ -> Format.printf "  %-40s %12s@." name "n/a")
+    (List.sort compare rows)

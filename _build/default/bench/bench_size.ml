@@ -1,0 +1,84 @@
+(* T1: the paper's kernel-size table.
+   S1: entry-point statistics (census + live gates).
+   S4: specialised file-store estimate. *)
+
+module C = Multics_census
+module K = Multics_kernel
+
+let table1 () =
+  Bench_util.section "T1" "Kernel size table (paper p.34)";
+  Format.printf "%a@." C.Report.size_table ();
+  Format.printf "Per-component census behind the table (1973):@.";
+  Format.printf "%a@." C.Report.component_listing C.Inventory.base_1973;
+  let final, summaries = C.Restructure.apply_all C.Inventory.base_1973 in
+  Format.printf "Components after all six projects:@.";
+  Format.printf "%a@." C.Report.component_listing
+    (List.filter C.Component.in_kernel final);
+  Format.printf "Step-by-step effect:@.";
+  List.iter
+    (fun (s : C.Restructure.summary) ->
+      Format.printf "  %-24s -%6d source (-%d PL/I-equiv) : %s@."
+        s.C.Restructure.step_name s.C.Restructure.source_saved
+        s.C.Restructure.pl1_equiv_saved s.C.Restructure.note)
+    summaries;
+  let remaining =
+    C.Inventory.total_pl1_equivalent (C.Inventory.kernel final)
+  in
+  Format.printf
+    "@.Conclusion check: the kernel of a general-purpose system remains a \
+     large program — %s PL/I-equivalent lines here (paper: \"30,000 lines \
+     of source code in this case study\", after three years' growth).@."
+    (C.Report.round_k remaining)
+
+let entry_points () =
+  Bench_util.section "S1" "Entry-point census (paper p.31-32)";
+  Format.printf "%a@." C.Report.entry_point_table ();
+  (* The live analogue in this reproduction. *)
+  let k = Bench_util.boot_new () in
+  Format.printf
+    "live reproduction: %d gates defined, %d user-callable (scaled-down \
+     analogue of 1,200/157)@."
+    (K.Gate.registered (K.Kernel.gate k))
+    (K.Gate.user_callable (K.Kernel.gate k))
+
+let file_store () =
+  Bench_util.section "S4" "Specialising to a file store (paper pp. 35, 37)";
+  let final, _ = C.Restructure.apply_all C.Inventory.base_1973 in
+  let low, high = C.Restructure.specialize_file_store_estimate final in
+  let remaining =
+    C.Inventory.total_pl1_equivalent (C.Inventory.kernel final)
+  in
+  Format.printf
+    "remaining kernel: %s PL/I-equiv; specialisation sheds %s-%s (15-25%%) — \
+     \"not ... a very big reduction in this number — maybe 20%%\"@."
+    (C.Report.round_k remaining) (C.Report.round_k low)
+    (C.Report.round_k high)
+
+let network_growth () =
+  Bench_util.section "S6" "Network code growth per attached network (p.33-34)";
+  let k = Bench_util.boot_new () in
+  let old_net =
+    Multics_services.Network.create ~kernel:k
+      ~variant:Multics_services.Network.Per_network_in_kernel
+  in
+  let new_net =
+    Multics_services.Network.create ~kernel:k
+      ~variant:Multics_services.Network.Generic_demux
+  in
+  Format.printf "  %-10s %22s %22s@." "networks" "per-network in kernel"
+    "generic demultiplexer";
+  List.iter
+    (fun n ->
+      Format.printf "  %-10d %18d lines %18d lines@." n
+        (Multics_services.Network.kernel_lines old_net ~networks:n)
+        (Multics_services.Network.kernel_lines new_net ~networks:n))
+    [ 1; 2; 3; 4 ];
+  Format.printf
+    "@.paper: 7,000 lines for two networks \"may shrink to less than \
+     1,000\" and then grow only slightly per network.@."
+
+let run () =
+  table1 ();
+  entry_points ();
+  file_store ();
+  network_growth ()

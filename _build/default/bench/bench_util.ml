@@ -1,0 +1,38 @@
+(* Shared helpers for the bench sections. *)
+
+module K = Multics_kernel
+module L = Multics_legacy
+module Aim = Multics_aim
+
+let low = Aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let section id title =
+  Format.printf "@.%s@." (String.make 72 '=');
+  Format.printf "%s  %s@." id title;
+  Format.printf "%s@.@." (String.make 72 '=')
+
+let file_writer ~dir ~name ~pages =
+  K.Workload.concat
+    [ [| K.Workload.Create_file { dir; name };
+         K.Workload.Initiate { path = dir ^ ">" ^ name; reg = 0 } |];
+      K.Workload.sequential_write ~seg_reg:0 ~pages ]
+
+let boot_new ?(config = K.Kernel.default_config) () =
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  k
+
+let boot_old ?(config = L.Old_supervisor.default_config) () =
+  let s = L.Old_supervisor.boot config in
+  L.Old_supervisor.mkdir s ~path:">home" ~acl:open_acl;
+  s
+
+let us ns = float_of_int ns /. 1_000.0
+
+let pct_delta a b =
+  (* how much slower b is than a, in percent *)
+  100.0 *. (float_of_int b -. float_of_int a) /. float_of_int a
+
+let row2 label a b = Format.printf "  %-38s %12s %12s@." label a b
+let fmt_us ns = Printf.sprintf "%.1f us" (us ns)

@@ -1,0 +1,50 @@
+(* The benchmark harness: regenerates every table and figure of
+   "The Multics Kernel Design Project" (SOSP 1977).
+
+     dune exec bench/main.exe              -- all paper experiments
+     dune exec bench/main.exe -- T1 P4     -- selected sections
+     dune exec bench/main.exe -- micro     -- bechamel micro-benchmarks
+
+   See EXPERIMENTS.md for the experiment index and paper-vs-measured
+   notes. *)
+
+let sections =
+  [ ("T1", "kernel size table + census", Bench_size.run);
+    ("F2", "figures 2-4 and conformance audits", Bench_figures.run);
+    ("P1", "performance experiments P1-P5, S2, S3, S5", Bench_perf.run);
+    ("A1", "design-choice ablations", Bench_ablation.run);
+    ("micro", "bechamel wall-clock micro-benchmarks", Bench_micro.run) ]
+
+let aliases =
+  [ ("T1", "T1"); ("S1", "T1"); ("S4", "T1"); ("S6", "T1");
+    ("F2", "F2"); ("F3", "F2"); ("F4", "F2");
+    ("P1", "P1"); ("P2", "P1"); ("P3", "P1"); ("P4", "P1"); ("P5", "P1");
+    ("S2", "P1"); ("S3", "P1"); ("S5", "P1");
+    ("A1", "A1"); ("A2", "A1");
+    ("micro", "micro") ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "T1"; "F2"; "P1"; "A1"; "micro" ]
+  in
+  let wanted =
+    List.filter_map
+      (fun arg -> List.assoc_opt (String.uppercase_ascii arg) aliases
+                  |> function
+                  | Some s -> Some s
+                  | None -> List.assoc_opt arg aliases)
+      requested
+    |> List.sort_uniq compare
+  in
+  let wanted =
+    if wanted = [] then [ "T1"; "F2"; "P1"; "A1"; "micro" ] else wanted
+  in
+  Format.printf
+    "The Multics Kernel Design Project (SOSP 1977) — experiment harness@.";
+  Format.printf "sections: %s@." (String.concat ", " wanted);
+  List.iter
+    (fun (id, _desc, run) -> if List.mem id wanted then run ())
+    sections;
+  Format.printf "@.done.@."

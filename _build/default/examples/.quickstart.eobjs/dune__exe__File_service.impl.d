@@ -1,0 +1,1 @@
+examples/file_service.ml: Format List Multics_aim Multics_census Multics_kernel Multics_services

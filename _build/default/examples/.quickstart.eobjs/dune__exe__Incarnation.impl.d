@@ -1,0 +1,1 @@
+examples/incarnation.ml: Format List Multics_aim Multics_kernel Multics_services

@@ -1,0 +1,1 @@
+examples/secure_timesharing.ml: Array Format List Multics_aim Multics_kernel Multics_services String

@@ -1,0 +1,138 @@
+(* Secure timesharing: the MITRE model in action.
+
+   Users at different sensitivity levels share one Multics: AIM labels
+   on every file and directory, simple security (no read up), the
+   *-property (no write down), Bratt's mythical identifiers hiding even
+   the *names* of things, the audit trail, and — the paper's closing
+   confinement puzzle — a quota channel written by a mere read.
+
+     dune exec examples/secure_timesharing.exe
+*)
+
+module K = Multics_kernel
+module S = Multics_services
+module Aim = Multics_aim
+
+let low = Aim.Label.system_low
+let secret = Aim.Label.make Aim.Level.secret Aim.Compartment.empty
+let secret_nato =
+  Aim.Label.make Aim.Level.secret (Aim.Compartment.of_list [ 1 ])
+
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let () =
+  let k = K.Kernel.boot K.Kernel.default_config in
+
+  (* A multi-level tree: a public area, a secret project area, and a
+     compartmented corner of it. *)
+  K.Kernel.mkdir k ~path:">public" ~acl:open_acl ~label:low;
+  K.Kernel.create_file k ~path:">public>motd" ~acl:open_acl ~label:low;
+  K.Kernel.mkdir k ~path:">crypto" ~acl:open_acl ~label:secret;
+  K.Kernel.create_file k ~path:">crypto>keys" ~acl:open_acl ~label:secret;
+  K.Kernel.create_file k ~path:">crypto>nato_annex" ~acl:open_acl
+    ~label:secret_nato;
+  K.Kernel.mkdir k ~path:">public>dropbox" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">public>dropbox" ~limit:16;
+
+  let svc =
+    S.Answering_service.create ~kernel:k ~variant:S.Answering_service.Split
+  in
+  S.Answering_service.register_user svc ~user:"lodato" ~password:"pw"
+    ~clearance:low;
+  S.Answering_service.register_user svc ~user:"whitmore" ~password:"pw"
+    ~clearance:secret;
+
+  (* The low user probes upward: every attempt must come back
+     indistinguishable from nonexistence, and a read must fault. *)
+  let low_probe =
+    [| K.Workload.Initiate { path = ">public>motd"; reg = 0 };
+       K.Workload.Touch { seg_reg = 0; pageno = 0; offset = 0; write = false };
+       (* inaccessible level: *)
+       K.Workload.Initiate { path = ">crypto>keys"; reg = 1 };
+       K.Workload.Initiate { path = ">crypto>no_such_thing"; reg = 2 };
+       (* Probing below the unreadable directory: every component gets a
+          stable mythical identifier and the walk never learns anything. *)
+       K.Workload.Initiate { path = ">crypto>project>x>notes"; reg = 3 };
+       K.Workload.Initiate { path = ">crypto>project>x>notes"; reg = 4 };
+       K.Workload.List_dir { path = ">crypto" };
+       K.Workload.Terminate |]
+  in
+  (* The secret user reads down freely but cannot write down. *)
+  let secret_session =
+    [| K.Workload.Initiate { path = ">public>motd"; reg = 0 };
+       K.Workload.Touch { seg_reg = 0; pageno = 0; offset = 0; write = false };
+       K.Workload.Initiate { path = ">crypto>keys"; reg = 1 };
+       K.Workload.Touch { seg_reg = 1; pageno = 0; offset = 0; write = true };
+       (* compartment not held: *)
+       K.Workload.Initiate { path = ">crypto>nato_annex"; reg = 2 };
+       (* write down, should be refused at initiation: *)
+       K.Workload.Create_file { dir = ">public"; name = "leak" };
+       K.Workload.Terminate |]
+  in
+  let low_pid =
+    match
+      S.Answering_service.login svc ~user:"lodato" ~password:"pw"
+        ~program:low_probe
+    with
+    | Ok pid -> pid
+    | Error _ -> failwith "login"
+  in
+  let secret_pid =
+    match
+      S.Answering_service.login svc ~user:"whitmore" ~password:"pw"
+        ~program:secret_session
+    with
+    | Ok pid -> pid
+    | Error _ -> failwith "login"
+  in
+  ignore (K.Kernel.run_to_completion k);
+
+  let upm = K.Kernel.user_process k in
+  let report pid who =
+    let p = K.User_process.proc upm pid in
+    let segnos =
+      Array.to_list (Array.sub p.K.User_process.regs 0 3)
+      |> List.map (fun r -> if r < 0 then "-" else string_of_int r)
+    in
+    Format.printf "%s: state=%s regs=[%s]@." who
+      (match p.K.User_process.pstate with
+      | K.User_process.P_done -> "done"
+      | K.User_process.P_failed m -> "failed: " ^ m
+      | _ -> "running")
+      (String.concat "," segnos)
+  in
+  report low_pid "lodato (unclassified)";
+  report secret_pid "whitmore (secret)   ";
+  Format.printf
+    "mythical identifiers issued: %d (probes into the secret tree)@."
+    (K.Directory.mythical_answers (K.Kernel.directory k));
+
+  (* The confinement anomaly: a secret process merely READING a fresh
+     page of a low dropbox file changes the dropbox's quota count —
+     information flowing downward through the accounting variable, "in
+     violation of the confinement goal" (paper p.30). *)
+  K.Kernel.create_file k ~path:">public>dropbox>blank" ~acl:open_acl
+    ~label:low;
+  let before =
+    match K.Kernel.quota_usage k ~path:">public>dropbox" with
+    | Some (used, _) -> used
+    | None -> 0
+  in
+  let reader =
+    [| K.Workload.Initiate { path = ">public>dropbox>blank"; reg = 0 };
+       K.Workload.Touch { seg_reg = 0; pageno = 3; offset = 0; write = false };
+       K.Workload.Terminate |]
+  in
+  ignore (K.Kernel.spawn k ~pname:"covert_reader" reader);
+  ignore (K.Kernel.run_to_completion k);
+  let after =
+    match K.Kernel.quota_usage k ~path:">public>dropbox" with
+    | Some (used, _) -> used
+    | None -> 0
+  in
+  Format.printf
+    "@.confinement anomaly: dropbox quota count %d -> %d after a READ of a \
+     zero page@."
+    before after;
+
+  Format.printf "@.AIM audit trail:@.%a" Aim.Audit.pp (K.Kernel.aim_audit k)

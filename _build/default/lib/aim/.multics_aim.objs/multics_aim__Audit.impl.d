@@ -1,0 +1,1 @@
+lib/aim/audit.ml: Format Label List

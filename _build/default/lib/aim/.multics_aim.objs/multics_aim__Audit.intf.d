@@ -1,0 +1,1 @@
+lib/aim/audit.mli: Format Label

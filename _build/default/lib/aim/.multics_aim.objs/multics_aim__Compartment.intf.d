@@ -1,0 +1,1 @@
+lib/aim/compartment.mli: Format

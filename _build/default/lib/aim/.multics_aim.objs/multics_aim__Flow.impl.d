@@ -1,0 +1,1 @@
+lib/aim/flow.ml: Audit Label Option

@@ -1,0 +1,1 @@
+lib/aim/flow.mli: Audit Label

@@ -1,0 +1,1 @@
+lib/aim/label.ml: Compartment Format Level

@@ -1,0 +1,1 @@
+lib/aim/label.mli: Compartment Format Level

@@ -1,0 +1,1 @@
+lib/aim/level.mli: Format

@@ -1,0 +1,1 @@
+lib/aim/mitre.ml: Hashtbl Label List Printf

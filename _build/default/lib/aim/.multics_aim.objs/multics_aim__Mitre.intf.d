@@ -1,0 +1,1 @@
+lib/aim/mitre.mli: Label

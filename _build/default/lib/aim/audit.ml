@@ -1,0 +1,41 @@
+type event = {
+  subject : string;
+  object_name : string;
+  operation : string;
+  subject_label : Label.t;
+  object_label : Label.t;
+  outcome : string;
+}
+
+type t = {
+  mutable log : event list;  (* newest first *)
+  mutable denial_count : int;
+  mutable override_count : int;
+  mutable grant_count : int;
+}
+
+let create () =
+  { log = []; denial_count = 0; override_count = 0; grant_count = 0 }
+
+let record_grant t = t.grant_count <- t.grant_count + 1
+
+let record t event =
+  t.log <- event :: t.log;
+  if event.outcome = "denied" then t.denial_count <- t.denial_count + 1
+  else if event.outcome = "trusted-override" then
+    t.override_count <- t.override_count + 1
+
+let events t = List.rev t.log
+let denials t = t.denial_count
+let overrides t = t.override_count
+let grants t = t.grant_count
+
+let pp ppf t =
+  Format.fprintf ppf "aim-audit: %d grants, %d denials, %d trusted overrides@."
+    t.grant_count t.denial_count t.override_count;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s: %s (%a) %s %s (%a)@." e.outcome e.subject
+        Label.pp e.subject_label e.operation e.object_name Label.pp
+        e.object_label)
+    (events t)

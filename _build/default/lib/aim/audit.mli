@@ -1,0 +1,27 @@
+(** The AIM audit trail.
+
+    Every flow decision involving a denial or a trusted-subject override
+    is recorded; benches and the secure-timesharing example read the
+    trail back.  Grants are counted but not stored individually. *)
+
+type event = {
+  subject : string;
+  object_name : string;
+  operation : string;  (** "observe" or "modify" *)
+  subject_label : Label.t;
+  object_label : Label.t;
+  outcome : string;  (** "denied" or "trusted-override" *)
+}
+
+type t
+
+val create : unit -> t
+val record_grant : t -> unit
+val record : t -> event -> unit
+val events : t -> event list
+(** Oldest first. *)
+
+val denials : t -> int
+val overrides : t -> int
+val grants : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type subject = { subject_name : string; label : Label.t; trusted : bool }
+
+type decision = Granted | Granted_trusted | Denied
+
+let can_observe subject ~object_label =
+  if Label.dominates subject.label object_label then Granted
+  else if subject.trusted then Granted_trusted
+  else Denied
+
+let can_modify subject ~object_label =
+  if Label.dominates object_label subject.label then Granted
+  else if subject.trusted then Granted_trusted
+  else Denied
+
+let check ?audit subject ~object_label ~object_name op =
+  let decision, operation =
+    match op with
+    | `Observe -> (can_observe subject ~object_label, "observe")
+    | `Modify -> (can_modify subject ~object_label, "modify")
+  in
+  let log outcome =
+    match audit with
+    | None -> ()
+    | Some a ->
+        Audit.record a
+          { Audit.subject = subject.subject_name; object_name; operation;
+            subject_label = subject.label; object_label; outcome }
+  in
+  match decision with
+  | Granted ->
+      Option.iter Audit.record_grant audit;
+      true
+  | Granted_trusted ->
+      log "trusted-override";
+      true
+  | Denied ->
+      log "denied";
+      false

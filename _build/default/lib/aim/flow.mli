@@ -1,0 +1,26 @@
+(** Information-flow checks.
+
+    The two Bell–LaPadula rules the kernel's gates apply at every point
+    where information could cross a level or compartment boundary:
+
+    - simple security ("no read up"): a subject may observe an object
+      only when the subject's label dominates the object's;
+    - the *-property ("no write down"): a subject may modify an object
+      only when the object's label dominates the subject's.
+
+    Trusted subjects (the paper's trusted processes, e.g. the Answering
+    Service) are exempt from the *-property but every exemption is
+    recorded in the audit trail. *)
+
+type subject = { subject_name : string; label : Label.t; trusted : bool }
+
+type decision = Granted | Granted_trusted | Denied
+
+val can_observe : subject -> object_label:Label.t -> decision
+val can_modify : subject -> object_label:Label.t -> decision
+
+val check :
+  ?audit:Audit.t -> subject -> object_label:Label.t -> object_name:string ->
+  [ `Observe | `Modify ] -> bool
+(** Apply the rule, record the outcome in the audit trail when one is
+    supplied, and return whether access is granted. *)

@@ -1,0 +1,1 @@
+lib/census/component.ml: Float Format

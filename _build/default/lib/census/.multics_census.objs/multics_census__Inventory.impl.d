@@ -1,0 +1,1 @@
+lib/census/inventory.ml: Component List

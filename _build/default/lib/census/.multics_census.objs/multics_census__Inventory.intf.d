@@ -1,0 +1,1 @@
+lib/census/inventory.mli: Component

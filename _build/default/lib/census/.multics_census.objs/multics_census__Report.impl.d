@@ -1,0 +1,1 @@
+lib/census/report.ml: Component Format Inventory List Printf Restructure

@@ -1,0 +1,1 @@
+lib/census/report.mli: Component Format

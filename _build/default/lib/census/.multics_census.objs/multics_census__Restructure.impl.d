@@ -1,0 +1,1 @@
+lib/census/restructure.ml: Component Inventory List

@@ -1,0 +1,1 @@
+lib/census/restructure.mli: Component

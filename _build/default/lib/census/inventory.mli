@@ -1,0 +1,29 @@
+(** The September 1973 census of the Multics supervisor.
+
+    The paper publishes only aggregates: 44,000 source lines in ring
+    zero (36,000 PL/I-equivalent), roughly 1,200 entry points of which
+    157 were user-callable, and a 10,000-line Answering Service running
+    in a trusted process.  The per-component decomposition here is a
+    reconstruction chosen so that every aggregate the paper states —
+    including the per-project reductions of its size table — comes out
+    of the model rather than being hard-coded.  Totals are asserted in
+    the test suite. *)
+
+val base_1973 : Component.t list
+(** Kernel components at the start of the project. *)
+
+val ring_zero : Component.t list -> Component.t list
+val kernel : Component.t list -> Component.t list
+(** Everything not in the user domain. *)
+
+val total_source : Component.t list -> int
+val total_pl1_equivalent : Component.t list -> int
+val total_entries : Component.t list -> int
+val total_user_entries : Component.t list -> int
+
+val find : Component.t list -> string -> Component.t
+(** Raises [Not_found]. *)
+
+val growth_factor_1973_to_1976 : float
+(** Ring zero and the next outer ring "almost doubled in size" between
+    the first census and the paper. *)

@@ -1,0 +1,174 @@
+type summary = {
+  step_name : string;
+  source_saved : int;
+  pl1_equiv_saved : int;
+  entries_removed : int;
+  user_entries_removed : int;
+  note : string;
+}
+
+type step = {
+  id : string;
+  title : string;
+  apply : Component.t list -> Component.t list * summary;
+}
+
+let kernel_source components =
+  Inventory.total_source (Inventory.kernel components)
+
+let kernel_pl1_equiv components =
+  Inventory.total_pl1_equivalent (Inventory.kernel components)
+
+(* Replace the component named [name] using [f]; [f] returns the
+   replacement components (possibly several, possibly none). *)
+let replace components name f =
+  let found = ref false in
+  let result =
+    List.concat_map
+      (fun comp ->
+        if comp.Component.name = name then begin
+          found := true;
+          f comp
+        end
+        else [ comp ])
+      components
+  in
+  if not !found then invalid_arg ("Restructure: no component named " ^ name);
+  result
+
+let summarize step_name note before after =
+  { step_name;
+    source_saved = kernel_source before - kernel_source after;
+    pl1_equiv_saved = kernel_pl1_equiv before - kernel_pl1_equiv after;
+    entries_removed =
+      Inventory.total_entries (Inventory.kernel before)
+      - Inventory.total_entries (Inventory.kernel after);
+    user_entries_removed =
+      Inventory.total_user_entries (Inventory.kernel before)
+      - Inventory.total_user_entries (Inventory.kernel after);
+    note }
+
+let extract_linker =
+  { id = "linker";
+    title = "Remove dynamic linker from the kernel (Janson, 1974)";
+    apply =
+      (fun components ->
+        let after =
+          replace components "dynamic_linker" (fun linker ->
+              [ { linker with Component.region = Component.User_domain } ])
+        in
+        ( after,
+          summarize "Linker"
+            "moved wholesale to the user domain; runs slightly slower there"
+            components after )) }
+
+let extract_name_manager =
+  { id = "name_manager";
+    title = "Remove name management from the kernel (Bratt, 1975)";
+    apply =
+      (fun components ->
+        let after =
+          replace components "name_manager" (fun _ ->
+              [ { Component.name = "directory_search_primitive";
+                  pl1_lines = 100; asm_lines = 0; entry_points = 2;
+                  user_entry_points = 2; region = Component.Ring_zero };
+                { Component.name = "name_manager_user"; pl1_lines = 275;
+                  asm_lines = 0; entry_points = 6; user_entry_points = 0;
+                  region = Component.User_domain } ])
+        in
+        ( after,
+          summarize "Name Manager"
+            "user-ring rewrite is a quarter the size of the in-kernel \
+             algorithm"
+            components after )) }
+
+let split_answering_service =
+  { id = "answering_service";
+    title = "Split the Answering Service (Montgomery, 1976)";
+    apply =
+      (fun components ->
+        let after =
+          replace components "answering_service" (fun _ ->
+              [ { Component.name = "authentication_core"; pl1_lines = 900;
+                  asm_lines = 0; entry_points = 8; user_entry_points = 4;
+                  region = Component.Trusted_process };
+                { Component.name = "login_server"; pl1_lines = 9_100;
+                  asm_lines = 0; entry_points = 112; user_entry_points = 26;
+                  region = Component.User_domain } ])
+        in
+        ( after,
+          summarize "Answering Service"
+            "fewer than 1,000 of 10,000 lines need kernel trust" components
+            after )) }
+
+let extract_network =
+  { id = "network";
+    title = "Remove network control from the kernel (Ciccarelli, 1977)";
+    apply =
+      (fun components ->
+        let after =
+          replace components "network_control" (fun _ ->
+              [ { Component.name = "generic_demultiplexer"; pl1_lines = 900;
+                  asm_lines = 0; entry_points = 12; user_entry_points = 4;
+                  region = Component.Ring_zero };
+                { Component.name = "network_protocols_user";
+                  pl1_lines = 6_100; asm_lines = 0; entry_points = 148;
+                  user_entry_points = 0; region = Component.User_domain } ])
+        in
+        ( after,
+          summarize "Network I/O"
+            "network-independent demultiplexer stays; kernel bulk now grows \
+             only slightly per attached network"
+            components after )) }
+
+let extract_initialization =
+  { id = "initialization";
+    title = "Initialize in a previous incarnation (Luniewski, 1977)";
+    apply =
+      (fun components ->
+        let after =
+          replace components "initialization" (fun init ->
+              [ { init with Component.region = Component.User_domain } ])
+        in
+        ( after,
+          summarize "Initialization"
+            "performed in a user process environment of a previous system \
+             incarnation"
+            components after )) }
+
+let recode_assembly =
+  { id = "recode_assembly";
+    title = "Exclusive use of PL/I";
+    apply =
+      (fun components ->
+        let after =
+          List.map
+            (fun comp ->
+              if Component.in_kernel comp then Component.recode_in_pl1 comp
+              else comp)
+            components
+        in
+        ( after,
+          summarize "Exclusive use of PL/I"
+            "source shrinks ~2.3x; generated instructions grow ~2x (the \
+             memory-manager slowdown)"
+            components after )) }
+
+let all_steps =
+  [ extract_linker; extract_name_manager; split_answering_service;
+    extract_network; extract_initialization; recode_assembly ]
+
+let apply_all components =
+  List.fold_left
+    (fun (components, summaries) step ->
+      let components', summary = step.apply components in
+      (components', summary :: summaries))
+    (components, []) all_steps
+  |> fun (components, summaries) -> (components, List.rev summaries)
+
+let specialize_file_store_estimate components =
+  let remaining = kernel_pl1_equiv components in
+  (remaining * 15 / 100, remaining * 25 / 100)
+
+let user_domain_algorithm_sizes =
+  [ ("name management (Bratt)", 1_100, 275) ]

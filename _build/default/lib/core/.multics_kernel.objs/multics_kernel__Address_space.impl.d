@@ -1,0 +1,1 @@
+lib/core/address_space.ml: Acl Array Core_segment Cost Hashtbl Known_segment List Meter Multics_hw Printf Registry Segment Tracer

@@ -1,0 +1,1 @@
+lib/core/address_space.mli: Core_segment Known_segment Meter Multics_hw Segment Tracer

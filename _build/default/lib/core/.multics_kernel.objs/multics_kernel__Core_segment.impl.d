@@ -1,0 +1,1 @@
+lib/core/core_segment.ml: Cost List Meter Multics_hw Printf Registry

@@ -1,0 +1,1 @@
+lib/core/core_segment.mli: Meter Multics_hw

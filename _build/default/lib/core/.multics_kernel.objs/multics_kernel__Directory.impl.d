@@ -1,0 +1,1 @@
+lib/core/directory.ml: Acl Bytes Char Cost Hashtbl Ids Known_segment List Marshal Meter Multics_aim Multics_hw Quota_cell Registry Segment Tracer Volume

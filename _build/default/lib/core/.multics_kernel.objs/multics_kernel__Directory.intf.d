@@ -1,0 +1,1 @@
+lib/core/directory.mli: Acl Ids Known_segment Meter Multics_aim Multics_hw Quota_cell Segment Tracer Volume

@@ -1,0 +1,1 @@
+lib/core/fault_dispatch.ml: Address_space Cost Gate Known_segment Meter Multics_hw Multics_sync Page_frame Printf Registry Tracer

@@ -1,0 +1,1 @@
+lib/core/fault_dispatch.mli: Address_space Gate Known_segment Meter Multics_hw Multics_sync Page_frame Tracer

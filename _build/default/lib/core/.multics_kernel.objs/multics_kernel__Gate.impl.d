@@ -1,0 +1,1 @@
+lib/core/gate.ml: Cost Directory Hashtbl List Meter Printf Registry Tracer Upward_signal

@@ -1,0 +1,1 @@
+lib/core/gate.mli: Directory Meter Tracer Upward_signal

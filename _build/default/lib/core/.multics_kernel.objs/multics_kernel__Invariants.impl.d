@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Array Directory Format Hashtbl Ids Kernel List Multics_hw Option Page_frame Printf Quota_cell Segment Volume

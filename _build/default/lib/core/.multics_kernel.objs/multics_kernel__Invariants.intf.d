@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Kernel Quota_cell

@@ -1,0 +1,1 @@
+lib/core/known_segment.ml: Acl Cost Hashtbl Ids Meter Multics_hw Printf Quota_cell Registry Segment Tracer

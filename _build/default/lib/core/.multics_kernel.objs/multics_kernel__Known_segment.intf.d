@@ -1,0 +1,1 @@
+lib/core/known_segment.mli: Acl Ids Meter Multics_hw Quota_cell Segment Tracer

@@ -1,0 +1,1 @@
+lib/core/meter.ml: Cost Hashtbl List Option

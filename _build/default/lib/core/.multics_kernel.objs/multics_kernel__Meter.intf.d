@@ -1,0 +1,1 @@
+lib/core/meter.mli: Cost

@@ -1,0 +1,1 @@
+lib/core/name_space.ml: Cost Directory Gate List Meter Registry String Tracer

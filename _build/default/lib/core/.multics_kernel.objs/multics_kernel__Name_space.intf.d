@@ -1,0 +1,1 @@
+lib/core/name_space.mli: Directory Gate Ids Meter Tracer

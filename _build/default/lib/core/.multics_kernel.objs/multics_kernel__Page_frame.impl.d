@@ -1,0 +1,1 @@
+lib/core/page_frame.ml: Array Core_segment Cost Hashtbl List Meter Multics_hw Multics_sync Printf Quota_cell Registry Tracer Volume Vp

@@ -1,0 +1,1 @@
+lib/core/page_frame.mli: Core_segment Meter Multics_hw Multics_sync Quota_cell Tracer Volume Vp

@@ -1,0 +1,1 @@
+lib/core/quota_cell.ml: Array Core_segment Cost List Meter Multics_hw Printf Registry Tracer Volume

@@ -1,0 +1,1 @@
+lib/core/quota_cell.mli: Core_segment Meter Multics_hw Tracer Volume

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Cost List Multics_depgraph

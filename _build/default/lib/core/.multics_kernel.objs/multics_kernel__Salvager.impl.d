@@ -1,0 +1,1 @@
+lib/core/salvager.ml: Array Directory Format Hashtbl Ids Invariants Kernel List Multics_hw Quota_cell User_process Volume

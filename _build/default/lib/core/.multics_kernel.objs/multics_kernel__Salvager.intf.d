@@ -1,0 +1,1 @@
+lib/core/salvager.mli: Format Kernel

@@ -1,0 +1,1 @@
+lib/core/segment.mli: Core_segment Ids Meter Multics_hw Page_frame Quota_cell Tracer Upward_signal Volume

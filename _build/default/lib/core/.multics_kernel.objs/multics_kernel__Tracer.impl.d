@@ -1,0 +1,1 @@
+lib/core/tracer.ml: List Map Multics_depgraph Option

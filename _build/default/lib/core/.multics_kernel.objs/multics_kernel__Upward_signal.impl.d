@@ -1,0 +1,1 @@
+lib/core/upward_signal.ml: Cost Ids List Meter

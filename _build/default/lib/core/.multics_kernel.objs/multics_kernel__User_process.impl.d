@@ -1,0 +1,1 @@
+lib/core/user_process.ml: Acl Address_space Array Cost Hashtbl Ids Known_segment List Meter Multics_aim Multics_hw Multics_sync Printf Quota_cell Registry Scheduler Segment Tracer Vp Workload

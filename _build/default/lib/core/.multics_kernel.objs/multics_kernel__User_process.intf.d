@@ -1,0 +1,1 @@
+lib/core/user_process.mli: Acl Address_space Ids Known_segment Meter Multics_aim Multics_hw Multics_sync Scheduler Segment Tracer Vp Workload

@@ -1,0 +1,1 @@
+lib/core/volume.ml: Array Cost Hashtbl Ids List Meter Multics_hw Registry Tracer

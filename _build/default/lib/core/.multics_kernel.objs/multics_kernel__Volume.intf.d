@@ -1,0 +1,1 @@
+lib/core/volume.mli: Ids Meter Multics_hw Tracer

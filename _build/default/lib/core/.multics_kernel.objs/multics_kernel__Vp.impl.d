@@ -1,0 +1,1 @@
+lib/core/vp.ml: Array Core_segment Cost Meter Multics_hw Multics_sync Printf Tracer

@@ -1,0 +1,1 @@
+lib/core/vp.mli: Core_segment Meter Multics_hw Multics_sync Tracer

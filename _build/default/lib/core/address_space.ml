@@ -1,0 +1,143 @@
+module Hw = Multics_hw
+
+type space = {
+  dseg : Core_segment.region;
+  mutable connected : int list;  (* segnos with live SDWs *)
+}
+
+type t = {
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  core : Core_segment.t;
+  segment : Segment.t;
+  known : Known_segment.t;
+  system_region : Core_segment.region;
+  system_segnos : int;
+  dseg_words : int;
+  pool : Core_segment.region array;
+  mutable pool_free : int list;
+  spaces : (int, space * int) Hashtbl.t;  (* proc -> (space, pool slot) *)
+}
+
+let name = Registry.address_space_manager
+
+let entry t ~caller ns =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  Meter.charge t.meter ~manager:name (Registry.language name)
+    (Cost.kernel_call + ns)
+
+let create ~machine ~meter ~tracer ~core ~segment ~known ~max_spaces =
+  assert (max_spaces > 0);
+  let system_segnos =
+    machine.Hw.Machine.config.Hw.Hw_config.system_segno_split
+  in
+  let system_region =
+    Core_segment.alloc core ~name:"system_descriptor_table"
+      ~words:(system_segnos * Hw.Sdw.words)
+  in
+  let dseg_words = Hw.Addr.max_segments * Hw.Sdw.words in
+  let pool =
+    Array.init max_spaces (fun i ->
+        Core_segment.alloc core
+          ~name:(Printf.sprintf "descriptor_segment_%d" i)
+          ~words:dseg_words)
+  in
+  { machine; meter; tracer; core; segment; known; system_region;
+    system_segnos; dseg_words; pool;
+    pool_free = List.init max_spaces (fun i -> i);
+    spaces = Hashtbl.create 16 }
+
+let system_table t =
+  { Hw.Cpu.base = Core_segment.abs_of t.system_region 0;
+    n_segments = t.system_segnos }
+
+let install_system_dbr t (cpu : Hw.Cpu.t) =
+  cpu.Hw.Cpu.system_dbr <- Some (system_table t)
+
+let create_space t ~caller ~proc =
+  entry t ~caller Cost.directory_entry_op;
+  if Hashtbl.mem t.spaces proc then
+    invalid_arg "Address_space.create_space: process already has a space";
+  match t.pool_free with
+  | [] -> failwith "Address_space.create_space: descriptor-segment pool empty"
+  | slot :: rest ->
+      t.pool_free <- rest;
+      let dseg = t.pool.(slot) in
+      (* Invalidate every SDW. *)
+      for segno = 0 to Hw.Addr.max_segments - 1 do
+        Hw.Sdw.write_at t.machine.Hw.Machine.mem
+          (Core_segment.abs_of dseg (segno * Hw.Sdw.words))
+          Hw.Sdw.invalid
+      done;
+      Hashtbl.replace t.spaces proc ({ dseg; connected = [] }, slot)
+
+let space t proc =
+  match Hashtbl.find_opt t.spaces proc with
+  | Some (s, _) -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Address_space: process %d has no space" proc)
+
+let sdw_abs t proc segno =
+  Core_segment.abs_of (space t proc).dseg (segno * Hw.Sdw.words)
+
+let dbr_of t ~proc =
+  { Hw.Cpu.base = Core_segment.abs_of (space t proc).dseg 0;
+    n_segments = Hw.Addr.max_segments }
+
+let disconnect_segno t proc segno =
+  let s = space t proc in
+  if List.mem segno s.connected then begin
+    let sdw_abs = sdw_abs t proc segno in
+    (match Known_segment.info t.known ~proc ~segno with
+    | Some e -> (
+        match Segment.find_active t.segment ~uid:e.Known_segment.ke_uid with
+        | Some slot ->
+            Segment.unregister_connection t.segment ~caller:name ~slot ~sdw_abs
+        | None -> ())
+    | None -> ());
+    Hw.Sdw.write_at t.machine.Hw.Machine.mem sdw_abs Hw.Sdw.invalid;
+    s.connected <- List.filter (fun n -> n <> segno) s.connected
+  end
+
+let destroy_space t ~caller ~proc =
+  entry t ~caller Cost.directory_entry_op;
+  let s = space t proc in
+  List.iter (fun segno -> disconnect_segno t proc segno) s.connected;
+  (match Hashtbl.find_opt t.spaces proc with
+  | Some (_, slot) -> t.pool_free <- slot :: t.pool_free
+  | None -> ());
+  Hashtbl.remove t.spaces proc
+
+let handle_missing_segment t ~caller ~proc ~segno =
+  entry t ~caller Cost.fault_entry;
+  if segno < t.system_segnos then `Error "missing system segment"
+  else
+    match Known_segment.ensure_active t.known ~caller:name ~proc ~segno with
+    | Error `Not_known -> `Error "segment fault on unknown segment number"
+    | Error `Gone -> `Error "segment fault on deleted segment"
+    | Error `No_slot -> `Error "active segment table full"
+    | Ok (slot, e) ->
+        let mode = e.Known_segment.ke_mode in
+        let ring = e.Known_segment.ke_ring in
+        let sdw =
+          Hw.Sdw.make
+            ~page_table:(Segment.pt_base t.segment ~slot)
+            ~length:(Segment.pt_words t.segment)
+            ~read:mode.Acl.read ~write:mode.Acl.write ~execute:mode.Acl.execute
+            ~r1:ring ~r2:ring ~r3:ring
+        in
+        let sdw_abs = sdw_abs t proc segno in
+        Hw.Sdw.write_at t.machine.Hw.Machine.mem sdw_abs sdw;
+        Segment.register_connection t.segment ~caller:name ~slot ~sdw_abs;
+        let s = space t proc in
+        if not (List.mem segno s.connected) then
+          s.connected <- segno :: s.connected;
+        `Retry
+
+let disconnect t ~caller ~proc:p ~segno =
+  entry t ~caller Cost.directory_entry_op;
+  disconnect_segno t p segno
+
+let connections t =
+  Hashtbl.fold (fun _ (s, _) acc -> acc + List.length s.connected) t.spaces 0

@@ -1,0 +1,53 @@
+(** The simulated cost model.
+
+    Every kernel operation charges simulated nanoseconds.  A manager
+    declares its implementation language; PL/I-coded managers pay the
+    instruction-growth factor the paper measured ("recoding seemed to
+    cost a factor of two in the speed of the code"), assembly-coded ones
+    do not.  The constants are calibrated to mid-1970s hardware only in
+    their ratios — the benches compare shapes, not absolute numbers. *)
+
+type language = Asm | Pl1
+
+val factor : language -> float
+(** Asm = 1.0, Pl1 = 2.0. *)
+
+val scale : language -> int -> int
+(** Scale a base cost by the language factor. *)
+
+(* Base operation costs, in simulated nanoseconds. *)
+
+val gate_crossing : int       (* user ring -> ring 0 and back *)
+val ring_crossing : int       (* between outer rings *)
+val fault_entry : int         (* fault reflection into the kernel *)
+val kernel_call : int         (* one intra-kernel manager call *)
+val ptw_update : int
+val frame_alloc : int
+val frame_zero : int          (* clearing a fresh 1024-word frame *)
+val frame_scan_zero : int     (* scanning a frame for all-zeros on removal *)
+val replacement_scan : int    (* one step of the clock algorithm *)
+val disk_io_setup : int
+val quota_check : int
+val quota_search_per_level : int
+    (* legacy: one step of the upward AST search for a quota directory *)
+val retranslation : int
+    (* legacy: interpretive retranslation of a faulting address *)
+val lock_acquire : int
+val lock_spin : int           (* wasted spin when the lock is contended *)
+val context_switch_vp : int   (* switching a CPU between virtual processors *)
+val process_load : int        (* binding a user process to a VP *)
+val process_unload : int
+val vtoc_read : int
+val vtoc_write : int
+val directory_entry_op : int  (* search/create/update of one entry *)
+val acl_check : int
+val aim_check : int
+val upward_signal : int
+val msg_send : int
+val msg_receive : int
+val password_hash : int
+val accounting_update : int
+val link_search_step : int    (* one search-rule step of the linker *)
+val link_snap : int
+val net_demux_packet : int
+val net_protocol_step : int

@@ -1,0 +1,24 @@
+(** Fault routing — Figure 4's wiring of hardware exceptions to object
+    managers.
+
+    Missing pages go to the page frame manager; quota faults to the
+    known segment manager (which drives the downward chain); locked
+    descriptors join the transit wait; missing segments go to the
+    address space manager.  Quota handling may leave an upward signal
+    behind; it is delivered through the gate layer before the faulting
+    reference is retried. *)
+
+type outcome =
+  | Retry  (** the condition is resolved; re-execute the reference *)
+  | Wait of Multics_sync.Eventcount.t * int
+  | Error of string  (** reflected to the process as an error *)
+
+type t
+
+val create :
+  meter:Meter.t -> tracer:Tracer.t -> page_frame:Page_frame.t ->
+  known:Known_segment.t -> address_space:Address_space.t -> gate:Gate.t -> t
+
+val handle : t -> proc:int -> Multics_hw.Fault.t -> outcome
+
+val faults_handled : t -> int

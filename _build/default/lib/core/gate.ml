@@ -1,0 +1,65 @@
+type gate_info = { g_max_ring : int; mutable g_calls : int }
+
+type t = {
+  meter : Meter.t;
+  tracer : Tracer.t;
+  signals : Upward_signal.t;
+  directory : Directory.t;
+  gates : (string, gate_info) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  mutable total : int;
+  mutable violations : int;
+}
+
+let name = Registry.gate
+
+let create ~meter ~tracer ~signals ~directory =
+  { meter; tracer; signals; directory; gates = Hashtbl.create 64; order = [];
+    total = 0; violations = 0 }
+
+let define t ~name:gate_name ~max_ring =
+  if Hashtbl.mem t.gates gate_name then
+    invalid_arg (Printf.sprintf "Gate.define: %s already defined" gate_name);
+  Hashtbl.replace t.gates gate_name { g_max_ring = max_ring; g_calls = 0 };
+  t.order <- gate_name :: t.order
+
+let deliver_signals t =
+  Upward_signal.drain t.signals ~deliver:(fun payload ->
+      match payload with
+      | Upward_signal.Segment_moved { uid; new_pack; new_index } ->
+          Directory.handle_segment_moved t.directory ~caller:name ~uid
+            ~new_pack ~new_index)
+
+let call t ~name:gate_name ~caller_ring f =
+  match Hashtbl.find_opt t.gates gate_name with
+  | None -> Error `No_gate
+  | Some info ->
+      if caller_ring > info.g_max_ring then begin
+        t.violations <- t.violations + 1;
+        Error `Ring_violation
+      end
+      else begin
+        info.g_calls <- info.g_calls + 1;
+        t.total <- t.total + 1;
+        Meter.charge t.meter ~manager:name Cost.Pl1 Cost.gate_crossing;
+        let result = f () in
+        ignore (deliver_signals t);
+        Ok result
+      end
+
+let registered t = Hashtbl.length t.gates
+
+let user_callable t =
+  Hashtbl.fold
+    (fun _ info acc -> if info.g_max_ring >= 4 then acc + 1 else acc)
+    t.gates 0
+
+let calls_total t = t.total
+
+let calls_of t gate_name =
+  match Hashtbl.find_opt t.gates gate_name with
+  | Some info -> info.g_calls
+  | None -> 0
+
+let names t = List.rev t.order
+let ring_violations t = t.violations

@@ -1,0 +1,34 @@
+(** Kernel gates.
+
+    The kernel's entry points from outer rings.  Each gate declares the
+    highest ring allowed to call it; calls charge the ring-crossing
+    cost, are counted (this registry is the live analogue of the
+    paper's 1,200-entry / 157-user-entry census), and drain pending
+    upward signals on the way out — which is where the directory manager
+    receives Segment_moved notifications "without leaving behind any
+    procedure activation records" below it. *)
+
+type t
+
+val create :
+  meter:Meter.t -> tracer:Tracer.t -> signals:Upward_signal.t ->
+  directory:Directory.t -> t
+
+val define : t -> name:string -> max_ring:int -> unit
+(** Register a gate.  Gates with [max_ring >= 4] are user-callable. *)
+
+val call :
+  t -> name:string -> caller_ring:int -> (unit -> 'a) ->
+  ('a, [ `No_gate | `Ring_violation ]) result
+(** Cross into ring 0 through the named gate, run the handler, deliver
+    pending upward signals, cross back. *)
+
+val deliver_signals : t -> int
+(** Drain upward signals outside any gate call (the fault path). *)
+
+val registered : t -> int
+val user_callable : t -> int
+val calls_total : t -> int
+val calls_of : t -> string -> int
+val names : t -> string list
+val ring_violations : t -> int

@@ -1,0 +1,113 @@
+module Hw = Multics_hw
+
+let expected_quota kernel =
+  let volume = Kernel.volume kernel in
+  let quota = Kernel.quota kernel in
+  let attribution = Directory.quota_attribution (Kernel.directory kernel) in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (uid, cell) ->
+      if cell <> Quota_cell.no_cell then
+        match Volume.locate volume ~uid with
+        | None -> ()
+        | Some (pack, index) -> (
+            match Volume.vtoc volume ~caller:"invariants" ~pack ~index with
+            | exception Not_found -> ()
+            | vtoc ->
+                let pages =
+                  Array.fold_left
+                    (fun acc v -> if v <> Hw.Disk.unallocated then acc + 1 else acc)
+                    0 vtoc.Hw.Disk.file_map
+                in
+                let old = Option.value ~default:0 (Hashtbl.find_opt totals cell) in
+                Hashtbl.replace totals cell (old + pages)))
+    attribution;
+  (* Cells with no attributed pages still count, at zero. *)
+  List.map
+    (fun (cell, _used, _limit) ->
+      (cell, Option.value ~default:0 (Hashtbl.find_opt totals cell)))
+    (Quota_cell.registered quota)
+
+let check kernel =
+  let problems = ref [] in
+  let problem fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let machine = Kernel.machine kernel in
+  let mem = machine.Hw.Machine.mem in
+  let pfm = Kernel.page_frame kernel in
+  let sm = Kernel.segment kernel in
+  let volume = Kernel.volume kernel in
+  let quota = Kernel.quota kernel in
+
+  (* 1. Frame table vs. page tables: a used frame's PTW must be present
+     and point back at the frame. *)
+  let used = ref 0 in
+  Page_frame.iter_used pfm (fun ~frame ~ptw_abs ->
+      incr used;
+      let ptw = Hw.Ptw.read mem ptw_abs in
+      if not ptw.Hw.Ptw.valid then
+        problem "frame %d: owning PTW %d invalid" frame ptw_abs
+      else if not ptw.Hw.Ptw.present then
+        (* a transit in flight is the one legitimate case *)
+        ()
+      else if ptw.Hw.Ptw.arg <> frame then
+        problem "frame %d: PTW points at frame %d" frame ptw.Hw.Ptw.arg);
+  if !used + Page_frame.free_frames pfm <> Page_frame.n_frames pfm then
+    problem "frame accounting: %d used + %d free <> %d total" !used
+      (Page_frame.free_frames pfm) (Page_frame.n_frames pfm);
+
+  (* 2. AST vs. locator. *)
+  List.iter
+    (fun slot ->
+      let uid = Segment.slot_uid sm ~slot in
+      let home = Segment.slot_home sm ~slot in
+      match Volume.locate volume ~uid with
+      | None -> problem "AST slot %d: uid %d not in locator" slot (Ids.to_int uid)
+      | Some located ->
+          if located <> home then
+            problem "AST slot %d: home %s but locator says %s" slot
+              (Printf.sprintf "(%d,%d)" (fst home) (snd home))
+              (Printf.sprintf "(%d,%d)" (fst located) (snd located)))
+    (Segment.active_slots sm);
+
+  (* 3. Record accounting across every VTOC: no double references, every
+     reference allocated. *)
+  let disk = machine.Hw.Machine.disk in
+  let seen = Hashtbl.create 64 in
+  for pack = 0 to Hw.Disk.n_packs disk - 1 do
+    List.iter
+      (fun (index, (vtoc : Hw.Disk.vtoc_entry)) ->
+        Array.iteri
+          (fun pageno handle ->
+            if handle >= 0 then begin
+              (match Hashtbl.find_opt seen handle with
+              | Some (other_uid : int) ->
+                  problem "record %d referenced by uid %d and uid %d" handle
+                    other_uid vtoc.Hw.Disk.uid
+              | None -> Hashtbl.replace seen handle vtoc.Hw.Disk.uid);
+              if
+                Hw.Disk.record_is_free disk
+                  ~pack:(Hw.Disk.pack_of_handle handle)
+                  ~record:(Hw.Disk.record_of_handle handle)
+              then
+                problem "uid %d page %d references free record %d (vtoc %d)"
+                  vtoc.Hw.Disk.uid pageno handle index
+            end)
+          vtoc.Hw.Disk.file_map)
+      (Hw.Disk.vtoc_entries disk ~pack)
+  done;
+
+  (* 4. Quota: each registered cell's count equals the allocated pages
+     it controls. *)
+  let expected = expected_quota kernel in
+  List.iter
+    (fun (cell, used, limit) ->
+      if used < 0 || used > limit then
+        problem "quota cell %d: used %d outside [0, %d]" cell used limit;
+      match List.assoc_opt cell expected with
+      | Some pages when pages <> used ->
+          problem "quota cell %d: counts %d but controls %d allocated pages"
+            cell used pages
+      | _ -> ())
+    (Quota_cell.registered quota);
+
+  List.rev !problems

@@ -1,0 +1,586 @@
+module Hw = Multics_hw
+module Sync = Multics_sync
+module Aim = Multics_aim
+module Dg = Multics_depgraph
+
+type config = {
+  hw : Hw.Hw_config.t;
+  disk_packs : int;
+  records_per_pack : int;
+  core_frames : int;
+  n_vps : int;
+  user_vps : int;
+  ast_slots : int;
+  pt_words : int;
+  max_processes : int;
+  max_quota_cells : int;
+  scheduler : Scheduler.policy;
+  use_cleaner_daemon : bool;
+  root_quota : int;
+}
+
+let default_config =
+  { hw = Hw.Hw_config.kernel_multics;
+    disk_packs = 4; records_per_pack = 1024; core_frames = 32; n_vps = 6;
+    user_vps = 4; ast_slots = 64; pt_words = 64; max_processes = 16;
+    max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
+    use_cleaner_daemon = true; root_quota = 2048 }
+
+let small_config =
+  { default_config with
+    hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 64;
+    disk_packs = 3; records_per_pack = 64; core_frames = 24; ast_slots = 16;
+    pt_words = 16; max_processes = 8; max_quota_cells = 16; root_quota = 128 }
+
+type t = {
+  cfg : config;
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  core : Core_segment.t;
+  vp : Vp.t;
+  volume : Volume.t;
+  quota : Quota_cell.t;
+  page_frame : Page_frame.t;
+  signals : Upward_signal.t;
+  segment : Segment.t;
+  known : Known_segment.t;
+  address_space : Address_space.t;
+  user_process : User_process.t;
+  directory : Directory.t;
+  gate : Gate.t;
+  name_space : Name_space.t;
+  fault_dispatch : Fault_dispatch.t;
+  aim_audit : Aim.Audit.t;
+  mutable started : bool;
+  mutable denials : int;
+}
+
+let root_subject =
+  { Directory.s_principal = { Acl.user = "root"; project = "sys" };
+    s_label = Aim.Label.system_low;
+    s_trusted = true }
+
+let subject_of (p : User_process.proc) =
+  { Directory.s_principal = p.User_process.principal;
+    s_label = p.User_process.label;
+    s_trusted = p.User_process.trusted }
+
+(* The gate name-plate: the live analogue of the entry-point census.
+   User gates admit ring 4 and above; administrative gates only rings
+   0-1 (the Answering Service's trusted process). *)
+let gate_table =
+  [ (* file system, user callable *)
+    ("hcs_$initiate", 5); ("hcs_$terminate_noname", 5); ("hcs_$fs_search", 5);
+    ("hcs_$make_seg", 5); ("hcs_$append_branch", 5); ("hcs_$append_branchx", 5);
+    ("hcs_$delentry_file", 5); ("hcs_$star_list", 5); ("hcs_$status_long", 5);
+    ("hcs_$status_minf", 5); ("hcs_$set_acl", 5); ("hcs_$delete_acl_entries", 5);
+    ("hcs_$list_acl", 5); ("hcs_$get_quota", 5); ("hcs_$quota_move", 5);
+    ("hcs_$truncate_seg", 5); ("hcs_$set_max_length", 5);
+    ("hcs_$fs_get_path_name", 5); ("hcs_$get_uid", 5);
+    (* processes and synchronisation, user callable *)
+    ("hcs_$block", 5); ("hcs_$wakeup", 5); ("hcs_$read_events", 5);
+    ("hcs_$get_time", 5); ("hcs_$level_get", 5); ("hcs_$level_set", 5);
+    ("hcs_$get_authorization", 5); ("hcs_$get_usage_values", 5);
+    ("hcs_$proc_info", 5); ("hcs_$set_timer", 5); ("hcs_$reset_timer", 5);
+    (* administrative, rings 0-1 only *)
+    ("hphcs_$create_proc", 1); ("hphcs_$destroy_proc", 1);
+    ("hphcs_$set_quota", 1); ("hphcs_$quota_reload", 1);
+    ("hphcs_$shutdown", 1); ("hphcs_$reclassify", 1);
+    ("hphcs_$set_process_authorization", 1); ("hphcs_$wire_seg", 1);
+    ("hphcs_$deactivate_seg", 1); ("phcs_$ring0_peek", 1);
+    ("phcs_$set_kst_attributes", 1); ("hphcs_$syserr_log", 1) ]
+
+let rec boot_internal ?previous_disk cfg =
+  let machine =
+    Hw.Machine.create ~disk_packs:cfg.disk_packs
+      ~records_per_pack:cfg.records_per_pack ?disk:previous_disk cfg.hw
+  in
+  let meter = Meter.create () in
+  let tracer = Tracer.create () in
+  let aim_audit = Aim.Audit.create () in
+  let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
+  let vp = Vp.create ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps in
+  let volume = Volume.create ~machine ~meter ~tracer in
+  let quota =
+    Quota_cell.create ~machine ~meter ~tracer ~core ~volume
+      ~max_cells:cfg.max_quota_cells
+  in
+  let page_frame =
+    Page_frame.create ~machine ~meter ~tracer ~core ~volume ~quota
+      ~use_cleaner_daemon:cfg.use_cleaner_daemon
+  in
+  let signals = Upward_signal.create ~meter in
+  (* A new incarnation resumes its uid supply above everything already
+     on disk. *)
+  let uid_start =
+    match previous_disk with
+    | Some _ -> Volume.rebuild_locator volume
+    | None -> 0
+  in
+  let uid_supply = Ids.generator ~start:uid_start () in
+  let segment =
+    Segment.create ~machine ~meter ~tracer ~core ~volume ~quota ~page_frame
+      ~signals ~ast_slots:cfg.ast_slots ~pt_words:cfg.pt_words ~uid_supply
+  in
+  let known =
+    Known_segment.create ~machine ~meter ~tracer ~segment
+      ~first_user_segno:cfg.hw.Hw.Hw_config.system_segno_split
+  in
+  let address_space =
+    Address_space.create ~machine ~meter ~tracer ~core ~segment ~known
+      ~max_spaces:cfg.max_processes
+  in
+  let user_process =
+    User_process.create ~machine ~meter ~tracer ~known ~address_space ~segment
+      ~vp ~policy:cfg.scheduler ~state_pack:(cfg.disk_packs - 1)
+  in
+  let directory =
+    Directory.create ~machine ~meter ~tracer ~segment ~quota ~volume ~known
+      ~audit:aim_audit
+  in
+  let gate = Gate.create ~meter ~tracer ~signals ~directory in
+  List.iter (fun (g, ring) -> Gate.define gate ~name:g ~max_ring:ring)
+    gate_table;
+  let name_space = Name_space.create ~meter ~tracer ~gate ~directory in
+  let fault_dispatch =
+    Fault_dispatch.create ~meter ~tracer ~page_frame ~known ~address_space
+      ~gate
+  in
+  (match previous_disk with
+  | None ->
+      ignore
+        (Directory.create_root directory ~caller:Registry.gate
+           ~quota_limit:cfg.root_quota)
+  | Some _ -> Directory.restore directory ~caller:Registry.gate);
+  (* Permanently bound virtual processors. *)
+  User_process.bind_scheduler_daemon user_process ~vp_id:0;
+  if cfg.use_cleaner_daemon then
+    Vp.bind vp ~vp_id:1 ~name:Registry.page_frame_manager
+      ~step:(Page_frame.cleaner_step page_frame);
+  let first_user_vp = 2 in
+  let user_vp_ids =
+    List.init (min cfg.user_vps (cfg.n_vps - first_user_vp)) (fun i ->
+        first_user_vp + i)
+  in
+  User_process.bind_user_vps user_process ~vp_ids:user_vp_ids;
+  (* The system address space, on every physical processor. *)
+  Array.iter (Address_space.install_system_dbr address_space)
+    machine.Hw.Machine.cpus;
+  Core_segment.freeze core;
+  let t =
+    { cfg; machine; meter; tracer; core; vp; volume; quota; page_frame;
+      signals; segment; known; address_space; user_process; directory; gate;
+      name_space; fault_dispatch; aim_audit; started = false; denials = 0 }
+  in
+  User_process.set_interpreter user_process (interpreter t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* The workload interpreter: executes one action of a user process. *)
+
+and interpreter t (p : User_process.proc) : User_process.interp_outcome =
+  let action_base = 500 in
+  if p.User_process.pc >= Array.length p.User_process.program then
+    User_process.Finished action_base
+  else
+    let subject = subject_of p in
+    let ring = p.User_process.ring in
+    let deny () =
+      t.denials <- t.denials + 1;
+      User_process.Did action_base
+    in
+    match p.User_process.program.(p.User_process.pc) with
+    | Workload.Terminate -> User_process.Finished action_base
+    | Workload.Compute ns -> User_process.Did (max ns action_base)
+    | Workload.Touch { seg_reg; pageno; offset; write } -> (
+        let segno = p.User_process.regs.(seg_reg) in
+        if segno < 0 then
+          User_process.Failed ("touch through empty register", action_base)
+        else
+          let virt = Hw.Addr.of_page ~segno ~pageno ~offset in
+          let access = if write then Hw.Fault.Write else Hw.Fault.Read in
+          let rec attempt n =
+            if n > 12 then
+              User_process.Failed ("unresolvable fault loop", action_base)
+            else
+              match
+                Hw.Cpu.translate t.cfg.hw t.machine.Hw.Machine.mem
+                  p.User_process.vcpu virt access
+              with
+              | Ok abs ->
+                  if write then
+                    Hw.Phys_mem.write t.machine.Hw.Machine.mem abs
+                      ((p.User_process.pid * 1000) + pageno + 1)
+                  else ignore (Hw.Phys_mem.read t.machine.Hw.Machine.mem abs);
+                  User_process.Did action_base
+              | Error fault -> (
+                  match
+                    Fault_dispatch.handle t.fault_dispatch
+                      ~proc:p.User_process.pid fault
+                  with
+                  | Fault_dispatch.Retry -> attempt (n + 1)
+                  | Fault_dispatch.Wait (ec, v) ->
+                      User_process.Blocked_page (ec, v, action_base)
+                  | Fault_dispatch.Error msg ->
+                      User_process.Failed (msg, action_base))
+          in
+          attempt 0)
+    | Workload.Initiate { path; reg } -> (
+        match Name_space.initiate t.name_space ~subject ~ring ~path with
+        | Error (`No_access | `Bad_path) ->
+            p.User_process.regs.(reg) <- -1;
+            deny ()
+        | Ok target ->
+            let segno =
+              Known_segment.make_known t.known ~caller:Registry.gate
+                ~proc:p.User_process.pid ~uid:target.Directory.t_uid
+                ~cell:target.Directory.t_cell ~mode:target.Directory.t_mode
+                ~ring
+            in
+            p.User_process.regs.(reg) <- segno;
+            User_process.Did action_base)
+    | Workload.Terminate_seg { seg_reg } ->
+        let segno = p.User_process.regs.(seg_reg) in
+        if segno >= 0 then begin
+          Address_space.disconnect t.address_space ~caller:Registry.gate
+            ~proc:p.User_process.pid ~segno;
+          Known_segment.terminate t.known ~caller:Registry.gate
+            ~proc:p.User_process.pid ~segno;
+          p.User_process.regs.(seg_reg) <- -1
+        end;
+        User_process.Did action_base
+    | Workload.Create_file { dir; name } -> (
+        match with_parent t ~subject ~ring ~path:(dir ^ ">" ^ name) with
+        | None -> deny ()
+        | Some (dir_uid, leaf) -> (
+            match
+              gate_call t ~ring "hcs_$append_branch" (fun () ->
+                  Directory.create_entry t.directory ~caller:Registry.gate
+                    ~subject ~dir_uid ~name:leaf ~kind:Directory.K_segment
+                    ~acl:
+                      [ Acl.entry p.User_process.principal.Acl.user Acl.rw;
+                        Acl.entry "*" Acl.r ]
+                    ~label:p.User_process.label)
+            with
+            | Some (Ok _) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.Create_dir { parent; name } -> (
+        match with_parent t ~subject ~ring ~path:(parent ^ ">" ^ name) with
+        | None -> deny ()
+        | Some (dir_uid, leaf) -> (
+            match
+              gate_call t ~ring "hcs_$append_branchx" (fun () ->
+                  Directory.create_entry t.directory ~caller:Registry.gate
+                    ~subject ~dir_uid ~name:leaf ~kind:Directory.K_directory
+                    ~acl:[ Acl.entry p.User_process.principal.Acl.user Acl.rwe ]
+                    ~label:p.User_process.label)
+            with
+            | Some (Ok _) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.Delete { path } -> (
+        match with_parent t ~subject ~ring ~path with
+        | None -> deny ()
+        | Some (dir_uid, leaf) -> (
+            match
+              gate_call t ~ring "hcs_$delentry_file" (fun () ->
+                  Directory.delete_entry t.directory ~caller:Registry.gate
+                    ~subject ~dir_uid ~name:leaf)
+            with
+            | Some (Ok ()) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.Set_quota { path; pages } -> (
+        match with_parent t ~subject ~ring ~path with
+        | None -> deny ()
+        | Some (dir_uid, leaf) -> (
+            match
+              gate_call t ~ring "hcs_$quota_move" (fun () ->
+                  Directory.set_quota t.directory ~caller:Registry.gate
+                    ~subject ~dir_uid ~name:leaf ~limit:pages)
+            with
+            | Some (Ok ()) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.Set_acl { path; user; read; write } -> (
+        match with_parent t ~subject ~ring ~path with
+        | None -> deny ()
+        | Some (dir_uid, leaf) -> (
+            let acl =
+              [ Acl.entry user { Acl.read; write; execute = false };
+                Acl.entry p.User_process.principal.Acl.user Acl.rw ]
+            in
+            match
+              gate_call t ~ring "hcs_$set_acl" (fun () ->
+                  Directory.set_acl t.directory ~caller:Registry.gate ~subject
+                    ~dir_uid ~name:leaf ~acl)
+            with
+            | Some (Ok ()) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.List_dir { path } -> (
+        let resolve () =
+          match Name_space.components path with
+          | [] -> Some (Directory.root_uid t.directory)
+          | _ -> (
+              match
+                Name_space.resolve_parent t.name_space ~subject ~ring ~path
+              with
+              | Error `Bad_path -> None
+              | Ok (dir_uid, leaf) -> (
+                  match
+                    Directory.search t.directory ~caller:Registry.gate ~subject
+                      ~dir_uid ~name:leaf
+                  with
+                  | `Found uid -> Some uid
+                  | `No_entry -> None))
+        in
+        match resolve () with
+        | None -> deny ()
+        | Some dir_uid -> (
+            match
+              gate_call t ~ring "hcs_$star_list" (fun () ->
+                  Directory.list_names t.directory ~caller:Registry.gate
+                    ~subject ~dir_uid)
+            with
+            | Some (Ok _) -> User_process.Did action_base
+            | _ -> deny ()))
+    | Workload.Execute { seg_reg; entry } -> (
+        let segno = p.User_process.regs.(seg_reg) in
+        if segno < 0 then
+          User_process.Failed ("execute through empty register", action_base)
+        else begin
+          let state =
+            match p.User_process.isa with
+            | Some st -> st
+            | None ->
+                let st = Hw.Isa.init ~segno ~entry in
+                p.User_process.isa <- Some st;
+                st
+          in
+          (* Retire a burst of instructions per dispatch step. *)
+          let burst = 16 in
+          let rec run n cost =
+            if n >= burst then User_process.Again cost
+            else
+              match
+                Hw.Isa.step t.cfg.hw t.machine.Hw.Machine.mem
+                  p.User_process.vcpu state
+              with
+              | Hw.Isa.Ok c -> run (n + 1) (cost + c)
+              | Hw.Isa.Halt c ->
+                  p.User_process.isa <- None;
+                  User_process.Did (cost + c)
+              | Hw.Isa.Illegal msg ->
+                  p.User_process.isa <- None;
+                  User_process.Failed (msg, cost + action_base)
+              | Hw.Isa.Fault fault -> (
+                  match
+                    Fault_dispatch.handle t.fault_dispatch
+                      ~proc:p.User_process.pid fault
+                  with
+                  | Fault_dispatch.Retry -> run n cost
+                  | Fault_dispatch.Wait (ec, v) ->
+                      User_process.Blocked_page (ec, v, cost + action_base)
+                  | Fault_dispatch.Error msg ->
+                      p.User_process.isa <- None;
+                      User_process.Failed (msg, cost + action_base))
+          in
+          run 0 0
+        end)
+    | Workload.Await_ec { ec; value } ->
+        let event = User_process.user_eventcount t.user_process ec in
+        if Sync.Eventcount.read event >= value then User_process.Did action_base
+        else User_process.Blocked_user (event, value, action_base)
+    | Workload.Advance_ec { ec } ->
+        let event = User_process.user_eventcount t.user_process ec in
+        ignore
+          (gate_call t ~ring "hcs_$wakeup" (fun () ->
+               Sync.Eventcount.advance event));
+        User_process.Did action_base
+
+and gate_call : 'a. t -> ring:int -> string -> (unit -> 'a) -> 'a option =
+ fun t ~ring gate_name f ->
+  match Gate.call t.gate ~name:gate_name ~caller_ring:ring f with
+  | Ok v -> Some v
+  | Error (`No_gate | `Ring_violation) -> None
+
+and with_parent t ~subject ~ring ~path =
+  match Name_space.resolve_parent t.name_space ~subject ~ring ~path with
+  | Ok (dir_uid, leaf) -> Some (dir_uid, leaf)
+  | Error `Bad_path -> None
+
+let boot cfg = boot_internal cfg
+
+let shutdown t =
+  if not (User_process.all_done t.user_process) then
+    failwith "Kernel.shutdown: processes still running";
+  Directory.persist t.directory ~caller:Registry.gate;
+  List.iter
+    (fun slot -> Segment.deactivate t.segment ~caller:Registry.gate ~slot)
+    (Segment.active_slots t.segment);
+  List.iter
+    (fun (cell, _, _) ->
+      Quota_cell.unregister t.quota ~caller:Registry.gate cell)
+    (Quota_cell.registered t.quota)
+
+let reboot cfg ~from =
+  boot_internal ~previous_disk:from.machine.Hw.Machine.disk cfg
+
+(* ------------------------------------------------------------------ *)
+
+let machine t = t.machine
+let meter t = t.meter
+let tracer t = t.tracer
+let core t = t.core
+let vp t = t.vp
+let volume t = t.volume
+let quota t = t.quota
+let page_frame t = t.page_frame
+let segment t = t.segment
+let known t = t.known
+let address_space t = t.address_space
+let user_process t = t.user_process
+let directory t = t.directory
+let gate t = t.gate
+let name_space t = t.name_space
+let signals t = t.signals
+let aim_audit t = t.aim_audit
+let config t = t.cfg
+
+let admin_parent t ~path =
+  match
+    Name_space.resolve_parent t.name_space ~subject:root_subject ~ring:1 ~path
+  with
+  | Ok v -> v
+  | Error `Bad_path -> failwith (Printf.sprintf "bad path %S" path)
+
+let mkdir t ~path ~acl ~label =
+  let dir_uid, leaf = admin_parent t ~path in
+  match
+    Gate.call t.gate ~name:"hcs_$append_branchx" ~caller_ring:1 (fun () ->
+        Directory.create_entry t.directory ~caller:Registry.gate
+          ~subject:root_subject ~dir_uid ~name:leaf
+          ~kind:Directory.K_directory ~acl ~label)
+  with
+  | Ok (Ok _) | Ok (Error `Name_duplicated) -> ()
+  | Ok (Error `No_access) -> failwith ("mkdir: no access: " ^ path)
+  | Ok (Error `Bad_label) -> failwith ("mkdir: bad label: " ^ path)
+  | Ok (Error `No_space) -> failwith ("mkdir: no space: " ^ path)
+  | Error _ -> failwith "mkdir: gate failure"
+
+let create_file t ~path ~acl ~label =
+  let dir_uid, leaf = admin_parent t ~path in
+  match
+    Gate.call t.gate ~name:"hcs_$append_branch" ~caller_ring:1 (fun () ->
+        Directory.create_entry t.directory ~caller:Registry.gate
+          ~subject:root_subject ~dir_uid ~name:leaf ~kind:Directory.K_segment
+          ~acl ~label)
+  with
+  | Ok (Ok _) -> ()
+  | Ok (Error `Name_duplicated) -> ()
+  | _ -> failwith ("create_file: failed: " ^ path)
+
+let set_quota t ~path ~limit =
+  let dir_uid, leaf = admin_parent t ~path in
+  match
+    Gate.call t.gate ~name:"hphcs_$set_quota" ~caller_ring:1 (fun () ->
+        Directory.set_quota t.directory ~caller:Registry.gate
+          ~subject:root_subject ~dir_uid ~name:leaf ~limit)
+  with
+  | Ok (Ok ()) -> ()
+  | Ok (Error `Has_children) -> failwith ("set_quota: has children: " ^ path)
+  | Ok (Error `Over_quota) -> failwith ("set_quota: over quota: " ^ path)
+  | _ -> failwith ("set_quota: failed: " ^ path)
+
+let quota_usage t ~path =
+  let dir_uid, leaf = admin_parent t ~path in
+  Directory.quota_usage t.directory ~caller:Registry.gate ~dir_uid ~name:leaf
+
+let load_program t ~path words =
+  let target =
+    match
+      Name_space.initiate t.name_space ~subject:root_subject ~ring:1 ~path
+    with
+    | Ok target -> target
+    | Error _ -> failwith ("load_program: cannot initiate " ^ path)
+  in
+  let slot =
+    match
+      Segment.activate t.segment ~caller:Registry.gate
+        ~uid:target.Directory.t_uid ~cell:target.Directory.t_cell
+    with
+    | Ok slot -> slot
+    | Error _ -> failwith "load_program: cannot activate"
+  in
+  List.iteri
+    (fun i word ->
+      match
+        Segment.write_word t.segment ~caller:Registry.gate ~slot
+          ~pageno:(i / Hw.Addr.page_size)
+          ~offset:(i mod Hw.Addr.page_size)
+          word
+      with
+      | Ok () -> ()
+      | Error _ -> failwith "load_program: write failed")
+    words
+
+let spawn t ?(principal = { Acl.user = "user"; project = "proj" })
+    ?(label = Aim.Label.system_low) ?(trusted = false) ?(ring = 5) ~pname
+    program =
+  User_process.create_process t.user_process ~caller:Registry.gate ~pname
+    ~principal ~label ~trusted ~ring ~program
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Vp.start t.vp
+  end
+
+let run ?until ?max_events t =
+  start t;
+  Hw.Machine.run ?until ?max_events t.machine
+
+let run_to_completion ?(max_events = 2_000_000) t =
+  run ~max_events t;
+  User_process.all_done t.user_process
+
+let now t = Hw.Machine.now t.machine
+let denials t = t.denials
+
+let dependency_audit t =
+  Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
+
+let pp_report ppf t =
+  Format.fprintf ppf "Kernel/Multics after %d simulated us@." (now t / 1000);
+  Format.fprintf ppf "  processes: %d completed, %d failed, %d denials@."
+    (User_process.completed t.user_process)
+    (User_process.failed t.user_process)
+    t.denials;
+  Format.fprintf ppf
+    "  paging: %d faults, %d reads, %d writes, %d evictions (%d zero \
+     reclaims, %d inline)@."
+    (Page_frame.faults_served t.page_frame)
+    (Page_frame.page_reads t.page_frame)
+    (Page_frame.page_writes t.page_frame)
+    (Page_frame.evictions t.page_frame)
+    (Page_frame.zero_reclaims t.page_frame)
+    (Page_frame.inline_evictions t.page_frame);
+  Format.fprintf ppf
+    "  segments: %d activations, %d deactivations, %d relocations, %d grows@."
+    (Segment.activations t.segment)
+    (Segment.deactivations t.segment)
+    (Segment.relocations t.segment)
+    (Segment.grows t.segment);
+  Format.fprintf ppf "  signals: %d raised; full packs: %d@."
+    (Upward_signal.total_raised t.signals)
+    (Volume.full_pack_exceptions t.volume);
+  Format.fprintf ppf
+    "  vps: %d dispatches, %d switches, %d wakeup-waiting saves@."
+    (Vp.dispatches t.vp) (Vp.context_switches t.vp)
+    (Vp.wakeup_waiting_saves t.vp);
+  Format.fprintf ppf "  gates: %d defined (%d user-callable), %d calls@."
+    (Gate.registered t.gate) (Gate.user_callable t.gate)
+    (Gate.calls_total t.gate);
+  Format.fprintf ppf "  kernel time by manager:@.";
+  List.iter
+    (fun (manager, ns) ->
+      Format.fprintf ppf "    %-28s %8d us@." manager (ns / 1000))
+    (Meter.by_manager t.meter)

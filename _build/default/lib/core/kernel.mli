@@ -1,0 +1,119 @@
+(** Kernel/Multics: the assembled system.
+
+    [boot] builds the machine and every manager bottom-up in dependency
+    order (the OCaml module graph mirrors the paper's lattice — this
+    file can only see downward), creates the root directory, defines the
+    gates, binds the permanent virtual processors (scheduler daemon,
+    page-cleaning daemon) and installs the workload interpreter.
+
+    Examples and benches drive the system through this interface:
+    create directories and processes, [run] the event loop, read the
+    statistics, audit the dependency structure. *)
+
+type config = {
+  hw : Multics_hw.Hw_config.t;
+  disk_packs : int;
+  records_per_pack : int;
+  core_frames : int;  (** frames reserved for core segments *)
+  n_vps : int;  (** fixed number of virtual processors *)
+  user_vps : int;  (** of which this many multiplex user processes *)
+  ast_slots : int;
+  pt_words : int;  (** maximum pages per activated segment *)
+  max_processes : int;
+  max_quota_cells : int;
+  scheduler : Scheduler.policy;
+  use_cleaner_daemon : bool;
+  root_quota : int;  (** pages in the root quota cell *)
+}
+
+val default_config : config
+(** 2 CPUs, 256 frames (32 wired), 4 packs, 6 VPs (4 user), round-robin. *)
+
+val small_config : config
+(** A cramped machine for tests: 64 frames, tiny packs. *)
+
+type t
+
+val boot : config -> t
+
+val shutdown : t -> unit
+(** Orderly shutdown: persist the directory hierarchy into its backing
+    segments, deactivate every active segment (flushing all pages to
+    their records) and write the quota cells back to their VTOC
+    entries.  Requires every process to have finished.  The disk then
+    contains the complete system state. *)
+
+val reboot : config -> from:t -> t
+(** Boot a fresh incarnation over the previous system's disk packs:
+    rebuild the segment locator from the VTOCs, resume the uid supply
+    above everything on disk, and read the directory hierarchy back.
+    Files, ACLs, labels and quota survive; [from] should have been
+    {!shutdown} first. *)
+
+(* Component accessors. *)
+val machine : t -> Multics_hw.Machine.t
+val meter : t -> Meter.t
+val tracer : t -> Tracer.t
+val core : t -> Core_segment.t
+val vp : t -> Vp.t
+val volume : t -> Volume.t
+val quota : t -> Quota_cell.t
+val page_frame : t -> Page_frame.t
+val segment : t -> Segment.t
+val known : t -> Known_segment.t
+val address_space : t -> Address_space.t
+val user_process : t -> User_process.t
+val directory : t -> Directory.t
+val gate : t -> Gate.t
+val name_space : t -> Name_space.t
+val signals : t -> Upward_signal.t
+val aim_audit : t -> Multics_aim.Audit.t
+val config : t -> config
+
+val root_subject : Directory.subject
+(** The system administrator: trusted, system-low. *)
+
+val subject_of : User_process.proc -> Directory.subject
+
+(* Administrative file-system helpers (run as root through gates). *)
+val mkdir : t -> path:string -> acl:Acl.t -> label:Multics_aim.Label.t -> unit
+(** Raises [Failure] on error; idempotent if the directory exists. *)
+
+val create_file :
+  t -> path:string -> acl:Acl.t -> label:Multics_aim.Label.t -> unit
+
+val set_quota : t -> path:string -> limit:int -> unit
+val quota_usage : t -> path:string -> (int * int) option
+
+val load_program :
+  t -> path:string -> Multics_hw.Word.t list -> unit
+(** Write assembled machine words into the file at [path] (as the
+    administrator), for later [Workload.Execute].  The code lives in an
+    ordinary segment: executing it takes the same faults as data. *)
+
+val spawn :
+  t -> ?principal:Acl.principal -> ?label:Multics_aim.Label.t ->
+  ?trusted:bool -> ?ring:int -> pname:string -> Workload.program -> int
+(** Create a ready user process; returns its pid. *)
+
+val start : t -> unit
+(** Begin dispatching virtual processors. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** [start] if needed, then drain the event queue. *)
+
+val run_to_completion : ?max_events:int -> t -> bool
+(** Run until every process is done or the event queue empties; [true]
+    when all processes completed. *)
+
+val now : t -> int
+
+val denials : t -> int
+(** Access denials absorbed by workload actions (the process continues
+    with an empty register). *)
+
+val dependency_audit : t -> Multics_depgraph.Conformance.t
+(** Observed cross-manager calls vs. the declared graph of {!Registry}. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable statistics block. *)

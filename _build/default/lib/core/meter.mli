@@ -1,0 +1,27 @@
+(** Accumulates the simulated cost of kernel work performed during one
+    dispatch step, and per-manager totals for the benches.
+
+    The event-driven machine advances the clock between steps; kernel
+    code that runs "inline" during a step charges the meter, and the
+    dispatcher folds the accumulated charge into the step's duration. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> manager:string -> Cost.language -> int -> unit
+(** Add [Cost.scale lang ns] to the pending step cost and to the
+    manager's total. *)
+
+val charge_raw : t -> manager:string -> int -> unit
+(** Charge without language scaling (e.g. pure waiting). *)
+
+val take_pending : t -> int
+(** Return and reset the cost accumulated since the last call. *)
+
+val pending : t -> int
+val total : t -> int
+val by_manager : t -> (string * int) list
+(** Sorted by manager name. *)
+
+val reset : t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  meter : Meter.t;
+  tracer : Tracer.t;
+  gate : Gate.t;
+  directory : Directory.t;
+  mutable search_count : int;
+}
+
+let name = Registry.name_space
+
+let create ~meter ~tracer ~gate ~directory =
+  { meter; tracer; gate; directory; search_count = 0 }
+
+let components path =
+  String.split_on_char '>' path |> List.filter (fun c -> c <> "")
+
+(* One kernel search through the gate. *)
+let search t ~subject ~ring ~dir_uid ~component =
+  t.search_count <- t.search_count + 1;
+  (* The user-ring walker is a small, simple program. *)
+  Meter.charge t.meter ~manager:name Cost.Pl1 (Cost.kernel_call / 2);
+  Tracer.call t.tracer ~from:name ~to_:Registry.gate;
+  match
+    Gate.call t.gate ~name:"hcs_$fs_search" ~caller_ring:ring (fun () ->
+        Directory.search t.directory ~caller:Registry.gate ~subject ~dir_uid
+          ~name:component)
+  with
+  | Ok result -> result
+  | Error `No_gate | Error `Ring_violation -> `No_entry
+
+let resolve_parent t ~subject ~ring ~path =
+  match List.rev (components path) with
+  | [] -> Error `Bad_path
+  | leaf :: rev_parents ->
+      let parents = List.rev rev_parents in
+      let rec walk dir_uid = function
+        | [] -> Ok (dir_uid, leaf)
+        | component :: rest -> (
+            match search t ~subject ~ring ~dir_uid ~component with
+            | `Found uid -> walk uid rest
+            | `No_entry -> Error `Bad_path)
+      in
+      walk (Directory.root_uid t.directory) parents
+
+let initiate t ~subject ~ring ~path =
+  match resolve_parent t ~subject ~ring ~path with
+  | Error `Bad_path -> Error `Bad_path
+  | Ok (dir_uid, leaf) -> (
+      Tracer.call t.tracer ~from:name ~to_:Registry.gate;
+      match
+        Gate.call t.gate ~name:"hcs_$initiate" ~caller_ring:ring (fun () ->
+            Directory.initiate_target t.directory ~caller:Registry.gate
+              ~subject ~dir_uid ~name:leaf)
+      with
+      | Ok (Ok target) -> Ok target
+      | Ok (Error `No_access) -> Error `No_access
+      | Error `No_gate | Error `Ring_violation -> Error `No_access)
+
+let search_calls t = t.search_count

@@ -1,0 +1,36 @@
+(** The user-ring name manager (Bratt's extraction).
+
+    Pathname expansion does not need kernel protection: this module runs
+    conceptually in the user ring and walks a tree name one component at
+    a time through the kernel's single-directory search gate.  Thanks to
+    mythical identifiers the walk never learns whether the intervening
+    directories exist; only the final initiation answers, and then only
+    with "found" or "no access" (paper pp. 27-28).
+
+    Multics path syntax: components separated by [>]; a leading [>]
+    names the root. *)
+
+type t
+
+val create :
+  meter:Meter.t -> tracer:Tracer.t -> gate:Gate.t -> directory:Directory.t ->
+  t
+
+val components : string -> string list
+(** [">a>b>c" -> ["a"; "b"; "c"]]; tolerates a missing leading [>]. *)
+
+val resolve_parent :
+  t -> subject:Directory.subject -> ring:int -> path:string ->
+  (Ids.uid * string, [ `Bad_path ]) result
+(** Walk to the parent of the final component; returns (directory uid —
+    possibly mythical — and the leaf name). *)
+
+val initiate :
+  t -> subject:Directory.subject -> ring:int -> path:string ->
+  (Directory.target, [ `No_access | `Bad_path ]) result
+(** Full resolution for use: walk, then ask the kernel for the target.
+    Nonexistence and inaccessibility are indistinguishable. *)
+
+val search_calls : t -> int
+(** Gate crossings spent on search — the price of extraction, measured
+    by the name-manager bench. *)

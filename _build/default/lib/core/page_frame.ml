@@ -1,0 +1,395 @@
+module Hw = Multics_hw
+module Sync = Multics_sync
+
+type frame_entry = {
+  mutable used_by : int;  (* ptw_abs, or -1 when free *)
+  mutable record_handle : int;  (* -1 when the page has no disk record *)
+  mutable quota_cell : Quota_cell.handle;
+  mutable pinned : bool;  (* page in transit; not evictable *)
+}
+
+(* A page table registered by the segment manager: where its PTWs live,
+   which VTOC entry holds its file map, and which quota cell pays for
+   its pages. *)
+type pt_info = {
+  pt_base : Hw.Addr.abs;
+  pt_words : int;
+  home_pack : int;
+  home_index : int;
+  cell : Quota_cell.handle;
+}
+
+type transit = { ec : Sync.Eventcount.t; expected : int }
+
+type t = {
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  volume : Volume.t;
+  quota : Quota_cell.t;
+  frames : frame_entry array;
+  frame_region : Core_segment.region;
+  core : Core_segment.t;
+  mutable free : int list;
+  mutable free_count : int;
+  mutable clock_hand : int;
+  transits : (int, transit) Hashtbl.t;
+  mutable page_tables : pt_info list;
+  frees_ec : Sync.Eventcount.t;
+  cleaner : Sync.Eventcount.t;
+  use_cleaner_daemon : bool;
+  low_water : int;
+  high_water : int;
+  mutable faults_served : int;
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable evictions : int;
+  mutable zero_reclaims : int;
+  mutable inline_evictions : int;
+  mutable pages_cleaned : int;
+}
+
+let name = Registry.page_frame_manager
+let lang = Cost.Pl1
+
+let charge t ns = Meter.charge t.meter ~manager:name lang ns
+
+let entry t ~caller ns =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  charge t (Cost.kernel_call + ns)
+
+let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon =
+  let n = Core_segment.first_reserved_frame core in
+  assert (n > 0);
+  let frame_region = Core_segment.alloc core ~name:"frame_table" ~words:n in
+  { machine; meter; tracer; volume; quota;
+    frames =
+      Array.init n (fun _ ->
+          { used_by = -1; record_handle = -1; quota_cell = Quota_cell.no_cell;
+            pinned = false });
+    frame_region; core;
+    free = List.init n (fun i -> i);
+    free_count = n; clock_hand = 0; transits = Hashtbl.create 32;
+    page_tables = [];
+    frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ();
+    cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ();
+    use_cleaner_daemon;
+    low_water = max 2 (n / 16);
+    high_water = max 4 (n / 8);
+    faults_served = 0; page_reads = 0; page_writes = 0; evictions = 0;
+    zero_reclaims = 0; inline_evictions = 0; pages_cleaned = 0 }
+
+let n_frames t = Array.length t.frames
+let free_frames t = t.free_count
+
+let iter_used t f =
+  Array.iteri
+    (fun frame e -> if e.used_by >= 0 then f ~frame ~ptw_abs:e.used_by)
+    t.frames
+
+let mirror t frame =
+  (* One word per frame in the wired frame table: owning PTW address, or
+     0 when free. *)
+  let e = t.frames.(frame) in
+  Core_segment.write t.core t.frame_region frame
+    (if e.used_by < 0 then 0 else e.used_by)
+
+let mem t = t.machine.Hw.Machine.mem
+
+let lookup_pt t ptw_abs =
+  List.find_opt
+    (fun pt -> ptw_abs >= pt.pt_base && ptw_abs < pt.pt_base + pt.pt_words)
+    t.page_tables
+
+let register_page_table t ~caller ~pt_base ~pt_words ~home_pack ~home_index
+    ~cell =
+  entry t ~caller Cost.ptw_update;
+  t.page_tables <-
+    { pt_base; pt_words; home_pack; home_index; cell }
+    :: List.filter (fun pt -> pt.pt_base <> pt_base) t.page_tables
+
+let unregister_page_table t ~caller ~pt_base =
+  entry t ~caller Cost.ptw_update;
+  t.page_tables <- List.filter (fun pt -> pt.pt_base <> pt_base) t.page_tables
+
+let release_frame t frame =
+  let e = t.frames.(frame) in
+  e.used_by <- -1;
+  e.record_handle <- -1;
+  e.quota_cell <- Quota_cell.no_cell;
+  e.pinned <- false;
+  t.free <- frame :: t.free;
+  t.free_count <- t.free_count + 1;
+  mirror t frame;
+  Sync.Eventcount.advance t.frees_ec
+
+(* Evict the page occupying [frame].  The paper's page-removal
+   algorithm: scan the content; all-zero pages lose their record and
+   credit their quota cell; dirty pages are written back; clean pages
+   just drop. *)
+let evict_frame t frame =
+  let e = t.frames.(frame) in
+  assert (e.used_by >= 0 && not e.pinned);
+  let ptw_abs = e.used_by in
+  let ptw = Hw.Ptw.read (mem t) ptw_abs in
+  charge t Cost.frame_scan_zero;
+  t.evictions <- t.evictions + 1;
+  if Hw.Phys_mem.frame_is_zero (mem t) frame then begin
+    (* Zero reclamation: the page reverts to an unallocated flag in the
+       file map, the record is freed and the quota cell credited — the
+       accounting update the paper calls out as a confinement hazard. *)
+    t.zero_reclaims <- t.zero_reclaims + 1;
+    if e.record_handle >= 0 then
+      Volume.free_page_record t.volume ~caller:name
+        ~pack:(Hw.Disk.pack_of_handle e.record_handle)
+        ~record:(Hw.Disk.record_of_handle e.record_handle);
+    Quota_cell.uncharge t.quota ~caller:name e.quota_cell 1;
+    (match lookup_pt t ptw_abs with
+    | Some pt ->
+        Volume.set_file_map_entry t.volume ~caller:name ~pack:pt.home_pack
+          ~index:pt.home_index
+          ~pageno:(ptw_abs - pt.pt_base)
+          Hw.Disk.unallocated
+    | None -> ());
+    Hw.Ptw.write (mem t) ptw_abs Hw.Ptw.unallocated_ptw
+  end
+  else begin
+    assert (e.record_handle >= 0);
+    if ptw.Hw.Ptw.modified then begin
+      t.page_writes <- t.page_writes + 1;
+      Volume.write_page t.volume ~caller:name ~handle:e.record_handle
+        (Hw.Phys_mem.read_frame (mem t) frame)
+    end;
+    Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:e.record_handle)
+  end;
+  charge t Cost.ptw_update;
+  release_frame t frame
+
+(* One sweep of the clock hand; returns the chosen victim. *)
+let clock_pick t =
+  let n = Array.length t.frames in
+  let rec scan steps forced =
+    if steps > 2 * n then
+      if forced then None
+      else scan 0 true (* second pass: take the first evictable frame *)
+    else begin
+      let i = t.clock_hand in
+      t.clock_hand <- (t.clock_hand + 1) mod n;
+      charge t Cost.replacement_scan;
+      let e = t.frames.(i) in
+      if e.used_by < 0 || e.pinned then scan (steps + 1) forced
+      else
+        let ptw = Hw.Ptw.read (mem t) e.used_by in
+        if ptw.Hw.Ptw.locked then scan (steps + 1) forced
+        else if ptw.Hw.Ptw.used && not forced then begin
+          Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.used = false };
+          scan (steps + 1) forced
+        end
+        else Some i
+    end
+  in
+  scan 0 false
+
+let evict_one t ~caller =
+  entry t ~caller 0;
+  match clock_pick t with
+  | None -> false
+  | Some frame ->
+      evict_frame t frame;
+      true
+
+let acquire_frame t ~inline =
+  let rec loop attempts =
+    match t.free with
+    | frame :: rest ->
+        t.free <- rest;
+        t.free_count <- t.free_count - 1;
+        charge t Cost.frame_alloc;
+        Some frame
+    | [] ->
+        if attempts > 0 then None
+        else begin
+          if inline then t.inline_evictions <- t.inline_evictions + 1;
+          if evict_one t ~caller:name then loop (attempts + 1) else None
+        end
+  in
+  let result = loop 0 in
+  if t.use_cleaner_daemon && t.free_count < t.low_water then
+    Sync.Eventcount.advance t.cleaner;
+  result
+
+type service_outcome = Wait of Sync.Eventcount.t * int | Retry
+
+let join_transit transit = Wait (transit.ec, transit.expected)
+
+let service_missing_page t ~caller ~ptw_abs =
+  entry t ~caller Cost.fault_entry;
+  t.faults_served <- t.faults_served + 1;
+  match Hashtbl.find_opt t.transits ptw_abs with
+  | Some transit -> join_transit transit
+  | None ->
+      let ptw = Hw.Ptw.read (mem t) ptw_abs in
+      if ptw.Hw.Ptw.present then Retry
+      else begin
+        match acquire_frame t ~inline:true with
+        | None ->
+            (* Every frame pinned or in transit: wait for any release. *)
+            Wait (t.frees_ec, Sync.Eventcount.read t.frees_ec + 1)
+        | Some frame ->
+            let record_handle = ptw.Hw.Ptw.arg in
+            let cell =
+              match lookup_pt t ptw_abs with
+              | Some pt -> pt.cell
+              | None -> Quota_cell.no_cell
+            in
+            let e = t.frames.(frame) in
+            e.used_by <- ptw_abs;
+            e.record_handle <- record_handle;
+            e.quota_cell <- cell;
+            e.pinned <- true;
+            mirror t frame;
+            let ec =
+              Sync.Eventcount.create
+                ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs) ()
+            in
+            let transit = { ec; expected = 1 } in
+            Hashtbl.replace t.transits ptw_abs transit;
+            charge t Cost.disk_io_setup;
+            t.page_reads <- t.page_reads + 1;
+            Hw.Machine.schedule t.machine
+              ~delay:(Volume.io_latency_ns t.volume) (fun () ->
+                let img =
+                  Volume.read_page t.volume ~caller:name ~handle:record_handle
+                in
+                Hw.Phys_mem.write_frame (mem t) frame img;
+                (* Unlock the descriptor and notify all waiters. *)
+                Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+                e.pinned <- false;
+                Hashtbl.remove t.transits ptw_abs;
+                Sync.Eventcount.advance ec);
+            join_transit transit
+      end
+
+let service_locked_descriptor t ~caller ~ptw_abs =
+  entry t ~caller Cost.kernel_call;
+  match Hashtbl.find_opt t.transits ptw_abs with
+  | Some transit -> join_transit transit
+  | None -> Retry
+
+let add_zero_page t ~caller ~ptw_abs ~record_handle ~quota_cell =
+  entry t ~caller (Cost.frame_alloc + Cost.frame_zero);
+  match acquire_frame t ~inline:true with
+  | None -> failwith "Page_frame.add_zero_page: no evictable frame"
+  | Some frame ->
+      Hw.Phys_mem.zero_frame (mem t) frame;
+      let e = t.frames.(frame) in
+      e.used_by <- ptw_abs;
+      e.record_handle <- record_handle;
+      e.quota_cell <- quota_cell;
+      e.pinned <- false;
+      mirror t frame;
+      Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+      charge t Cost.ptw_update
+
+let fault_in_sync t ~caller ~ptw_abs =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  let ptw = Hw.Ptw.read (mem t) ptw_abs in
+  if ptw.Hw.Ptw.unallocated then begin
+    charge t (Cost.ptw_update / 4);
+    `Unallocated
+  end
+  else if ptw.Hw.Ptw.present then begin
+    charge t (Cost.ptw_update / 4);
+    `Ok
+  end
+  else if Hashtbl.mem t.transits ptw_abs then begin
+    (* An asynchronous read is in flight; pay the latency and let the
+       pending completion finish the job. *)
+    Meter.charge_raw t.meter ~manager:name (Volume.io_latency_ns t.volume);
+    `Ok
+  end
+  else begin
+    charge t Cost.fault_entry;
+    match acquire_frame t ~inline:true with
+    | None -> failwith "Page_frame.fault_in_sync: no evictable frame"
+    | Some frame ->
+        let record_handle = ptw.Hw.Ptw.arg in
+        let cell =
+          match lookup_pt t ptw_abs with
+          | Some pt -> pt.cell
+          | None -> Quota_cell.no_cell
+        in
+        let img = Volume.read_page t.volume ~caller:name ~handle:record_handle in
+        Hw.Phys_mem.write_frame (mem t) frame img;
+        let e = t.frames.(frame) in
+        e.used_by <- ptw_abs;
+        e.record_handle <- record_handle;
+        e.quota_cell <- cell;
+        e.pinned <- false;
+        mirror t frame;
+        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+        t.page_reads <- t.page_reads + 1;
+        Meter.charge_raw t.meter ~manager:name (Volume.io_latency_ns t.volume);
+        `Ok
+  end
+
+let flush_page t ~caller ~ptw_abs =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  let ptw = Hw.Ptw.read (mem t) ptw_abs in
+  if not ptw.Hw.Ptw.present then begin
+    (* Scanning an absent PTW is one descriptor read. *)
+    charge t (Cost.ptw_update / 4);
+    `Not_present
+  end
+  else begin
+    charge t Cost.kernel_call;
+    let frame = ptw.Hw.Ptw.arg in
+    let e = t.frames.(frame) in
+    let record = e.record_handle in
+    let zero = Hw.Phys_mem.frame_is_zero (mem t) frame in
+    evict_frame t frame;
+    if zero then `Zero_reclaimed else `Written_to record
+  end
+
+let cleaner_ec t = t.cleaner
+
+(* The cleaning daemon is a write-behind engine: it writes dirty,
+   not-recently-used pages back to their records and clears the
+   modified bit, WITHOUT freeing the frames.  Fault-time eviction then
+   usually finds clean victims and never stalls on a write — the work
+   moved to a process that runs "at a low priority, when the processor
+   might otherwise have been idle" (Huber's design). *)
+let cleaner_step t _vp =
+  ignore (Meter.take_pending t.meter);
+  let cleaned = ref 0 in
+  Array.iteri
+    (fun frame e ->
+      if !cleaned < 4 && e.used_by >= 0 && (not e.pinned) && e.record_handle >= 0
+      then begin
+        let ptw = Hw.Ptw.read (mem t) e.used_by in
+        if ptw.Hw.Ptw.modified && not ptw.Hw.Ptw.used then begin
+          Volume.write_page t.volume ~caller:name ~handle:e.record_handle
+            (Hw.Phys_mem.read_frame (mem t) frame);
+          (* The daemon's own low-priority time, metered separately so
+             fault-path accounting stays clean. *)
+          Meter.charge_raw t.meter ~manager:"page_cleaner_daemon"
+            (Volume.io_latency_ns t.volume / 2);
+          Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.modified = false };
+          t.page_writes <- t.page_writes + 1;
+          t.pages_cleaned <- t.pages_cleaned + 1;
+          incr cleaned
+        end
+      end)
+    t.frames;
+  let cost = Cost.kernel_call + Meter.take_pending t.meter in
+  if !cleaned = 0 then
+    Vp.Wait (t.cleaner, Sync.Eventcount.read t.cleaner + 1, cost)
+  else Vp.Continue cost
+
+let faults_served t = t.faults_served
+let page_reads t = t.page_reads
+let page_writes t = t.page_writes
+let evictions t = t.evictions
+let zero_reclaims t = t.zero_reclaims
+let inline_evictions t = t.inline_evictions
+let pages_cleaned t = t.pages_cleaned

@@ -1,0 +1,102 @@
+(** The page frame manager.
+
+    Owns the pageable frames of primary memory (everything below the
+    core-segment reservation).  Services missing-page faults with the
+    descriptor lock-bit protocol: the hardware set the PTW lock bit when
+    it took the fault; this manager starts the disk read, and every
+    process that touches the locked descriptor meanwhile waits on the
+    transit eventcount, which the completion handler advances — "the
+    page frame manager unlocks the descriptor and notifies all processes
+    that have been waiting for this event" (paper p.20).
+
+    The page-removal algorithm is the paper's: a clock scan over the
+    used bits, and a content scan of candidate pages so that pages of
+    zeros are stored as file-map flags rather than records — with the
+    quota credit that implies.  A dedicated page-cleaning daemon (one of
+    the permanently bound virtual processors, after Huber's
+    multi-process design) keeps a pool of free frames at low priority;
+    when the pool is empty at fault time the eviction runs inline. *)
+
+type t
+
+val create :
+  machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t ->
+  core:Core_segment.t -> volume:Volume.t -> quota:Quota_cell.t ->
+  use_cleaner_daemon:bool -> t
+(** Manages frames [0 .. Core_segment.first_reserved_frame - 1]. *)
+
+val n_frames : t -> int
+val free_frames : t -> int
+
+val iter_used : t -> (frame:int -> ptw_abs:Multics_hw.Addr.abs -> unit) -> unit
+(** Visit every in-use frame (for the invariant checker). *)
+
+val register_page_table :
+  t -> caller:string -> pt_base:Multics_hw.Addr.abs -> pt_words:int ->
+  home_pack:int -> home_index:int -> cell:Quota_cell.handle -> unit
+(** The segment manager announces each active segment's page table: its
+    PTW range, the VTOC entry holding its file map, and the quota cell
+    its pages charge — the static association that replaces the legacy
+    upward search. *)
+
+val unregister_page_table :
+  t -> caller:string -> pt_base:Multics_hw.Addr.abs -> unit
+
+type service_outcome =
+  | Wait of Multics_sync.Eventcount.t * int
+      (** the faulting virtual processor must await this eventcount *)
+  | Retry  (** condition already resolved; re-execute the reference *)
+
+val service_missing_page :
+  t -> caller:string -> ptw_abs:Multics_hw.Addr.abs -> service_outcome
+(** Handle a missing-page fault on the descriptor at [ptw_abs]. *)
+
+val service_locked_descriptor :
+  t -> caller:string -> ptw_abs:Multics_hw.Addr.abs -> service_outcome
+(** Another processor's fault service holds the descriptor; join its
+    transit wait. *)
+
+val add_zero_page :
+  t -> caller:string -> ptw_abs:Multics_hw.Addr.abs -> record_handle:int ->
+  quota_cell:Quota_cell.handle -> unit
+(** The quota-fault path's final step: materialise a fresh zero page in
+    a frame, remembering the record (already allocated by the segment
+    manager) and the quota cell to credit if the page is later reclaimed
+    as zeros. *)
+
+val fault_in_sync :
+  t -> caller:string -> ptw_abs:Multics_hw.Addr.abs ->
+  [ `Ok | `Unallocated ]
+(** Bring a page in synchronously, charging the full I/O latency to the
+    caller's step.  Used for kernel-resident objects (directory
+    segments) that kernel code must read while executing on a bound
+    virtual processor; user pages always go through the asynchronous
+    {!service_missing_page} path. *)
+
+val evict_one : t -> caller:string -> bool
+(** Run the clock algorithm once; [false] when nothing is evictable. *)
+
+val flush_page :
+  t -> caller:string -> ptw_abs:Multics_hw.Addr.abs ->
+  [ `Written_to of int | `Zero_reclaimed | `Not_present ]
+(** Force a page out (segment deactivation / relocation).  Returns where
+    it went: its record handle, or reclaimed as zeros (record freed,
+    quota credited). *)
+
+val cleaner_step : t -> Vp.vp -> Vp.run_result
+(** Step function for the page-cleaning daemon VP. *)
+
+val cleaner_ec : t -> Multics_sync.Eventcount.t
+
+(* Statistics for the benches. *)
+val faults_served : t -> int
+val page_reads : t -> int
+val page_writes : t -> int
+val evictions : t -> int
+val zero_reclaims : t -> int
+val inline_evictions : t -> int
+(** Evictions that had to run at fault time because the daemon's pool
+    was empty — the memory-cramped case the paper warns about. *)
+
+val pages_cleaned : t -> int
+(** Dirty pages written behind by the cleaning daemon. *)

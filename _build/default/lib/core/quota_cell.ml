@@ -1,0 +1,169 @@
+module Hw = Multics_hw
+
+type handle = int
+
+let no_cell = -1
+
+type cell = {
+  mutable home_pack : int;
+  mutable home_index : int;
+  mutable limit : int;
+  mutable used : int;
+  mutable live : bool;
+}
+
+type t = {
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  core : Core_segment.t;
+  volume : Volume.t;
+  cache_region : Core_segment.region;  (* 2 words per cell: limit, used *)
+  cells : cell array;
+  mutable n_live : int;
+  mutable refusals : int;
+}
+
+let name = Registry.quota_cell_manager
+
+let entry t ~caller base =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  Meter.charge t.meter ~manager:name (Registry.language name)
+    (Cost.kernel_call + base)
+
+let create ~machine ~meter ~tracer ~core ~volume ~max_cells =
+  assert (max_cells > 0);
+  let cache_region =
+    Core_segment.alloc core ~name:"quota_cell_cache" ~words:(2 * max_cells)
+  in
+  { machine; meter; tracer; core; volume; cache_region;
+    cells =
+      Array.init max_cells (fun _ ->
+          { home_pack = 0; home_index = 0; limit = 0; used = 0; live = false });
+    n_live = 0; refusals = 0 }
+
+let get t h =
+  if h = no_cell then invalid_arg "Quota_cell: operation needs a real cell";
+  if h < 0 || h >= Array.length t.cells || not t.cells.(h).live then
+    invalid_arg (Printf.sprintf "Quota_cell: stale handle %d" h);
+  t.cells.(h)
+
+let mirror t h =
+  (* Keep the core-segment image in step so the cache is "really" in
+     wired memory. *)
+  let c = t.cells.(h) in
+  Core_segment.write t.core t.cache_region (2 * h) c.limit;
+  Core_segment.write t.core t.cache_region ((2 * h) + 1) c.used
+
+let register t ~caller ~pack ~vtoc_index ~limit ~used =
+  entry t ~caller Cost.quota_check;
+  let rec find i =
+    if i >= Array.length t.cells then
+      failwith "Quota_cell.register: cell cache full"
+    else if not t.cells.(i).live then i
+    else find (i + 1)
+  in
+  (* Re-registration of an already-cached cell returns the existing
+     handle. *)
+  let existing = ref None in
+  Array.iteri
+    (fun i c ->
+      if c.live && c.home_pack = pack && c.home_index = vtoc_index then
+        existing := Some i)
+    t.cells;
+  match !existing with
+  | Some h -> h
+  | None ->
+      let h = find 0 in
+      let c = t.cells.(h) in
+      c.home_pack <- pack;
+      c.home_index <- vtoc_index;
+      c.limit <- limit;
+      c.used <- used;
+      c.live <- true;
+      t.n_live <- t.n_live + 1;
+      mirror t h;
+      h
+
+let lookup t ~pack ~vtoc_index =
+  let found = ref None in
+  Array.iteri
+    (fun i c ->
+      if c.live && c.home_pack = pack && c.home_index = vtoc_index then
+        found := Some i)
+    t.cells;
+  !found
+
+let charge t ~caller h pages =
+  entry t ~caller Cost.quota_check;
+  if h = no_cell then Ok ()
+  else
+    let c = get t h in
+    if c.used + pages > c.limit then begin
+      t.refusals <- t.refusals + 1;
+      Error `Over_quota
+    end
+    else begin
+      c.used <- c.used + pages;
+      mirror t h;
+      Ok ()
+    end
+
+let uncharge t ~caller h pages =
+  entry t ~caller Cost.quota_check;
+  if h <> no_cell then begin
+    let c = get t h in
+    c.used <- max 0 (c.used - pages);
+    mirror t h
+  end
+
+let used t h = (get t h).used
+let limit t h = (get t h).limit
+
+let set_limit t ~caller h v =
+  entry t ~caller Cost.quota_check;
+  let c = get t h in
+  c.limit <- v;
+  mirror t h
+
+let move_quota t ~caller ~from ~to_ pages =
+  entry t ~caller (2 * Cost.quota_check);
+  let src = get t from and dst = get t to_ in
+  if src.limit - pages < src.used then begin
+    t.refusals <- t.refusals + 1;
+    Error `Over_quota
+  end
+  else begin
+    src.limit <- src.limit - pages;
+    dst.limit <- dst.limit + pages;
+    mirror t from;
+    mirror t to_;
+    Ok ()
+  end
+
+let sync t ~caller h =
+  entry t ~caller Cost.vtoc_write;
+  let c = get t h in
+  let vtoc =
+    Volume.vtoc t.volume ~caller:name ~pack:c.home_pack ~index:c.home_index
+  in
+  vtoc.Hw.Disk.quota <- Some { Hw.Disk.limit = c.limit; used = c.used }
+
+let unregister t ~caller h =
+  sync t ~caller h;
+  let c = get t h in
+  c.live <- false;
+  t.n_live <- t.n_live - 1
+
+let relocated t h ~pack ~vtoc_index =
+  let c = get t h in
+  c.home_pack <- pack;
+  c.home_index <- vtoc_index
+
+let registered t =
+  Array.to_list t.cells
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter_map (fun (i, c) ->
+         if c.live then Some (i, c.used, c.limit) else None)
+
+let over_quota_refusals t = t.refusals

@@ -1,0 +1,84 @@
+module Dg = Multics_depgraph
+
+let core_segment_manager = "core_segment_manager"
+let virtual_processor_manager = "virtual_processor_manager"
+let disk_pack_manager = "disk_pack_manager"
+let page_frame_manager = "page_frame_manager"
+let quota_cell_manager = "quota_cell_manager"
+let segment_manager = "segment_manager"
+let known_segment_manager = "known_segment_manager"
+let address_space_manager = "address_space_manager"
+let user_process_manager = "user_process_manager"
+let directory_manager = "directory_manager"
+let gate = "gate"
+let name_space = "name_space"
+
+let manager_names =
+  [ core_segment_manager; virtual_processor_manager; disk_pack_manager;
+    page_frame_manager; quota_cell_manager; segment_manager;
+    known_segment_manager; address_space_manager; user_process_manager;
+    directory_manager; gate ]
+
+let declared_graph () =
+  let g = Dg.Graph.create ~name:"Kernel/Multics implementation" () in
+  let edge from to_ kind = Dg.Graph.add_edge g ~from ~to_ kind in
+  let open Dg.Dep_kind in
+  (* Structural dependencies. *)
+  edge virtual_processor_manager core_segment_manager Map;
+  edge disk_pack_manager core_segment_manager Map;
+  edge page_frame_manager core_segment_manager Map;
+  edge quota_cell_manager core_segment_manager Map;
+  edge segment_manager core_segment_manager Map;
+  edge address_space_manager core_segment_manager Map;
+  (* Component / call dependencies, bottom-up. *)
+  edge page_frame_manager disk_pack_manager Component;
+  edge page_frame_manager virtual_processor_manager Explicit_call;
+  (* "the page frame manager calling the wait primitive of the virtual
+     processor manager" *)
+  edge page_frame_manager quota_cell_manager Explicit_call;
+  (* the page-removal algorithm credits the quota cell when it reclaims
+     a page of zeros *)
+  edge quota_cell_manager disk_pack_manager Component;
+  edge segment_manager disk_pack_manager Component;
+  edge segment_manager page_frame_manager Component;
+  edge segment_manager quota_cell_manager Explicit_call;
+  edge known_segment_manager segment_manager Component;
+  edge address_space_manager known_segment_manager Component;
+  edge address_space_manager segment_manager Component;
+  edge user_process_manager address_space_manager Component;
+  edge user_process_manager known_segment_manager Component;
+  edge user_process_manager segment_manager Component;
+  edge user_process_manager virtual_processor_manager Explicit_call;
+  edge directory_manager segment_manager Component;
+  edge directory_manager segment_manager Map;
+  edge directory_manager quota_cell_manager Component;
+  edge directory_manager known_segment_manager Explicit_call;
+  (* The gate layer dispatches user calls, faults and upward signals
+     into every manager. *)
+  List.iter
+    (fun m -> if m <> gate then edge gate m Explicit_call)
+    manager_names;
+  (* The user-domain name manager reaches the kernel only through
+     gates. *)
+  edge name_space gate Explicit_call;
+  (* The certification apparatus (paper box 6): the invariant checker
+     and the salvager read manager state from outside the kernel. *)
+  edge "invariants" disk_pack_manager Explicit_call;
+  edge "salvager" disk_pack_manager Explicit_call;
+  edge "salvager" directory_manager Explicit_call;
+  edge "salvager" quota_cell_manager Explicit_call;
+  (* Blanket structural rules: programs and address spaces of kernel
+     modules live in core segments; every module above the virtual
+     processor manager is interpreted by it. *)
+  List.iter
+    (fun m ->
+      if m <> core_segment_manager then begin
+        edge m core_segment_manager Address_space;
+        edge m core_segment_manager Program;
+        if m <> virtual_processor_manager then
+          edge m virtual_processor_manager Interpreter
+      end)
+    manager_names;
+  g
+
+let language _ = Cost.Pl1

@@ -1,0 +1,32 @@
+(** The salvager.
+
+    Multics ran a salvager after every crash to reconcile the directory
+    hierarchy, the VTOCs and the quota accounts; the paper's reliability
+    argument ("many other operating system reliability failures should
+    not occur ... operational failures can be traced") assumes such a
+    tool exists.  This one walks the disk and the directory records,
+    reports inconsistencies, and repairs the repairable ones:
+
+    - {e stale entries}: a directory entry whose (pack, VTOC index) no
+      longer matches the segment's true home (a lost Segment_moved
+      signal) — repaired by repointing the entry;
+    - {e quota mismatches}: a cell whose count disagrees with the
+      allocated pages it controls — repaired by recomputing;
+    - {e orphan VTOC entries}: segments on disk that no directory names
+      (process-state segments of live processes are exempt) — reported;
+    - {e leaked records}: allocated records no file map references —
+      repaired by freeing. *)
+
+type kind = Stale_entry | Quota_mismatch | Orphan_vtoc | Leaked_record
+
+type finding = { f_kind : kind; f_detail : string; f_repairable : bool }
+
+val scan : Kernel.t -> finding list
+
+val repair : Kernel.t -> int
+(** Scan and fix everything repairable; returns how many findings were
+    repaired.  A second scan afterwards reports only orphans (which
+    need an operator's judgement). *)
+
+val kind_to_string : kind -> string
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,63 @@
+type policy =
+  | Fcfs
+  | Round_robin of { quantum : int }
+  | Multilevel of { levels : int; base_quantum : int }
+
+type t = {
+  pol : policy;
+  queues : int Queue.t array;  (* index 0 = highest priority *)
+  level_of : (int, int) Hashtbl.t;
+  mutable decisions : int;
+}
+
+let n_levels = function
+  | Fcfs | Round_robin _ -> 1
+  | Multilevel { levels; _ } -> max 1 levels
+
+let create pol =
+  { pol;
+    queues = Array.init (n_levels pol) (fun _ -> Queue.create ());
+    level_of = Hashtbl.create 16;
+    decisions = 0 }
+
+let policy t = t.pol
+
+let enqueue t pid =
+  Hashtbl.replace t.level_of pid 0;
+  Queue.add pid t.queues.(0)
+
+let requeue_preempted t pid =
+  let level =
+    match t.pol with
+    | Fcfs | Round_robin _ -> 0
+    | Multilevel { levels; _ } ->
+        let current = Option.value ~default:0 (Hashtbl.find_opt t.level_of pid) in
+        min (levels - 1) (current + 1)
+  in
+  Hashtbl.replace t.level_of pid level;
+  Queue.add pid t.queues.(level)
+
+let next t =
+  let rec scan i =
+    if i >= Array.length t.queues then None
+    else
+      match Queue.take_opt t.queues.(i) with
+      | Some pid ->
+          t.decisions <- t.decisions + 1;
+          Some pid
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let quantum_for t pid =
+  match t.pol with
+  | Fcfs -> max_int
+  | Round_robin { quantum } -> quantum
+  | Multilevel { base_quantum; _ } ->
+      let level = Option.value ~default:0 (Hashtbl.find_opt t.level_of pid) in
+      base_quantum * (1 lsl level)
+
+let ready_count t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let decisions t = t.decisions

@@ -1,0 +1,32 @@
+(** Level-2 scheduling policy (pluggable, for the scheduler ablation).
+
+    Chooses which ready user process next receives a virtual processor.
+    [Fcfs] never preempts; [Round_robin] rotates with a fixed quantum;
+    [Multilevel] is a Multics-flavoured foreground/background ladder —
+    a process that exhausts its quantum drops a level and later runs
+    with a longer quantum, interactive processes stay on top. *)
+
+type policy =
+  | Fcfs
+  | Round_robin of { quantum : int }  (** quantum in workload actions *)
+  | Multilevel of { levels : int; base_quantum : int }
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+val enqueue : t -> int -> unit
+(** A process becomes ready (first arrival or wakeup): top level. *)
+
+val requeue_preempted : t -> int -> unit
+(** The process exhausted its quantum: demote (multilevel) or rotate. *)
+
+val next : t -> int option
+(** Highest-priority ready process, removed from the queue. *)
+
+val quantum_for : t -> int -> int
+(** Quantum, in actions, the process should receive now. *)
+
+val ready_count : t -> int
+val decisions : t -> int

@@ -1,0 +1,363 @@
+module Hw = Multics_hw
+
+type ast_entry = {
+  mutable uid : Ids.uid;
+  mutable home_pack : int;
+  mutable home_index : int;
+  mutable cell : Quota_cell.handle;
+  mutable is_directory : bool;
+  mutable label : int;
+  mutable connections : Hw.Addr.abs list;  (* SDW locations *)
+  mutable live : bool;
+}
+
+type grow_error = [ `Over_quota | `No_space ]
+
+type t = {
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  core : Core_segment.t;
+  volume : Volume.t;
+  quota : Quota_cell.t;
+  page_frame : Page_frame.t;
+  signals : Upward_signal.t;
+  n_slots : int;
+  pt_words : int;
+  pt_region : Core_segment.region;  (* n_slots * pt_words PTWs *)
+  ast : ast_entry array;
+  uid_supply : unit -> Ids.uid;
+  mutable activations : int;
+  mutable deactivations : int;
+  mutable relocations : int;
+  mutable grows : int;
+}
+
+let name = Registry.segment_manager
+let lang = Cost.Pl1
+
+let charge t ns = Meter.charge t.meter ~manager:name lang ns
+
+let entry t ~caller ns =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  charge t (Cost.kernel_call + ns)
+
+let create ~machine ~meter ~tracer ~core ~volume ~quota ~page_frame ~signals
+    ~ast_slots ~pt_words ~uid_supply =
+  assert (ast_slots > 0 && pt_words > 0);
+  assert (pt_words <= Hw.Addr.max_pages_per_segment);
+  let pt_region =
+    Core_segment.alloc core ~name:"page_tables" ~words:(ast_slots * pt_words)
+  in
+  { machine; meter; tracer; core; volume; quota; page_frame; signals;
+    n_slots = ast_slots; pt_words; pt_region;
+    ast =
+      Array.init ast_slots (fun _ ->
+          { uid = Ids.of_int 0; home_pack = 0; home_index = 0;
+            cell = Quota_cell.no_cell; is_directory = false; label = 0;
+            connections = []; live = false });
+    uid_supply; activations = 0; deactivations = 0; relocations = 0;
+    grows = 0 }
+
+let ast_slots t = t.n_slots
+let pt_words t = t.pt_words
+let fresh_uid t = t.uid_supply ()
+let mem t = t.machine.Hw.Machine.mem
+
+let slot_entry t slot =
+  if slot < 0 || slot >= t.n_slots || not t.ast.(slot).live then
+    invalid_arg (Printf.sprintf "Segment: stale AST slot %d" slot);
+  t.ast.(slot)
+
+let pt_base t ~slot = Core_segment.abs_of t.pt_region (slot * t.pt_words)
+
+let ptw_abs t ~slot ~pageno =
+  if pageno < 0 || pageno >= t.pt_words then
+    invalid_arg "Segment.ptw_abs: page beyond table";
+  pt_base t ~slot + pageno
+
+let create_segment t ~caller ~pack ~is_directory ~label =
+  entry t ~caller Cost.vtoc_write;
+  let uid = t.uid_supply () in
+  let index =
+    Volume.create_segment t.volume ~caller:name ~uid ~pack ~is_directory
+      ~label
+  in
+  (uid, index)
+
+let find_active t ~uid =
+  let found = ref None in
+  Array.iteri
+    (fun i e -> if e.live && Ids.equal e.uid uid then found := Some i)
+    t.ast;
+  !found
+
+(* Sever every registered connection by faulting the SDWs (the trailer
+   walk).  The SDWs live in descriptor segments the address space
+   manager owns, but writing a fault bit through a registered location
+   is the segment manager's job, exactly as setfaults was in Multics. *)
+let sever_connections t e =
+  List.iter
+    (fun sdw_abs ->
+      let sdw = Hw.Sdw.read_at (mem t) sdw_abs in
+      Hw.Sdw.write_at (mem t) sdw_abs { sdw with Hw.Sdw.present = false };
+      charge t Cost.ptw_update)
+    e.connections;
+  e.connections <- []
+
+let build_page_table t slot (vtoc : Hw.Disk.vtoc_entry) =
+  for pageno = 0 to t.pt_words - 1 do
+    let handle = vtoc.Hw.Disk.file_map.(pageno) in
+    let ptw =
+      if handle >= 0 then Hw.Ptw.on_disk ~record:handle
+      else Hw.Ptw.unallocated_ptw
+    in
+    Hw.Ptw.write (mem t) (ptw_abs t ~slot ~pageno) ptw;
+    charge t (Cost.ptw_update / 8)
+  done
+
+let flush_slot t slot =
+  for pageno = 0 to t.pt_words - 1 do
+    ignore
+      (Page_frame.flush_page t.page_frame ~caller:name
+         ~ptw_abs:(ptw_abs t ~slot ~pageno))
+  done
+
+(* Update the VTOC file map from the final PTWs after a flush: pages
+   written back keep their records; zero-reclaimed pages were already
+   flagged by the page frame manager. *)
+let sync_file_map t slot e =
+  let vtoc =
+    Volume.vtoc t.volume ~caller:name ~pack:e.home_pack ~index:e.home_index
+  in
+  for pageno = 0 to t.pt_words - 1 do
+    let ptw = Hw.Ptw.read (mem t) (ptw_abs t ~slot ~pageno) in
+    if ptw.Hw.Ptw.valid then begin
+      let value =
+        if ptw.Hw.Ptw.unallocated then Hw.Disk.unallocated else ptw.Hw.Ptw.arg
+      in
+      if vtoc.Hw.Disk.file_map.(pageno) <> value then
+        Volume.set_file_map_entry t.volume ~caller:name ~pack:e.home_pack
+          ~index:e.home_index ~pageno value
+    end
+  done
+
+let deactivate_slot t slot =
+  let e = t.ast.(slot) in
+  assert e.live;
+  flush_slot t slot;
+  sync_file_map t slot e;
+  sever_connections t e;
+  Page_frame.unregister_page_table t.page_frame ~caller:name
+    ~pt_base:(pt_base t ~slot);
+  e.live <- false;
+  t.deactivations <- t.deactivations + 1
+
+let deactivate t ~caller ~slot =
+  entry t ~caller Cost.vtoc_write;
+  ignore (slot_entry t slot);
+  deactivate_slot t slot
+
+(* The new design can deactivate anything; victims are unconnected
+   slots, directories included — no hierarchy constraint. *)
+let find_slot t =
+  let free = ref None and victim = ref None in
+  Array.iteri
+    (fun i e ->
+      if not e.live then (if !free = None then free := Some i)
+      else if e.connections = [] && !victim = None then victim := Some i)
+    t.ast;
+  match !free with
+  | Some i -> Some i
+  | None -> (
+      match !victim with
+      | Some i ->
+          deactivate_slot t i;
+          Some i
+      | None -> None)
+
+let activate t ~caller ~uid ~cell =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  match find_active t ~uid with
+  | Some slot ->
+      (* Already active: an AST hash hit. *)
+      charge t (Cost.kernel_call / 2);
+      Ok slot
+  | None -> (
+      charge t (Cost.kernel_call + Cost.vtoc_read);
+      match Volume.locate t.volume ~uid with
+      | None -> Error `Gone
+      | Some (pack, index) -> (
+          match find_slot t with
+          | None -> Error `No_slot
+          | Some slot ->
+              let vtoc = Volume.vtoc t.volume ~caller:name ~pack ~index in
+              begin
+                let e = t.ast.(slot) in
+                e.uid <- uid;
+                e.home_pack <- pack;
+                e.home_index <- index;
+                e.cell <- cell;
+                e.is_directory <- vtoc.Hw.Disk.is_directory;
+                e.label <- vtoc.Hw.Disk.aim_label;
+                e.connections <- [];
+                e.live <- true;
+                build_page_table t slot vtoc;
+                Page_frame.register_page_table t.page_frame ~caller:name
+                  ~pt_base:(pt_base t ~slot) ~pt_words:t.pt_words
+                  ~home_pack:pack ~home_index:index ~cell;
+                t.activations <- t.activations + 1;
+                Ok slot
+              end))
+
+let active_slots t =
+  Array.to_list t.ast
+  |> List.mapi (fun i e -> (i, e))
+  |> List.filter_map (fun (i, e) -> if e.live then Some i else None)
+
+let slot_uid t ~slot = (slot_entry t slot).uid
+let slot_home t ~slot =
+  let e = slot_entry t slot in
+  (e.home_pack, e.home_index)
+
+let slot_label t ~slot = (slot_entry t slot).label
+let slot_is_directory t ~slot = (slot_entry t slot).is_directory
+
+let register_connection t ~caller ~slot ~sdw_abs =
+  entry t ~caller Cost.ptw_update;
+  let e = slot_entry t slot in
+  if not (List.mem sdw_abs e.connections) then
+    e.connections <- sdw_abs :: e.connections
+
+let unregister_connection t ~caller ~slot ~sdw_abs =
+  entry t ~caller Cost.ptw_update;
+  let e = slot_entry t slot in
+  e.connections <- List.filter (fun a -> a <> sdw_abs) e.connections
+
+(* Relocate the segment in [slot] to an emptier pack.  Raises the
+   Segment_moved upward signal on success. *)
+let relocate t slot =
+  let e = t.ast.(slot) in
+  match Volume.pick_emptier_pack t.volume ~except:e.home_pack with
+  | None -> Error `No_space
+  | Some to_pack -> (
+      (* Bring records up to date, then move them wholesale. *)
+      flush_slot t slot;
+      sync_file_map t slot e;
+      match
+        Volume.move_segment t.volume ~caller:name ~pack:e.home_pack
+          ~index:e.home_index ~to_pack
+      with
+      | Error `No_space -> Error `No_space
+      | Ok (new_pack, new_index, _moved) ->
+          sever_connections t e;
+          Page_frame.unregister_page_table t.page_frame ~caller:name
+            ~pt_base:(pt_base t ~slot);
+          e.home_pack <- new_pack;
+          e.home_index <- new_index;
+          let vtoc =
+            Volume.vtoc t.volume ~caller:name ~pack:new_pack ~index:new_index
+          in
+          build_page_table t slot vtoc;
+          Page_frame.register_page_table t.page_frame ~caller:name
+            ~pt_base:(pt_base t ~slot) ~pt_words:t.pt_words
+            ~home_pack:new_pack ~home_index:new_index ~cell:e.cell;
+          t.relocations <- t.relocations + 1;
+          Upward_signal.raise_signal t.signals ~from:name
+            (Upward_signal.Segment_moved
+               { uid = e.uid; new_pack; new_index });
+          Ok ())
+
+let grow t ~caller ~slot ~pageno =
+  entry t ~caller Cost.quota_check;
+  let e = slot_entry t slot in
+  if pageno < 0 || pageno >= t.pt_words then Error `No_space
+  else begin
+    t.grows <- t.grows + 1;
+    match Quota_cell.charge t.quota ~caller:name e.cell 1 with
+    | Error `Over_quota -> Error `Over_quota
+    | Ok () -> (
+        let try_alloc () =
+          Volume.alloc_page_record t.volume ~caller:name ~pack:e.home_pack
+        in
+        let alloc_result =
+          match try_alloc () with
+          | Ok record -> Ok record
+          | Error `Pack_full -> (
+              (* The full-pack exception: relocate and retry. *)
+              match relocate t slot with
+              | Error `No_space -> Error `No_space
+              | Ok () -> (
+                  match try_alloc () with
+                  | Ok record -> Ok record
+                  | Error `Pack_full -> Error `No_space))
+        in
+        match alloc_result with
+        | Error `No_space ->
+            Quota_cell.uncharge t.quota ~caller:name e.cell 1;
+            Error `No_space
+        | Ok record ->
+            let handle = Hw.Disk.handle ~pack:e.home_pack ~record in
+            Volume.set_file_map_entry t.volume ~caller:name ~pack:e.home_pack
+              ~index:e.home_index ~pageno handle;
+            Page_frame.add_zero_page t.page_frame ~caller:name
+              ~ptw_abs:(ptw_abs t ~slot ~pageno)
+              ~record_handle:handle ~quota_cell:e.cell;
+            Ok ())
+  end
+
+let kernel_touch t ~caller ~slot ~pageno ~write =
+  entry t ~caller 0;
+  ignore write;
+  let pa = ptw_abs t ~slot ~pageno in
+  match Page_frame.fault_in_sync t.page_frame ~caller:name ~ptw_abs:pa with
+  | `Ok -> Ok ()
+  | `Unallocated -> (
+      match grow t ~caller:name ~slot ~pageno with
+      | Ok () -> Ok ()
+      | Error e -> Error e)
+
+let with_frame t ~caller ~slot ~pageno ~write f =
+  match kernel_touch t ~caller ~slot ~pageno ~write with
+  | Error e -> Error e
+  | Ok () ->
+      let ptw = Hw.Ptw.read (mem t) (ptw_abs t ~slot ~pageno) in
+      assert ptw.Hw.Ptw.present;
+      if write then
+        Hw.Ptw.write (mem t) (ptw_abs t ~slot ~pageno)
+          { ptw with Hw.Ptw.modified = true; used = true };
+      Ok (f (Hw.Addr.frame_base ptw.Hw.Ptw.arg))
+
+let read_word t ~caller ~slot ~pageno ~offset =
+  with_frame t ~caller ~slot ~pageno ~write:false (fun base ->
+      Hw.Phys_mem.read (mem t) (base + offset))
+
+let write_word t ~caller ~slot ~pageno ~offset w =
+  with_frame t ~caller ~slot ~pageno ~write:true (fun base ->
+      Hw.Phys_mem.write (mem t) (base + offset) w)
+
+let delete_segment t ~caller ~pack ~index ~cell =
+  entry t ~caller Cost.vtoc_write;
+  let vtoc = Volume.vtoc t.volume ~caller:name ~pack ~index in
+  (match find_active t ~uid:(Ids.of_int vtoc.Hw.Disk.uid) with
+  | Some slot -> deactivate_slot t slot
+  | None -> ());
+  (* Credit the quota cell for every page the segment still charges. *)
+  let vtoc = Volume.vtoc t.volume ~caller:name ~pack ~index in
+  let allocated =
+    Array.fold_left
+      (fun acc v -> if v <> Hw.Disk.unallocated then acc + 1 else acc)
+      0 vtoc.Hw.Disk.file_map
+  in
+  if allocated > 0 then Quota_cell.uncharge t.quota ~caller:name cell allocated;
+  Volume.delete_segment t.volume ~caller:name ~pack ~index
+
+let delete_by_uid t ~caller ~uid ~cell =
+  match Volume.locate t.volume ~uid with
+  | None -> ()
+  | Some (pack, index) -> delete_segment t ~caller ~pack ~index ~cell
+
+let activations t = t.activations
+let deactivations t = t.deactivations
+let relocations t = t.relocations
+let grows t = t.grows

@@ -1,0 +1,35 @@
+module PMap = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type t = { mutable edges : int PMap.t; mutable total : int }
+
+let create () = { edges = PMap.empty; total = 0 }
+
+let call t ~from ~to_ =
+  if from <> to_ then begin
+    let count = Option.value ~default:0 (PMap.find_opt (from, to_) t.edges) in
+    t.edges <- PMap.add (from, to_) (count + 1) t.edges;
+    t.total <- t.total + 1
+  end
+
+let observed t =
+  PMap.bindings t.edges |> List.map (fun ((f, to_), c) -> (f, to_, c))
+
+let audit t ~declared =
+  let conf = Multics_depgraph.Conformance.create ~declared in
+  List.iter
+    (fun (from, to_, count) ->
+      for _ = 1 to count do
+        Multics_depgraph.Conformance.record_call conf ~from ~to_
+      done)
+    (observed t);
+  conf
+
+let calls t = t.total
+
+let reset t =
+  t.edges <- PMap.empty;
+  t.total <- 0

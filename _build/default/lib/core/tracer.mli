@@ -1,0 +1,26 @@
+(** Cross-manager call tracing.
+
+    Every call from one object manager into another is recorded here;
+    the kernel audit compares the observed edges against the declared
+    dependency graph (see {!Registry}).  This is the executable version
+    of the paper's integrity audit: an undeclared call edge is exactly
+    the kind of drift an auditor reading Kernel/Multics would have to
+    hunt for by hand. *)
+
+type t
+
+val create : unit -> t
+
+val call : t -> from:string -> to_:string -> unit
+(** Record one call edge. *)
+
+val observed : t -> (string * string * int) list
+
+val audit : t -> declared:Multics_depgraph.Graph.t ->
+  Multics_depgraph.Conformance.t
+(** Build a conformance report from everything recorded so far. *)
+
+val calls : t -> int
+(** Total cross-manager calls recorded. *)
+
+val reset : t -> unit

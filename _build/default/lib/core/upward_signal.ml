@@ -1,0 +1,29 @@
+type payload =
+  | Segment_moved of { uid : Ids.uid; new_pack : int; new_index : int }
+
+type t = {
+  meter : Meter.t;
+  mutable queue : payload list;  (* newest first *)
+  mutable raised : int;
+}
+
+let create ~meter = { meter; queue = []; raised = 0 }
+
+let raise_signal t ~from payload =
+  Meter.charge t.meter ~manager:from Cost.Pl1 Cost.upward_signal;
+  t.queue <- payload :: t.queue;
+  t.raised <- t.raised + 1
+
+let drain t ~deliver =
+  let rec loop delivered =
+    match t.queue with
+    | [] -> delivered
+    | pending ->
+        t.queue <- [];
+        List.iter deliver (List.rev pending);
+        loop (delivered + List.length pending)
+  in
+  loop 0
+
+let pending t = List.length t.queue
+let total_raised t = t.raised

@@ -1,0 +1,32 @@
+(** Upward signalling without dependency.
+
+    The software mechanism of paper p.23: a lower-level manager that
+    discovers a condition only a higher-level manager can finish
+    handling "transfers control and arguments to a higher level module
+    without leaving behind any procedure activation records or other
+    unfinished business in expectation of a subsequent return of
+    control".
+
+    Here the raiser enqueues a signal record and returns normally — its
+    stack is clean.  The gate layer, on the way out of the kernel,
+    drains pending signals and delivers them to their target managers;
+    the interrupted user reference is then simply re-executed, exactly
+    as the paper's restored process "rereferences the segment". *)
+
+type payload =
+  | Segment_moved of { uid : Ids.uid; new_pack : int; new_index : int }
+      (** A full pack forced the segment to another pack; the directory
+          manager must update the corresponding directory entry. *)
+
+type t
+
+val create : meter:Meter.t -> t
+
+val raise_signal : t -> from:string -> payload -> unit
+
+val drain : t -> deliver:(payload -> unit) -> int
+(** Deliver pending signals oldest-first; returns how many were
+    delivered.  Signals raised during delivery are delivered too. *)
+
+val pending : t -> int
+val total_raised : t -> int

@@ -1,0 +1,152 @@
+module Hw = Multics_hw
+
+type t = {
+  machine : Hw.Machine.t;
+  meter : Meter.t;
+  tracer : Tracer.t;
+  locator : (int, int * int) Hashtbl.t;  (* uid -> (pack, vtoc index) *)
+  mutable full_pack_count : int;
+}
+
+let name = Registry.disk_pack_manager
+
+let entry t ~caller base_cost =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  Meter.charge t.meter ~manager:name (Registry.language name)
+    (Cost.kernel_call + base_cost)
+
+let create ~machine ~meter ~tracer =
+  { machine; meter; tracer; locator = Hashtbl.create 64; full_pack_count = 0 }
+
+let locate t ~uid = Hashtbl.find_opt t.locator (Ids.to_int uid)
+
+
+let disk t = t.machine.Hw.Machine.disk
+let n_packs t = Hw.Disk.n_packs (disk t)
+
+let rebuild_locator t =
+  Hashtbl.reset t.locator;
+  let max_uid = ref 0 in
+  let d = disk t in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    List.iter
+      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
+        Hashtbl.replace t.locator e.Hw.Disk.uid (pack, index);
+        max_uid := max !max_uid e.Hw.Disk.uid)
+      (Hw.Disk.vtoc_entries d ~pack)
+  done;
+  !max_uid
+let free_records t ~pack = Hw.Disk.free_records (disk t) ~pack
+
+let create_segment t ~caller ~uid ~pack ~is_directory ~label =
+  entry t ~caller Cost.vtoc_write;
+  let map = Array.make Hw.Addr.max_pages_per_segment Hw.Disk.unallocated in
+  let index =
+    Hw.Disk.create_vtoc_entry (disk t) ~pack
+      { Hw.Disk.uid = Ids.to_int uid; file_map = map; len_pages = 0;
+        is_directory; quota = None; aim_label = label }
+  in
+  Hashtbl.replace t.locator (Ids.to_int uid) (pack, index);
+  index
+
+(* File maps store 18-bit record handles (pack and record id), or the
+   negative flags [Hw.Disk.zero_page] / [Hw.Disk.unallocated]. *)
+
+let delete_segment t ~caller ~pack ~index =
+  entry t ~caller Cost.vtoc_write;
+  let entry_ = Hw.Disk.vtoc_entry (disk t) ~pack ~index in
+  Array.iter
+    (fun handle ->
+      if handle >= 0 then
+        Hw.Disk.free_record (disk t)
+          ~pack:(Hw.Disk.pack_of_handle handle)
+          ~record:(Hw.Disk.record_of_handle handle))
+    entry_.Hw.Disk.file_map;
+  Hashtbl.remove t.locator entry_.Hw.Disk.uid;
+  Hw.Disk.delete_vtoc_entry (disk t) ~pack ~index
+
+let vtoc t ~caller ~pack ~index =
+  entry t ~caller Cost.vtoc_read;
+  Hw.Disk.vtoc_entry (disk t) ~pack ~index
+
+let alloc_page_record t ~caller ~pack =
+  (* Record allocation is a free-list operation, not an I/O. *)
+  entry t ~caller Cost.frame_alloc;
+  match Hw.Disk.alloc_record (disk t) ~pack with
+  | record -> Ok record
+  | exception Hw.Disk.Pack_full _ ->
+      t.full_pack_count <- t.full_pack_count + 1;
+      Error `Pack_full
+
+let free_page_record t ~caller ~pack ~record =
+  entry t ~caller Cost.frame_alloc;
+  Hw.Disk.free_record (disk t) ~pack ~record
+
+let read_page t ~caller ~handle =
+  entry t ~caller Cost.disk_io_setup;
+  Hw.Disk.read_record (disk t)
+    ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle)
+
+let write_page t ~caller ~handle img =
+  entry t ~caller Cost.disk_io_setup;
+  Hw.Disk.write_record (disk t)
+    ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle)
+    img
+
+let io_latency_ns t = Hw.Disk.io_latency_ns (disk t)
+
+let pick_emptier_pack t ~except = Hw.Disk.emptiest_pack (disk t) ~except
+
+let move_segment t ~caller ~pack ~index ~to_pack =
+  let d = disk t in
+  let old_entry = Hw.Disk.vtoc_entry d ~pack ~index in
+  let n_records =
+    Array.fold_left
+      (fun acc r -> if r >= 0 then acc + 1 else acc)
+      0 old_entry.Hw.Disk.file_map
+  in
+  entry t ~caller (Cost.vtoc_write + (n_records * Cost.disk_io_setup));
+  if Hw.Disk.free_records d ~pack:to_pack < n_records then Error `No_space
+  else begin
+    (* Copy each allocated record; zero pages stay flags in the map. *)
+    let new_map =
+      Array.map
+        (fun handle ->
+          if handle < 0 then handle
+          else begin
+            let old_pack = Hw.Disk.pack_of_handle handle in
+            let old_record = Hw.Disk.record_of_handle handle in
+            let img = Hw.Disk.read_record d ~pack:old_pack ~record:old_record in
+            let new_record = Hw.Disk.alloc_record d ~pack:to_pack in
+            Hw.Disk.write_record d ~pack:to_pack ~record:new_record img;
+            Hw.Disk.free_record d ~pack:old_pack ~record:old_record;
+            Hw.Disk.handle ~pack:to_pack ~record:new_record
+          end)
+        old_entry.Hw.Disk.file_map
+    in
+    Hw.Disk.delete_vtoc_entry d ~pack ~index;
+    let new_index =
+      Hw.Disk.create_vtoc_entry d ~pack:to_pack
+        { old_entry with Hw.Disk.file_map = new_map }
+    in
+    Hashtbl.replace t.locator old_entry.Hw.Disk.uid (to_pack, new_index);
+    (* The record transfers take real time: charge the meter for the
+       overlapped copies. *)
+    Meter.charge_raw t.meter ~manager:name
+      (n_records * (io_latency_ns t / 4));
+    Ok (to_pack, new_index, n_records)
+  end
+
+let set_file_map_entry t ~caller ~pack ~index ~pageno value =
+  entry t ~caller Cost.vtoc_write;
+  let e = Hw.Disk.vtoc_entry (disk t) ~pack ~index in
+  e.Hw.Disk.file_map.(pageno) <- value;
+  let len = ref 0 in
+  Array.iteri
+    (fun i v -> if v <> Hw.Disk.unallocated then len := max !len (i + 1))
+    e.Hw.Disk.file_map;
+  e.Hw.Disk.len_pages <- !len
+
+let full_pack_exceptions t = t.full_pack_count

@@ -1,0 +1,73 @@
+(** The disk pack manager.
+
+    Wraps the simulated packs with the object semantics the kernel
+    needs: VTOC entries as segment homes, page-record allocation with
+    the full-pack exception, and whole-segment relocation to an emptier
+    pack ("all pages of a segment are kept on the same pack", paper
+    p.15).  Quota cells are persisted inside VTOC entries on behalf of
+    the quota cell manager. *)
+
+type t
+
+val create :
+  machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t -> t
+
+val n_packs : t -> int
+val free_records : t -> pack:int -> int
+
+val create_segment :
+  t -> caller:string -> uid:Ids.uid -> pack:int -> is_directory:bool ->
+  label:int -> int
+(** Make a VTOC entry; returns its index on [pack]. *)
+
+val delete_segment : t -> caller:string -> pack:int -> index:int -> unit
+(** Frees the segment's records and its VTOC entry. *)
+
+val rebuild_locator : t -> int
+(** Scan every pack's VTOC and rebuild the uid locator — the first step
+    of booting over a surviving disk.  Returns the largest uid seen, so
+    the new incarnation's uid supply can resume above it. *)
+
+val locate : t -> uid:Ids.uid -> (int * int) option
+(** Current (pack, VTOC index) of a segment, maintained across creation,
+    relocation and deletion.  This is how lower layers re-find a moved
+    segment without asking the directory manager. *)
+
+val vtoc : t -> caller:string -> pack:int -> index:int -> Multics_hw.Disk.vtoc_entry
+(** Raises [Not_found] for a stale (moved/deleted) VTOC address —
+    callers above the directory manager level should treat that as a
+    connection failure. *)
+
+val alloc_page_record :
+  t -> caller:string -> pack:int -> (int, [ `Pack_full ]) result
+
+val free_page_record : t -> caller:string -> pack:int -> record:int -> unit
+
+val read_page : t -> caller:string -> handle:int -> Multics_hw.Word.t array
+(** Read the record named by an 18-bit handle.  The caller accounts for
+    the I/O latency (the page frame manager overlaps it with waiting). *)
+
+val write_page :
+  t -> caller:string -> handle:int -> Multics_hw.Word.t array -> unit
+
+val io_latency_ns : t -> int
+
+val pick_emptier_pack : t -> except:int -> int option
+
+val move_segment :
+  t -> caller:string -> pack:int -> index:int -> to_pack:int ->
+  (int * int * int, [ `No_space ]) result
+(** Copy every record of the segment at [pack]/[index] onto [to_pack];
+    frees the old records and VTOC entry.  Returns (new pack, new VTOC
+    index, records moved).  The old VTOC entry disappears — addresses
+    held by directories above become stale until the upward signal
+    updates them. *)
+
+val set_file_map_entry :
+  t -> caller:string -> pack:int -> index:int -> pageno:int -> int -> unit
+(** Update one file-map slot (a record handle or a negative flag) and
+    recompute the entry's page count.  File maps store 18-bit record
+    handles so a page's record can live on any pack during relocation
+    transients. *)
+
+val full_pack_exceptions : t -> int

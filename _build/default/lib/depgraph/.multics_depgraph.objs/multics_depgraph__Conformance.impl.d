@@ -1,0 +1,1 @@
+lib/depgraph/conformance.ml: Dep_kind Format Graph List Map

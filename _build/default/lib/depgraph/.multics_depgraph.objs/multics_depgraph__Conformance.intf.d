@@ -1,0 +1,1 @@
+lib/depgraph/conformance.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/depgraph/dep_kind.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/depgraph/figures.ml: Dep_kind Graph List

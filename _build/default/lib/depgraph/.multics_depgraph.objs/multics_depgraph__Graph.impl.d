@@ -1,0 +1,1 @@
+lib/depgraph/graph.ml: Dep_kind Hashtbl List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/depgraph/graph.mli: Dep_kind

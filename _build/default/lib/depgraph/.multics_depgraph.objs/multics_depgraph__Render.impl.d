@@ -1,0 +1,1 @@
+lib/depgraph/render.ml: Dep_kind Format Graph List String

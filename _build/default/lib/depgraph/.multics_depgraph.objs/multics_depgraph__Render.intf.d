@@ -1,0 +1,1 @@
+lib/depgraph/render.mli: Format Graph

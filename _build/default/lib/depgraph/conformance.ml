@@ -1,0 +1,55 @@
+module PMap = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+type t = { declared : Graph.t; mutable calls : int PMap.t }
+
+let create ~declared = { declared; calls = PMap.empty }
+
+let record_call t ~from ~to_ =
+  if from <> to_ then
+    let count = match PMap.find_opt (from, to_) t.calls with
+      | Some c -> c
+      | None -> 0
+    in
+    t.calls <- PMap.add (from, to_) (count + 1) t.calls
+
+let observed t =
+  PMap.bindings t.calls |> List.map (fun ((f, to_), c) -> (f, to_, c))
+
+type violation = { v_from : string; v_to : string; v_count : int }
+
+let violations t =
+  observed t
+  |> List.filter_map (fun (from, to_, count) ->
+         if Graph.mem_edge t.declared ~from ~to_ then None
+         else Some { v_from = from; v_to = to_; v_count = count })
+
+let unexercised t =
+  Graph.edges t.declared
+  |> List.filter_map (fun (from, to_, ks) ->
+         let callable =
+           List.exists
+             (fun k -> k = Dep_kind.Component || k = Dep_kind.Explicit_call)
+             ks
+         in
+         if callable && not (PMap.mem (from, to_) t.calls) then Some (from, to_)
+         else None)
+
+let conforms t = violations t = []
+
+let report ppf t =
+  let obs = observed t in
+  Format.fprintf ppf "conformance: %d distinct call edges observed@."
+    (List.length obs);
+  match violations t with
+  | [] ->
+      Format.fprintf ppf "  all observed calls covered by declared dependencies@."
+  | vs ->
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "  VIOLATION: %s -> %s (%d calls) undeclared@."
+            v.v_from v.v_to v.v_count)
+        vs

@@ -1,0 +1,146 @@
+(* Module names follow the paper's figures. *)
+
+let dvc = "disk_volume_control"
+let fdc = "directory_control"
+let asc = "address_space_control"
+let sc = "segment_control"
+let pc = "page_control"
+let prc = "process_control"
+
+let fig2_superficial () =
+  let g = Graph.create ~name:"Figure 2: superficial dependency structure" () in
+  let edge from to_ = Graph.add_edge g ~from ~to_ Dep_kind.Explicit_call in
+  (* The nearly linear chain of the six large modules, top to bottom. *)
+  edge dvc fdc;
+  edge fdc asc;
+  edge asc sc;
+  edge sc pc;
+  edge pc prc;
+  (* The one obvious exception: the virtual-memory / processor-
+     multiplexing loop.  Page control gives the processor away on a
+     missing page; process control stores inactive process states in
+     segments. *)
+  Graph.add_edge g ~from:prc ~to_:sc Dep_kind.Explicit_call;
+  g
+
+let fig3_actual () =
+  let g = Graph.create ~name:"Figure 3: actual dependency structure" () in
+  let edge from to_ kind = Graph.add_edge g ~from ~to_ kind in
+  (* Figure 2's edges. *)
+  edge dvc fdc Dep_kind.Explicit_call;
+  edge fdc asc Dep_kind.Explicit_call;
+  edge asc sc Dep_kind.Explicit_call;
+  edge sc pc Dep_kind.Explicit_call;
+  edge pc prc Dep_kind.Explicit_call;
+  edge prc sc Dep_kind.Explicit_call;
+  (* (a) Missing pages: after capturing the global lock, page control
+     interpretively retranslates the faulting virtual address, which
+     requires knowing the format of — and trusting — the translation
+     tables maintained by segment control and address space control. *)
+  edge pc sc Dep_kind.Shared_data;
+  edge pc asc Dep_kind.Shared_data;
+  (* (b) Quota enforcement: page control locates the limit and count by
+     walking the active segment table links segment control maintains,
+     and segment control's deactivation policy is constrained by the
+     hierarchy shape directory control defines. *)
+  edge sc fdc Dep_kind.Shared_data;
+  (* (c) Full disk packs: segment control reads an address space control
+     data base to find the directory entry and updates it directly. *)
+  edge sc asc Dep_kind.Shared_data;
+  (* Modules depend on higher modules to contain their programs and
+     maps and represent their address spaces: page control code is
+     stored in segments; its address space comes from address space
+     control. *)
+  edge pc sc Dep_kind.Program;
+  edge pc asc Dep_kind.Address_space;
+  edge sc asc Dep_kind.Address_space;
+  edge prc asc Dep_kind.Address_space;
+  g
+
+(* Figure 4 module names. *)
+let csm = "core_segment_manager"
+let vpm = "virtual_processor_manager"
+let dpm = "disk_pack_manager"
+let pfm = "page_frame_manager"
+let qcm = "quota_cell_manager"
+let asm = "active_segment_manager"
+let sm = "segment_manager"
+let ksm = "known_segment_manager"
+let aspm = "address_space_manager"
+let upm = "user_process_manager"
+let ups = "user_process_scheduler"
+let dm = "directory_manager"
+
+let fig4_redesign () =
+  let g = Graph.create ~name:"Figure 4: redesigned loop-free structure" () in
+  let edge from to_ kind = Graph.add_edge g ~from ~to_ kind in
+  (* Component and map dependencies, bottom-up. *)
+  edge vpm csm Dep_kind.Map;               (* VP states live in core segments *)
+  edge dpm csm Dep_kind.Map;               (* pack tables cached in core *)
+  edge pfm csm Dep_kind.Map;               (* frame table in a core segment *)
+  edge pfm dpm Dep_kind.Component;         (* page images are disk records *)
+  edge qcm csm Dep_kind.Map;               (* quota cell cache in core *)
+  edge qcm dpm Dep_kind.Component;         (* cells persist in VTOC entries *)
+  edge asm csm Dep_kind.Map;               (* AST in a core segment *)
+  edge asm pfm Dep_kind.Component;         (* active segments are page frames *)
+  edge sm asm Dep_kind.Component;          (* a segment, when active, is an
+                                              active segment *)
+  edge sm dpm Dep_kind.Component;          (* and otherwise disk records *)
+  edge sm qcm Dep_kind.Component;          (* growth consumes quota cells *)
+  edge ksm sm Dep_kind.Component;          (* known segments name segments *)
+  edge ksm sm Dep_kind.Map;                (* KST pages live in segments *)
+  edge aspm sm Dep_kind.Component;         (* address spaces connect segments *)
+  edge aspm csm Dep_kind.Map;              (* system tables in core segments *)
+  edge upm sm Dep_kind.Component;          (* user process states in segments *)
+  edge upm sm Dep_kind.Map;
+  edge ups upm Dep_kind.Component;         (* the scheduler orders processes *)
+  edge dm sm Dep_kind.Component;           (* directories stored in segments *)
+  edge dm sm Dep_kind.Map;
+  edge dm qcm Dep_kind.Component;          (* quota cells belong to quota dirs *)
+  (* Blanket rules from the figure's caption: every module except the
+     core segment manager depends on the core segment manager for its
+     address space and programs, and on the virtual processor manager
+     for its interpreter (the VPM itself runs on the bare processors). *)
+  let everyone = [ dpm; pfm; qcm; asm; sm; ksm; aspm; upm; ups; dm ] in
+  List.iter
+    (fun m ->
+      edge m csm Dep_kind.Address_space;
+      edge m csm Dep_kind.Program;
+      edge m vpm Dep_kind.Interpreter)
+    everyone;
+  edge vpm csm Dep_kind.Address_space;
+  edge vpm csm Dep_kind.Program;
+  g
+
+let fig3_loop_explanations =
+  [ ( "{segment_control, page_control, process_control}",
+      "virtual memory is part of its own interpreter: page control hands \
+       the processor to process control, whose process states live in \
+       segments backed by page control" );
+    ( "page_control -> segment_control & address_space_control",
+      "interpretive retranslation after capturing the page-table lock \
+       reads the translation tables of higher modules" );
+    ( "segment_control -> directory_control",
+      "quota limit/count kept in directory entries; AST deactivation \
+       constrained to the hierarchy shape" );
+    ( "segment_control -> address_space_control",
+      "full-pack relocation finds and directly updates the directory \
+       entry through an address-space-control data base" ) ]
+
+let fig4_fixes =
+  [ ( "interpreter loop (VM in its own interpreter)",
+      "two-level process implementation: a fixed number of virtual \
+       processors whose states stay in core segments" );
+    ( "map/program/address-space loops",
+      "core segments as explicit objects; dual descriptor base registers \
+       give kernel modules a per-processor system address space" );
+    ( "missing-page race (interpretive retranslation)",
+      "hardware lock bit in the page descriptor plus a locked-descriptor \
+       fault, wakeup-waiting switch and locked-address register" );
+    ( "quota upward search",
+      "quota cells as explicit objects, statically bound when a segment \
+       is activated; quota directories may change status only when \
+       childless" );
+    ( "full-pack directory update",
+      "upward signal to the directory manager carrying the new pack and \
+       VTOC index, leaving no activation records below" ) ]

@@ -1,0 +1,25 @@
+(** The dependency structures of the paper's Figures 2, 3 and 4.
+
+    Figure 2: the superficial view — six large modules in a nearly
+    linear structure, with the one obvious loop between the virtual
+    memory mechanism and processor multiplexing.
+
+    Figure 3: the actual structure, once the quota, retranslation,
+    full-pack and program/map/address-space dependencies the paper
+    catalogues are taken into account.
+
+    Figure 4: Janson and Reed's redesign — object managers with the
+    five proper dependency kinds only, loop-free. *)
+
+val fig2_superficial : unit -> Graph.t
+
+val fig3_actual : unit -> Graph.t
+
+val fig4_redesign : unit -> Graph.t
+
+val fig3_loop_explanations : (string * string) list
+(** (loop description, paper mechanism that causes it) pairs, for the
+    bench report. *)
+
+val fig4_fixes : (string * string) list
+(** (problem, redesign mechanism that removes it) pairs. *)

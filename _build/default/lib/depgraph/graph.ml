@@ -1,0 +1,124 @@
+module SMap = Map.Make (String)
+
+module KSet = Set.Make (Dep_kind)
+
+type t = {
+  g_name : string;
+  mutable adj : KSet.t SMap.t SMap.t;  (* from -> to -> kinds *)
+}
+
+let create ?(name = "deps") () = { g_name = name; adj = SMap.empty }
+let name t = t.g_name
+
+let add_node t node =
+  if not (SMap.mem node t.adj) then t.adj <- SMap.add node SMap.empty t.adj
+
+let add_edge t ~from ~to_ kind =
+  if from = to_ then
+    invalid_arg (Printf.sprintf "Graph.add_edge: self-edge on %s" from);
+  add_node t from;
+  add_node t to_;
+  let out = SMap.find from t.adj in
+  let kinds =
+    match SMap.find_opt to_ out with
+    | Some ks -> KSet.add kind ks
+    | None -> KSet.singleton kind
+  in
+  t.adj <- SMap.add from (SMap.add to_ kinds out) t.adj
+
+let nodes t = SMap.bindings t.adj |> List.map fst
+
+let edges t =
+  SMap.bindings t.adj
+  |> List.concat_map (fun (from, out) ->
+         SMap.bindings out
+         |> List.map (fun (to_, ks) -> (from, to_, KSet.elements ks)))
+
+let successors t node =
+  match SMap.find_opt node t.adj with
+  | None -> []
+  | Some out -> SMap.bindings out |> List.map (fun (n, ks) -> (n, KSet.elements ks))
+
+let mem_edge t ~from ~to_ =
+  match SMap.find_opt from t.adj with
+  | None -> false
+  | Some out -> SMap.mem to_ out
+
+let kinds t ~from ~to_ =
+  match SMap.find_opt from t.adj with
+  | None -> []
+  | Some out -> (
+      match SMap.find_opt to_ out with
+      | None -> []
+      | Some ks -> KSet.elements ks)
+
+let n_nodes t = SMap.cardinal t.adj
+let n_edges t = SMap.fold (fun _ out acc -> acc + SMap.cardinal out) t.adj 0
+
+(* Tarjan's strongly connected components. *)
+let sccs t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort compare (pop []) :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes t);
+  List.rev !components
+
+let cycles t = List.filter (fun c -> List.length c > 1) (sccs t)
+let is_loop_free t = cycles t = []
+
+let layers t =
+  if not (is_loop_free t) then None
+  else begin
+    (* Depth of a node = longest chain of dependencies below it. *)
+    let depth = Hashtbl.create 16 in
+    let rec compute v =
+      match Hashtbl.find_opt depth v with
+      | Some d -> d
+      | None ->
+          let d =
+            match successors t v with
+            | [] -> 0
+            | succs ->
+                1 + List.fold_left (fun acc (w, _) -> max acc (compute w)) 0 succs
+          in
+          Hashtbl.replace depth v d;
+          d
+    in
+    let max_depth = List.fold_left (fun acc v -> max acc (compute v)) 0 (nodes t) in
+    let layer d = List.filter (fun v -> Hashtbl.find depth v = d) (nodes t) in
+    Some (List.init (max_depth + 1) layer)
+  end
+
+let copy t = { g_name = t.g_name; adj = t.adj }

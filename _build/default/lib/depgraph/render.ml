@@ -1,0 +1,53 @@
+let pp_kinds ppf ks =
+  Format.pp_print_string ppf
+    (String.concat "" (List.map Dep_kind.short ks))
+
+let edge_list ppf g =
+  List.iter
+    (fun (from, to_, ks) ->
+      Format.fprintf ppf "  %-28s --%a--> %s@." from pp_kinds ks to_)
+    (Graph.edges g)
+
+let layered ppf g =
+  Format.fprintf ppf "%s: %d modules, %d dependencies@." (Graph.name g)
+    (Graph.n_nodes g) (Graph.n_edges g);
+  match Graph.layers g with
+  | Some layers ->
+      let n = List.length layers in
+      List.iteri
+        (fun i _ ->
+          (* Print highest layer first, like the figures. *)
+          let level = n - 1 - i in
+          let layer = List.nth layers level in
+          Format.fprintf ppf "  layer %d: %s@." level (String.concat ", " layer);
+          List.iter
+            (fun v ->
+              List.iter
+                (fun (w, ks) ->
+                  Format.fprintf ppf "    %s --%a--> %s@." v pp_kinds ks w)
+                (Graph.successors g v))
+            layer)
+        layers;
+      Format.fprintf ppf "  loop-free: yes (verifiable bottom-up in %d steps)@." n
+  | None ->
+      Format.fprintf ppf "  loop-free: NO@.";
+      List.iteri
+        (fun i cycle ->
+          Format.fprintf ppf "  dependency loop %d: {%s}@." (i + 1)
+            (String.concat ", " cycle))
+        (Graph.cycles g);
+      edge_list ppf g
+
+let dot ppf g =
+  Format.fprintf ppf "digraph %S {@." (Graph.name g);
+  Format.fprintf ppf "  rankdir=BT; node [shape=box];@.";
+  List.iter (fun v -> Format.fprintf ppf "  %S;@." v) (Graph.nodes g);
+  List.iter
+    (fun (from, to_, ks) ->
+      let improper = List.exists (fun k -> not (Dep_kind.proper k)) ks in
+      Format.fprintf ppf "  %S -> %S [label=\"%a\"%s];@." from to_ pp_kinds ks
+        (if improper then ", style=dashed, color=red" else ""))
+    (Graph.edges g);
+  Format.fprintf ppf "}@."
+
+let to_string render g = Format.asprintf "%a" render g

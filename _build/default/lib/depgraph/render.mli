@@ -1,0 +1,16 @@
+(** Rendering dependency graphs as text.
+
+    [layered] reproduces the look of the paper's figures: one box per
+    module, higher layers depending on lower ones, each edge annotated
+    with its dependency kinds.  Graphs with cycles are rendered as an
+    edge list with the offending strongly connected components called
+    out — which is exactly the point of Figure 3. *)
+
+val layered : Format.formatter -> Graph.t -> unit
+
+val edge_list : Format.formatter -> Graph.t -> unit
+
+val dot : Format.formatter -> Graph.t -> unit
+(** Graphviz output; improper dependency kinds are drawn dashed/red. *)
+
+val to_string : (Format.formatter -> Graph.t -> unit) -> Graph.t -> string

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Addr Fault Hw_config Phys_mem Ptw Sdw

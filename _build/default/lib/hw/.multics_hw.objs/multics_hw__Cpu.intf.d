@@ -1,0 +1,1 @@
+lib/hw/cpu.mli: Addr Fault Hw_config Phys_mem Word

@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Addr Array Hashtbl List Option Word

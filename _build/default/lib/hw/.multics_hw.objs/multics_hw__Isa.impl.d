@@ -1,0 +1,1 @@
+lib/hw/isa.ml: Addr Cpu Fault Format List Phys_mem Printf Stdlib Word

@@ -1,0 +1,1 @@
+lib/hw/isa.mli: Addr Cpu Fault Hw_config Phys_mem Word

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cpu Disk Event_queue Format Hw_config Phys_mem

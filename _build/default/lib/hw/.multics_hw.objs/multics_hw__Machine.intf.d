@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cpu Disk Event_queue Format Hw_config Phys_mem

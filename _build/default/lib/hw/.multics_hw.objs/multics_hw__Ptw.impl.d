@@ -1,0 +1,1 @@
+lib/hw/ptw.ml: Format Phys_mem Word

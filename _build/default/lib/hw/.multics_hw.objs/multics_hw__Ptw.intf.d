@@ -1,0 +1,1 @@
+lib/hw/ptw.mli: Addr Format Phys_mem Word

@@ -1,0 +1,1 @@
+lib/hw/sdw.ml: Addr Fault Format Phys_mem Word

@@ -1,0 +1,1 @@
+lib/hw/sdw.mli: Addr Fault Format Phys_mem Word

@@ -1,0 +1,23 @@
+let page_size = 1024
+let max_pages_per_segment = 256
+let max_segments = 512
+
+type virt = { segno : int; wordno : int }
+type abs = int
+
+let virt ~segno ~wordno =
+  assert (segno >= 0 && segno < max_segments);
+  assert (wordno >= 0 && wordno < page_size * max_pages_per_segment);
+  { segno; wordno }
+
+let pageno v = v.wordno / page_size
+let offset v = v.wordno mod page_size
+
+let of_page ~segno ~pageno ~offset =
+  assert (pageno >= 0 && pageno < max_pages_per_segment);
+  assert (offset >= 0 && offset < page_size);
+  virt ~segno ~wordno:((pageno * page_size) + offset)
+
+let frame_base n = n * page_size
+let pp_virt ppf v = Format.fprintf ppf "%d|%o" v.segno v.wordno
+let pp_abs ppf a = Format.fprintf ppf "@%08o" a

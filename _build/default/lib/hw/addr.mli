@@ -1,0 +1,38 @@
+(** Virtual and absolute addresses.
+
+    A virtual address names a word within a segment: (segment number,
+    word number).  The word number splits into a page number and an
+    offset within the page.  Absolute addresses index physical memory
+    directly. *)
+
+val page_size : int
+(** Words per page (1024). *)
+
+val max_pages_per_segment : int
+(** Pages per segment (256), so segments hold up to 256K words. *)
+
+val max_segments : int
+(** Segment numbers per address space (512). *)
+
+type virt = { segno : int; wordno : int }
+(** A virtual address. *)
+
+type abs = int
+(** An absolute (physical) word address. *)
+
+val virt : segno:int -> wordno:int -> virt
+(** Smart constructor; checks ranges. *)
+
+val pageno : virt -> int
+(** Page number of the word within its segment. *)
+
+val offset : virt -> int
+(** Offset of the word within its page. *)
+
+val of_page : segno:int -> pageno:int -> offset:int -> virt
+
+val frame_base : int -> abs
+(** Absolute address of the first word of frame [n]. *)
+
+val pp_virt : Format.formatter -> virt -> unit
+val pp_abs : Format.formatter -> abs -> unit

@@ -1,0 +1,90 @@
+type dbr = { base : Addr.abs; n_segments : int }
+
+type t = {
+  id : int;
+  mutable ring : int;
+  mutable user_dbr : dbr option;
+  mutable system_dbr : dbr option;
+  mutable wakeup_waiting : bool;
+  mutable locked_ptw : Addr.abs option;
+  mutable busy_ns : int;
+  mutable idle_ns : int;
+  mutable translations : int;
+  mutable faults : int;
+}
+
+let create ~id =
+  { id; ring = 0; user_dbr = None; system_dbr = None; wakeup_waiting = false;
+    locked_ptw = None; busy_ns = 0; idle_ns = 0; translations = 0; faults = 0 }
+
+let load_user_dbr t dbr = t.user_dbr <- dbr
+
+(* Which descriptor table serves this segment number. *)
+let select_dbr (config : Hw_config.t) t segno =
+  if config.dual_dbr && segno < config.system_segno_split then t.system_dbr
+  else t.user_dbr
+
+let translate (config : Hw_config.t) mem t (virt : Addr.virt) access =
+  t.translations <- t.translations + 1;
+  let fault f =
+    t.faults <- t.faults + 1;
+    Error f
+  in
+  let segno = virt.Addr.segno in
+  match select_dbr config t segno with
+  | None -> fault (Fault.Missing_segment { segno })
+  | Some dbr ->
+      if segno >= dbr.n_segments then fault (Fault.Missing_segment { segno })
+      else
+        let sdw = Sdw.read_at mem (dbr.base + (segno * Sdw.words)) in
+        if not (sdw.Sdw.valid && sdw.Sdw.present) then
+          fault (Fault.Missing_segment { segno })
+        else if not (Sdw.permits sdw ~ring:t.ring access) then
+          fault (Fault.Access_violation { segno; access; ring = t.ring })
+        else
+          let pageno = Addr.pageno virt in
+          if pageno >= sdw.Sdw.length then
+            fault (Fault.Bounds_fault { segno; wordno = virt.Addr.wordno })
+          else
+            let ptw_abs = sdw.Sdw.page_table + pageno in
+            let ptw = Ptw.read mem ptw_abs in
+            if not ptw.Ptw.valid then
+              fault (Fault.Bounds_fault { segno; wordno = virt.Addr.wordno })
+            else if config.descriptor_lock_bit && ptw.Ptw.locked then begin
+              t.locked_ptw <- Some ptw_abs;
+              fault (Fault.Locked_descriptor { segno; pageno; ptw_abs })
+            end
+            else if ptw.Ptw.unallocated then
+              if config.quota_fault_bit then
+                fault (Fault.Quota_fault { segno; pageno })
+              else fault (Fault.Missing_page { segno; pageno; ptw_abs })
+            else if not ptw.Ptw.present then begin
+              (* New hardware: close the race window by locking the
+                 descriptor in the same cycle that takes the fault. *)
+              if config.descriptor_lock_bit then begin
+                Ptw.write mem ptw_abs { ptw with Ptw.locked = true };
+                t.locked_ptw <- Some ptw_abs
+              end;
+              fault (Fault.Missing_page { segno; pageno; ptw_abs })
+            end
+            else begin
+              let ptw' =
+                { ptw with
+                  Ptw.used = true;
+                  Ptw.modified = ptw.Ptw.modified || access = Fault.Write }
+              in
+              if ptw' <> ptw then Ptw.write mem ptw_abs ptw';
+              Ok (Addr.frame_base ptw.Ptw.arg + Addr.offset virt)
+            end
+
+let read config mem t virt =
+  match translate config mem t virt Fault.Read with
+  | Error f -> Error f
+  | Ok abs -> Ok (Phys_mem.read mem abs)
+
+let write config mem t virt w =
+  match translate config mem t virt Fault.Write with
+  | Error f -> Error f
+  | Ok abs ->
+      Phys_mem.write mem abs w;
+      Ok ()

@@ -1,0 +1,44 @@
+(** Simulated processors.
+
+    Each CPU owns the per-processor state the paper discusses: the
+    descriptor base register(s), the wakeup-waiting switch, and the
+    register recording the absolute address of a locked page descriptor
+    (the last two prevent lost notifications between a locked-descriptor
+    fault and the wait primitive, paper p.20). *)
+
+type dbr = { base : Addr.abs; n_segments : int }
+(** A descriptor base register: absolute address of an SDW array. *)
+
+type t = {
+  id : int;
+  mutable ring : int;                      (** current ring of execution *)
+  mutable user_dbr : dbr option;
+  mutable system_dbr : dbr option;         (** used only with dual DBR *)
+  mutable wakeup_waiting : bool;
+  mutable locked_ptw : Addr.abs option;
+  mutable busy_ns : int;                   (** accumulated busy time *)
+  mutable idle_ns : int;
+  mutable translations : int;
+  mutable faults : int;
+}
+
+val create : id:int -> t
+
+val load_user_dbr : t -> dbr option -> unit
+(** Performed by the dispatcher on every process switch. *)
+
+val translate :
+  Hw_config.t -> Phys_mem.t -> t -> Addr.virt -> Fault.access ->
+  (Addr.abs, Fault.t) result
+(** One address translation.  Consults the system descriptor table for
+    segment numbers below the split when [dual_dbr] is on.  Side
+    effects mirror the hardware: sets the PTW used/modified bits on
+    success; with [descriptor_lock_bit], atomically sets the lock bit
+    and records [locked_ptw] when a missing-page fault is taken. *)
+
+val read :
+  Hw_config.t -> Phys_mem.t -> t -> Addr.virt -> (Word.t, Fault.t) result
+
+val write :
+  Hw_config.t -> Phys_mem.t -> t -> Addr.virt -> Word.t ->
+  (unit, Fault.t) result

@@ -1,0 +1,125 @@
+exception Pack_full of int
+
+let zero_page = -1
+let unallocated = -2
+
+type quota_cell = { mutable limit : int; mutable used : int }
+
+type vtoc_entry = {
+  uid : int;
+  mutable file_map : int array;
+  mutable len_pages : int;
+  mutable is_directory : bool;
+  mutable quota : quota_cell option;
+  mutable aim_label : int;
+}
+
+type pack = {
+  records : (int, Word.t array) Hashtbl.t;
+  mutable free : int list;
+  mutable n_free : int;
+  vtoc : (int, vtoc_entry) Hashtbl.t;
+  mutable next_vtoc : int;
+}
+
+type t = {
+  packs : pack array;
+  records_per_pack : int;
+  read_latency_ns : int;
+  mutable io_count : int;
+}
+
+let records_per_pack_limit = 4096
+
+let create ~packs ~records_per_pack ~read_latency_ns =
+  assert (packs > 0 && packs <= 64);
+  assert (records_per_pack > 0 && records_per_pack <= records_per_pack_limit);
+  let make_pack _ =
+    { records = Hashtbl.create 64;
+      free = List.init records_per_pack (fun i -> i);
+      n_free = records_per_pack;
+      vtoc = Hashtbl.create 16;
+      next_vtoc = 0 }
+  in
+  { packs = Array.init packs make_pack; records_per_pack; read_latency_ns;
+    io_count = 0 }
+
+let n_packs t = Array.length t.packs
+let records_per_pack t = t.records_per_pack
+
+let get_pack t pack =
+  assert (pack >= 0 && pack < Array.length t.packs);
+  t.packs.(pack)
+
+let free_records t ~pack = (get_pack t pack).n_free
+let used_records t ~pack = t.records_per_pack - (get_pack t pack).n_free
+
+let handle ~pack ~record =
+  assert (record >= 0 && record < records_per_pack_limit);
+  (pack * records_per_pack_limit) + record
+
+let pack_of_handle h = h / records_per_pack_limit
+let record_of_handle h = h mod records_per_pack_limit
+
+let alloc_record t ~pack =
+  let p = get_pack t pack in
+  match p.free with
+  | [] -> raise (Pack_full pack)
+  | record :: rest ->
+      p.free <- rest;
+      p.n_free <- p.n_free - 1;
+      record
+
+let free_record t ~pack ~record =
+  let p = get_pack t pack in
+  Hashtbl.remove p.records record;
+  p.free <- record :: p.free;
+  p.n_free <- p.n_free + 1
+
+let record_is_free t ~pack ~record = List.mem record (get_pack t pack).free
+
+let read_record t ~pack ~record =
+  let p = get_pack t pack in
+  t.io_count <- t.io_count + 1;
+  match Hashtbl.find_opt p.records record with
+  | Some img -> Array.copy img
+  | None -> Array.make Addr.page_size 0
+
+let write_record t ~pack ~record img =
+  assert (Array.length img = Addr.page_size);
+  let p = get_pack t pack in
+  t.io_count <- t.io_count + 1;
+  Hashtbl.replace p.records record (Array.copy img)
+
+let io_latency_ns t = t.read_latency_ns
+
+let create_vtoc_entry t ~pack entry =
+  let p = get_pack t pack in
+  let index = p.next_vtoc in
+  p.next_vtoc <- index + 1;
+  Hashtbl.replace p.vtoc index entry;
+  index
+
+let vtoc_entry t ~pack ~index =
+  match Hashtbl.find_opt (get_pack t pack).vtoc index with
+  | Some e -> e
+  | None -> raise Not_found
+
+let delete_vtoc_entry t ~pack ~index = Hashtbl.remove (get_pack t pack).vtoc index
+
+let vtoc_entries t ~pack =
+  Hashtbl.fold (fun i e acc -> (i, e) :: acc) (get_pack t pack).vtoc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let emptiest_pack t ~except =
+  let best = ref None in
+  Array.iteri
+    (fun i p ->
+      if i <> except && p.n_free > 0 then
+        match !best with
+        | Some (_, free) when free >= p.n_free -> ()
+        | _ -> best := Some (i, p.n_free))
+    t.packs;
+  Option.map fst !best
+
+let io_count t = t.io_count

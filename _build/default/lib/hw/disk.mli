@@ -1,0 +1,71 @@
+(** Disk packs.
+
+    Each pack holds page-sized records and a table of contents (VTOC).
+    A VTOC entry describes one segment resident on the pack: its file
+    map (one record per page, with zero pages represented by a flag
+    rather than a record — the storage-charging feature the paper
+    discusses), and, for quota directories, the quota cell the paper
+    turns into an explicit object.
+
+    All pages of a segment live on one pack; allocating on a full pack
+    raises {!Pack_full}, the exception whose handling motivates the
+    paper's upward-signalling mechanism. *)
+
+exception Pack_full of int  (** pack id *)
+
+val zero_page : int
+(** File-map flag for a page of zeros (no record allocated). *)
+
+val unallocated : int
+(** File-map flag for a never-grown page. *)
+
+type quota_cell = { mutable limit : int; mutable used : int }
+
+type vtoc_entry = {
+  uid : int;  (** segment unique identifier *)
+  mutable file_map : int array;  (** record id, [zero_page] or [unallocated] *)
+  mutable len_pages : int;
+  mutable is_directory : bool;
+  mutable quota : quota_cell option;  (** quota cell for quota directories *)
+  mutable aim_label : int;  (** opaque AIM label encoding *)
+}
+
+type t
+
+val create : packs:int -> records_per_pack:int -> read_latency_ns:int -> t
+val n_packs : t -> int
+val records_per_pack : t -> int
+val free_records : t -> pack:int -> int
+val used_records : t -> pack:int -> int
+
+(* Record handles pack the pack id and record id into the 18-bit PTW
+   argument field: handle = pack * 4096 + record. *)
+val handle : pack:int -> record:int -> int
+val pack_of_handle : int -> int
+val record_of_handle : int -> int
+
+val alloc_record : t -> pack:int -> int
+(** Returns a record id; raises {!Pack_full}. *)
+
+val free_record : t -> pack:int -> record:int -> unit
+val record_is_free : t -> pack:int -> record:int -> bool
+val read_record : t -> pack:int -> record:int -> Word.t array
+val write_record : t -> pack:int -> record:int -> Word.t array -> unit
+
+val io_latency_ns : t -> int
+(** Latency of one record transfer; callers schedule completion events. *)
+
+val create_vtoc_entry : t -> pack:int -> vtoc_entry -> int
+(** Returns the VTOC index on that pack. *)
+
+val vtoc_entry : t -> pack:int -> index:int -> vtoc_entry
+(** Raises [Not_found] for a free slot. *)
+
+val delete_vtoc_entry : t -> pack:int -> index:int -> unit
+val vtoc_entries : t -> pack:int -> (int * vtoc_entry) list
+val emptiest_pack : t -> except:int -> int option
+(** Pack with the most free records, other than [except]; [None] when
+    every other pack is full. *)
+
+val io_count : t -> int
+(** Total record reads + writes, for the cost model and tests. *)

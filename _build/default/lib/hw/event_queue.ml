@@ -1,0 +1,31 @@
+module Key = struct
+  type t = int * int (* time, insertion sequence *)
+
+  let compare (t1, s1) (t2, s2) =
+    match compare t1 t2 with 0 -> compare s1 s2 | c -> c
+end
+
+module M = Map.Make (Key)
+
+type t = { mutable events : (unit -> unit) M.t; mutable seq : int }
+
+let create () = { events = M.empty; seq = 0 }
+let is_empty t = M.is_empty t.events
+let length t = M.cardinal t.events
+
+let add t ~time handler =
+  assert (time >= 0);
+  t.events <- M.add (time, t.seq) handler t.events;
+  t.seq <- t.seq + 1
+
+let next_time t =
+  match M.min_binding_opt t.events with
+  | None -> None
+  | Some ((time, _), _) -> Some time
+
+let pop t =
+  match M.min_binding_opt t.events with
+  | None -> None
+  | Some ((time, _) as key, handler) ->
+      t.events <- M.remove key t.events;
+      Some (time, handler)

@@ -1,0 +1,19 @@
+(** Discrete-event priority queue.
+
+    Events are (time, handler) pairs; ties break in insertion order so
+    simulations are deterministic. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+val add : t -> time:int -> (unit -> unit) -> unit
+(** Schedule [handler] at absolute simulated [time]. *)
+
+val next_time : t -> int option
+(** Time of the earliest pending event. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** Remove and return the earliest event. *)

@@ -1,0 +1,32 @@
+type access = Read | Write | Execute
+
+type t =
+  | Missing_segment of { segno : int }
+  | Missing_page of { segno : int; pageno : int; ptw_abs : Addr.abs }
+  | Quota_fault of { segno : int; pageno : int }
+  | Locked_descriptor of { segno : int; pageno : int; ptw_abs : Addr.abs }
+  | Access_violation of { segno : int; access : access; ring : int }
+  | Bounds_fault of { segno : int; wordno : int }
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Execute -> "execute"
+
+let pp ppf = function
+  | Missing_segment { segno } -> Format.fprintf ppf "missing-segment(seg %d)" segno
+  | Missing_page { segno; pageno; ptw_abs } ->
+      Format.fprintf ppf "missing-page(seg %d page %d ptw %a)" segno pageno
+        Addr.pp_abs ptw_abs
+  | Quota_fault { segno; pageno } ->
+      Format.fprintf ppf "quota-fault(seg %d page %d)" segno pageno
+  | Locked_descriptor { segno; pageno; ptw_abs } ->
+      Format.fprintf ppf "locked-descriptor(seg %d page %d ptw %a)" segno pageno
+        Addr.pp_abs ptw_abs
+  | Access_violation { segno; access; ring } ->
+      Format.fprintf ppf "access-violation(seg %d %s ring %d)" segno
+        (access_to_string access) ring
+  | Bounds_fault { segno; wordno } ->
+      Format.fprintf ppf "bounds-fault(seg %d word %o)" segno wordno
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,28 @@
+type t = {
+  n_cpus : int;
+  memory_frames : int;
+  descriptor_lock_bit : bool;
+  quota_fault_bit : bool;
+  dual_dbr : bool;
+  system_segno_split : int;
+  mem_access_cost : int;
+  fault_overhead_cost : int;
+}
+
+let kernel_multics =
+  { n_cpus = 2; memory_frames = 256; descriptor_lock_bit = true;
+    quota_fault_bit = true; dual_dbr = true; system_segno_split = 64;
+    mem_access_cost = 1; fault_overhead_cost = 30 }
+
+let legacy_multics =
+  { kernel_multics with descriptor_lock_bit = false; quota_fault_bit = false;
+    dual_dbr = false }
+
+let with_frames t frames = { t with memory_frames = frames }
+let with_cpus t n = { t with n_cpus = n }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hw{cpus=%d frames=%d lock-bit=%b quota-bit=%b dual-dbr=%b split=%d}"
+    t.n_cpus t.memory_frames t.descriptor_lock_bit t.quota_fault_bit t.dual_dbr
+    t.system_segno_split

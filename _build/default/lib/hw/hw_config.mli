@@ -1,0 +1,36 @@
+(** Machine configuration.
+
+    The feature flags correspond to the three hardware additions the
+    paper proposes for the new kernel design.  The legacy supervisor of
+    Figures 2/3 runs with all three off; Kernel/Multics (Figure 4) runs
+    with all three on.  The ablation bench flips them independently. *)
+
+type t = {
+  n_cpus : int;
+  memory_frames : int;
+  descriptor_lock_bit : bool;
+      (** Missing-page faults atomically set the PTW lock bit; other
+          processors then take locked-descriptor faults (paper p.19). *)
+  quota_fault_bit : bool;
+      (** References to never-allocated pages raise a distinct quota
+          fault routed to the known segment manager (paper p.21). *)
+  dual_dbr : bool;
+      (** Second descriptor base register giving each processor a system
+          address space independent of user address spaces (p.19). *)
+  system_segno_split : int;
+      (** With [dual_dbr], segment numbers below this value translate
+          through the system descriptor table. *)
+  mem_access_cost : int;  (** simulated nanoseconds per word access *)
+  fault_overhead_cost : int;  (** processor fault/trap overhead, ns *)
+}
+
+val kernel_multics : t
+(** Default configuration for the new design: 2 CPUs, 256 frames, all
+    hardware additions enabled, system split at segment 64. *)
+
+val legacy_multics : t
+(** Old hardware: same resources, no additions, single DBR. *)
+
+val with_frames : t -> int -> t
+val with_cpus : t -> int -> t
+val pp : Format.formatter -> t -> unit

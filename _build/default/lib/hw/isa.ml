@@ -1,0 +1,122 @@
+type state = {
+  mutable acc : Word.t;
+  mutable pc : Addr.virt;
+  mutable steps : int;
+}
+
+let init ~segno ~entry =
+  { acc = 0; pc = Addr.virt ~segno ~wordno:entry; steps = 0 }
+
+type opcode = HLT | LDA | STA | ADD | SUB | LDI | TRA | TNZ | AOS
+
+let opcode_num = function
+  | HLT -> 0
+  | LDA -> 1
+  | STA -> 2
+  | ADD -> 3
+  | SUB -> 4
+  | LDI -> 5
+  | TRA -> 6
+  | TNZ -> 7
+  | AOS -> 8
+
+let opcode_of_num = function
+  | 0 -> Some HLT
+  | 1 -> Some LDA
+  | 2 -> Some STA
+  | 3 -> Some ADD
+  | 4 -> Some SUB
+  | 5 -> Some LDI
+  | 6 -> Some TRA
+  | 7 -> Some TNZ
+  | 8 -> Some AOS
+  | _ -> None
+
+let encode op ?(segno = 0) ?(wordno = 0) () =
+  let w = Word.insert Word.zero ~pos:30 ~len:6 (opcode_num op) in
+  let w = Word.insert w ~pos:21 ~len:9 segno in
+  Word.insert w ~pos:0 ~len:18 wordno
+
+let assemble instructions =
+  List.map (fun (op, segno, wordno) -> encode op ~segno ~wordno ()) instructions
+
+type outcome = Ok of int | Halt of int | Fault of Fault.t | Illegal of string
+
+let instruction_cost = 400
+
+let bump state =
+  state.pc <-
+    Addr.virt ~segno:state.pc.Addr.segno ~wordno:(state.pc.Addr.wordno + 1);
+  state.steps <- state.steps + 1
+
+let step config mem cpu state =
+  match Cpu.translate config mem cpu state.pc Fault.Execute with
+  | Error f -> Fault f
+  | (exception Invalid_argument _) -> Illegal "program counter out of range"
+  | Stdlib.Ok fetch_abs -> (
+      let word = Phys_mem.read mem fetch_abs in
+      match opcode_of_num (Word.extract word ~pos:30 ~len:6) with
+      | None ->
+          Illegal
+            (Printf.sprintf "illegal opcode %d at %s"
+               (Word.extract word ~pos:30 ~len:6)
+               (Format.asprintf "%a" Addr.pp_virt state.pc))
+      | Some op -> (
+          let segno = Word.extract word ~pos:21 ~len:9 in
+          let wordno = Word.extract word ~pos:0 ~len:18 in
+          let operand access k =
+            match
+              Cpu.translate config mem cpu (Addr.virt ~segno ~wordno) access
+            with
+            | Error f -> Fault f
+            | exception Invalid_argument _ ->
+                Illegal "operand address out of range"
+            | Stdlib.Ok abs -> k abs
+          in
+          match op with
+          | HLT ->
+              state.steps <- state.steps + 1;
+              Halt instruction_cost
+          | LDA ->
+              operand Fault.Read (fun abs ->
+                  state.acc <- Phys_mem.read mem abs;
+                  bump state;
+                  Ok instruction_cost)
+          | STA ->
+              operand Fault.Write (fun abs ->
+                  Phys_mem.write mem abs state.acc;
+                  bump state;
+                  Ok instruction_cost)
+          | ADD ->
+              operand Fault.Read (fun abs ->
+                  state.acc <- Word.add state.acc (Phys_mem.read mem abs);
+                  bump state;
+                  Ok instruction_cost)
+          | SUB ->
+              operand Fault.Read (fun abs ->
+                  (* two's complement subtraction within 36 bits *)
+                  state.acc <-
+                    Word.add state.acc
+                      (Word.of_int (Word.mask + 1 - Phys_mem.read mem abs));
+                  bump state;
+                  Ok instruction_cost)
+          | LDI ->
+              state.acc <- Word.of_int wordno;
+              bump state;
+              Ok instruction_cost
+          | TRA ->
+              state.pc <- Addr.virt ~segno ~wordno;
+              state.steps <- state.steps + 1;
+              Ok instruction_cost
+          | TNZ ->
+              if Word.is_zero state.acc then bump state
+              else begin
+                state.pc <- Addr.virt ~segno ~wordno;
+                state.steps <- state.steps + 1
+              end;
+              Ok instruction_cost
+          | AOS ->
+              operand Fault.Write (fun abs ->
+                  Phys_mem.write mem abs (Word.add (Phys_mem.read mem abs) 1);
+                  bump state;
+                  Ok instruction_cost)))

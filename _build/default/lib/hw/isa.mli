@@ -1,0 +1,45 @@
+(** A minimal instruction set executed out of simulated segments.
+
+    The paper's dependency analysis treats "programs" as objects: a
+    module's algorithms live in segments somebody manages.  This tiny
+    accumulator machine makes that literal — instructions are fetched
+    through the same address translation as data, so executing code
+    takes missing-segment/missing-page/quota faults exactly like
+    touching it, and the kernel pages code on demand.
+
+    Word layout (one instruction per word):
+    {v
+      bits 30-35  opcode
+      bits 21-29  operand segment number (9 bits)
+      bits  0-17  operand word number (18 bits)
+    v}
+
+    Opcodes: 0 HLT; 1 LDA a (acc := [a]); 2 STA a ([a] := acc);
+    3 ADD a; 4 SUB a; 5 LDI imm18 (acc := wordno field);
+    6 TRA a (jump); 7 TNZ a (jump if acc <> 0); 8 AOS a ([a] += 1).
+    Unknown opcodes fault the program. *)
+
+type state = {
+  mutable acc : Word.t;
+  mutable pc : Addr.virt;
+  mutable steps : int;  (** instructions retired *)
+}
+
+val init : segno:int -> entry:int -> state
+
+type opcode = HLT | LDA | STA | ADD | SUB | LDI | TRA | TNZ | AOS
+
+val encode : opcode -> ?segno:int -> ?wordno:int -> unit -> Word.t
+(** Assemble one instruction. *)
+
+val assemble : (opcode * int * int) list -> Word.t list
+(** [(op, segno, wordno)] triples to words. *)
+
+type outcome =
+  | Ok of int  (** one instruction retired; cost in ns *)
+  | Halt of int
+  | Fault of Fault.t  (** PC unchanged; re-execute after service *)
+  | Illegal of string
+
+val step : Hw_config.t -> Phys_mem.t -> Cpu.t -> state -> outcome
+(** Fetch, decode, execute one instruction. *)

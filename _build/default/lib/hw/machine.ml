@@ -1,0 +1,61 @@
+type t = {
+  config : Hw_config.t;
+  mem : Phys_mem.t;
+  cpus : Cpu.t array;
+  disk : Disk.t;
+  events : Event_queue.t;
+  mutable now : int;
+}
+
+let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
+    (config : Hw_config.t) =
+  { config;
+    mem = Phys_mem.create ~frames:config.Hw_config.memory_frames;
+    cpus = Array.init config.Hw_config.n_cpus (fun id -> Cpu.create ~id);
+    disk =
+      (match disk with
+      | Some d -> d
+      | None ->
+          Disk.create ~packs:disk_packs ~records_per_pack
+            ~read_latency_ns:2_000_000);
+    events = Event_queue.create ();
+    now = 0 }
+
+let now t = t.now
+
+let schedule t ~delay handler =
+  assert (delay >= 0);
+  Event_queue.add t.events ~time:(t.now + delay) handler
+
+let schedule_at t ~time handler =
+  assert (time >= t.now);
+  Event_queue.add t.events ~time handler
+
+let step t =
+  match Event_queue.pop t.events with
+  | None -> false
+  | Some (time, handler) ->
+      t.now <- max t.now time;
+      handler ();
+      true
+
+let run ?until ?max_events t =
+  let continue count =
+    (match max_events with Some m -> count < m | None -> true)
+    &&
+    match (until, Event_queue.next_time t.events) with
+    | _, None -> false
+    | Some limit, Some next -> next <= limit
+    | None, Some _ -> true
+  in
+  let rec loop count = if continue count && step t then loop (count + 1) in
+  loop 0
+
+let pp_stats ppf t =
+  Format.fprintf ppf "t=%dns mem(r=%d w=%d) disk-io=%d" t.now
+    (Phys_mem.reads t.mem) (Phys_mem.writes t.mem) (Disk.io_count t.disk);
+  Array.iter
+    (fun (cpu : Cpu.t) ->
+      Format.fprintf ppf " cpu%d(xl=%d faults=%d)" cpu.Cpu.id
+        cpu.Cpu.translations cpu.Cpu.faults)
+    t.cpus

@@ -1,0 +1,39 @@
+(** The simulated machine: CPUs, primary memory, disks, and the
+    discrete-event clock that sequences everything.
+
+    The machine knows nothing of processes or segments — those are the
+    kernel's business.  It supplies the clock, the event queue through
+    which I/O completions and dispatcher steps are interleaved, and
+    accessors for the physical resources. *)
+
+type t = {
+  config : Hw_config.t;
+  mem : Phys_mem.t;
+  cpus : Cpu.t array;
+  disk : Disk.t;
+  events : Event_queue.t;
+  mutable now : int;  (** simulated nanoseconds since boot *)
+}
+
+val create :
+  ?disk_packs:int -> ?records_per_pack:int -> ?disk:Disk.t -> Hw_config.t -> t
+(** Defaults: 4 packs of 1024 records, 2 ms record latency.  Passing
+    [disk] boots a fresh machine over surviving packs — a new system
+    incarnation. *)
+
+val now : t -> int
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run a handler [delay] simulated nanoseconds from now. *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+val step : t -> bool
+(** Run the earliest pending event, advancing the clock to its time.
+    Returns [false] when no events are pending. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Drain the event queue, optionally stopping at simulated time [until]
+    or after [max_events] events. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Primary memory.
+
+    A flat array of 36-bit words organised as page frames.  Everything
+    the processor can see — including page tables and descriptor
+    segments — lives here; higher layers that keep "maps" keep them in
+    these words, which is what makes the paper's map dependencies real
+    in this reproduction. *)
+
+type t
+
+val create : frames:int -> t
+(** Fresh memory of [frames] page frames, zero-filled. *)
+
+val frames : t -> int
+val words : t -> int
+
+val read : t -> Addr.abs -> Word.t
+(** Raises [Invalid_argument] outside physical memory. *)
+
+val write : t -> Addr.abs -> Word.t -> unit
+
+val read_frame : t -> int -> Word.t array
+(** Copy of frame [n]'s 1024 words. *)
+
+val write_frame : t -> int -> Word.t array -> unit
+(** Overwrite frame [n]; the array must have [Addr.page_size] words. *)
+
+val zero_frame : t -> int -> unit
+
+val frame_is_zero : t -> int -> bool
+(** True when every word of the frame is zero — the test the paper's
+    page-removal algorithm performs before writing a page to disk. *)
+
+val reads : t -> int
+val writes : t -> int
+(** Access counters, for the cost model and tests. *)

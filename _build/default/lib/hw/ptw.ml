@@ -1,0 +1,47 @@
+type t = {
+  arg : int;
+  present : bool;
+  modified : bool;
+  used : bool;
+  locked : bool;
+  unallocated : bool;
+  valid : bool;
+}
+
+let invalid =
+  { arg = 0; present = false; modified = false; used = false; locked = false;
+    unallocated = false; valid = false }
+
+let unallocated_ptw = { invalid with unallocated = true; valid = true }
+let in_core ~frame = { invalid with arg = frame; present = true; valid = true }
+let on_disk ~record = { invalid with arg = record; valid = true }
+
+let encode t =
+  let w = Word.insert Word.zero ~pos:0 ~len:18 t.arg in
+  let w = Word.set_bit w 18 t.present in
+  let w = Word.set_bit w 19 t.modified in
+  let w = Word.set_bit w 20 t.used in
+  let w = Word.set_bit w 21 t.locked in
+  let w = Word.set_bit w 22 t.unallocated in
+  Word.set_bit w 23 t.valid
+
+let decode w =
+  { arg = Word.extract w ~pos:0 ~len:18;
+    present = Word.bit w 18;
+    modified = Word.bit w 19;
+    used = Word.bit w 20;
+    locked = Word.bit w 21;
+    unallocated = Word.bit w 22;
+    valid = Word.bit w 23 }
+
+let read mem a = decode (Phys_mem.read mem a)
+let write mem a t = Phys_mem.write mem a (encode t)
+
+let pp ppf t =
+  Format.fprintf ppf "ptw{arg=%d%s%s%s%s%s%s}" t.arg
+    (if t.valid then " valid" else "")
+    (if t.present then " present" else "")
+    (if t.modified then " mod" else "")
+    (if t.used then " used" else "")
+    (if t.locked then " locked" else "")
+    (if t.unallocated then " unalloc" else "")

@@ -1,0 +1,50 @@
+(** Page table words (page descriptors).
+
+    A PTW is one 36-bit word stored in physical memory.  The [locked]
+    and [unallocated] bits are the paper's proposed hardware additions:
+    [locked] is set by a processor taking a missing-page fault so that
+    other processors encountering the same descriptor take a
+    locked-descriptor fault instead of racing; [unallocated] marks a
+    never-used page of a segment so that first touch raises a quota
+    fault rather than a missing-page fault.
+
+    Layout (bit 0 = least significant):
+    {v
+      0-17  arg      frame number when present, disk record handle when not
+      18    present  page is in a primary-memory frame
+      19    modified page written since last cleaning
+      20    used     page referenced (for the clock algorithm)
+      21    locked   descriptor lock bit (new hardware)
+      22    unallocated  quota-fault bit (new hardware / software set)
+      23    valid    PTW describes a page of the segment
+    v} *)
+
+type t = {
+  arg : int;  (** frame number or disk record handle, 18 bits *)
+  present : bool;
+  modified : bool;
+  used : bool;
+  locked : bool;
+  unallocated : bool;
+  valid : bool;
+}
+
+val invalid : t
+(** All-zero PTW. *)
+
+val unallocated_ptw : t
+(** Valid but never-allocated page: first touch should charge quota. *)
+
+val in_core : frame:int -> t
+(** Valid, present PTW for [frame]. *)
+
+val on_disk : record:int -> t
+(** Valid, absent PTW whose page image is disk record [record]. *)
+
+val encode : t -> Word.t
+val decode : Word.t -> t
+
+val read : Phys_mem.t -> Addr.abs -> t
+val write : Phys_mem.t -> Addr.abs -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/legacy/old_directory.ml: Array Hashtbl List Multics_hw Multics_kernel Old_storage Old_types String

@@ -1,0 +1,1 @@
+lib/legacy/old_directory.mli: Multics_kernel Old_types

@@ -1,0 +1,1 @@
+lib/legacy/old_storage.ml: Array Hashtbl List Multics_hw Multics_kernel Multics_sync Old_types

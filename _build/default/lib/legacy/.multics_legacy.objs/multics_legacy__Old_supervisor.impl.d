@@ -1,0 +1,1 @@
+lib/legacy/old_supervisor.ml: Array Format Hashtbl List Multics_depgraph Multics_hw Multics_kernel Multics_sync Old_directory Old_storage Old_types Printf Queue String

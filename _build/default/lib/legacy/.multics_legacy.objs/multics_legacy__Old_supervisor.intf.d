@@ -1,0 +1,1 @@
+lib/legacy/old_supervisor.mli: Format Multics_depgraph Multics_hw Multics_kernel Old_types

@@ -1,0 +1,1 @@
+lib/legacy/old_types.mli: Hashtbl Multics_hw Multics_kernel Queue

@@ -1,0 +1,38 @@
+(** Legacy directory control: pathname resolution buried in ring 0.
+
+    The whole tree walk happens inside the supervisor behind one gate;
+    the caller gets one of exactly two answers, "found" or "no access",
+    and access is judged only at the target (paper pp. 27-28).  The
+    walk carries the complexity cost of the general in-kernel algorithm
+    — the one Bratt found to be four times the size of its user-ring
+    replacement. *)
+
+module K = Multics_kernel
+
+val resolve :
+  Old_types.state -> principal:K.Acl.principal -> path:string ->
+  (Old_types.dentry * K.Acl.mode, [ `No_access ]) result
+(** Full in-kernel resolution.  [`No_access] covers nonexistent paths,
+    inaccessible targets, and everything between. *)
+
+val create_entry :
+  Old_types.state -> principal:K.Acl.principal -> dir_path:string ->
+  name:string -> is_dir:bool -> acl:K.Acl.t ->
+  (Old_types.dentry, [ `No_access | `Name_duplicated ]) result
+
+val delete_entry :
+  Old_types.state -> principal:K.Acl.principal -> path:string ->
+  (unit, [ `No_access | `Not_empty ]) result
+
+val set_quota :
+  Old_types.state -> principal:K.Acl.principal -> path:string -> limit:int ->
+  (unit, [ `No_access ]) result
+(** The OLD semantics: any directory may be designated a quota
+    repository at any time, children or not — the dynamism that forces
+    the upward search and the AST shape constraint. *)
+
+val list_names :
+  Old_types.state -> principal:K.Acl.principal -> path:string ->
+  (string list, [ `No_access ]) result
+
+val quota_usage : Old_types.state -> path:string -> (int * int) option

@@ -1,0 +1,1 @@
+lib/services/accounting.ml: Format Hashtbl List

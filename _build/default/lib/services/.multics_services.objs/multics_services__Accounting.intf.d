@@ -1,0 +1,1 @@
+lib/services/accounting.mli: Format

@@ -1,0 +1,1 @@
+lib/services/answering_service.ml: Accounting Hashtbl Multics_aim Multics_kernel Password

@@ -1,0 +1,1 @@
+lib/services/answering_service.mli: Accounting Multics_aim Multics_kernel

@@ -1,0 +1,1 @@
+lib/services/init_service.mli:

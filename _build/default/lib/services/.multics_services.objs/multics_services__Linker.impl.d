@@ -1,0 +1,1 @@
+lib/services/linker.ml: Hashtbl Multics_kernel

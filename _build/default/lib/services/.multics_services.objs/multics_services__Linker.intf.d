@@ -1,0 +1,1 @@
+lib/services/linker.mli: Multics_kernel

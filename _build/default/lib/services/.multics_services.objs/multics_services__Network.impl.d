@@ -1,0 +1,1 @@
+lib/services/network.ml: Hashtbl Multics_hw Multics_kernel Multics_sync

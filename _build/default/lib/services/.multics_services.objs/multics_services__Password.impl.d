@@ -1,0 +1,1 @@
+lib/services/password.ml: Char Printf String

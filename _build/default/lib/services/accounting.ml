@@ -1,0 +1,46 @@
+type record = {
+  mutable logins : int;
+  mutable failed_logins : int;
+  mutable connect_ns : int;
+  mutable cpu_ns : int;
+  mutable pages_used : int;
+}
+
+type t = (string, record) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let record_for t ~user =
+  match Hashtbl.find_opt t user with
+  | Some r -> r
+  | None ->
+      let r =
+        { logins = 0; failed_logins = 0; connect_ns = 0; cpu_ns = 0;
+          pages_used = 0 }
+      in
+      Hashtbl.replace t user r;
+      r
+
+let note_login t ~user =
+  let r = record_for t ~user in
+  r.logins <- r.logins + 1
+
+let note_failure t ~user =
+  let r = record_for t ~user in
+  r.failed_logins <- r.failed_logins + 1
+
+let note_usage t ~user ~connect_ns ~cpu_ns ~pages =
+  let r = record_for t ~user in
+  r.connect_ns <- r.connect_ns + connect_ns;
+  r.cpu_ns <- r.cpu_ns + cpu_ns;
+  r.pages_used <- max r.pages_used pages
+
+let users t = Hashtbl.fold (fun u _ acc -> u :: acc) t [] |> List.sort compare
+
+let pp ppf t =
+  List.iter
+    (fun user ->
+      let r = Hashtbl.find t user in
+      Format.fprintf ppf "  %-12s logins=%d fail=%d connect=%dus cpu=%dus@."
+        user r.logins r.failed_logins (r.connect_ns / 1000) (r.cpu_ns / 1000))
+    (users t)

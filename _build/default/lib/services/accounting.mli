@@ -1,0 +1,19 @@
+(** System accounting, kept by the Answering Service. *)
+
+type record = {
+  mutable logins : int;
+  mutable failed_logins : int;
+  mutable connect_ns : int;
+  mutable cpu_ns : int;
+  mutable pages_used : int;
+}
+
+type t
+
+val create : unit -> t
+val record_for : t -> user:string -> record
+val note_login : t -> user:string -> unit
+val note_failure : t -> user:string -> unit
+val note_usage : t -> user:string -> connect_ns:int -> cpu_ns:int -> pages:int -> unit
+val users : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module K = Multics_kernel
+module Aim = Multics_aim
+
+type variant = Monolithic | Split
+
+type login_error = [ `Bad_password | `No_such_user ]
+
+type user_entry = {
+  ue_hash : Password.hashed;
+  ue_clearance : Aim.Label.t;
+}
+
+type session = { s_user : string; s_start : int; s_pid : int }
+
+type t = {
+  kernel : K.Kernel.t;
+  variant : variant;
+  users : (string, user_entry) Hashtbl.t;
+  acct : Accounting.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable login_count : int;
+  mutable failure_count : int;
+}
+
+let create ~kernel ~variant =
+  { kernel; variant; users = Hashtbl.create 16; acct = Accounting.create ();
+    sessions = Hashtbl.create 16; login_count = 0; failure_count = 0 }
+
+let variant t = t.variant
+
+let meter t = K.Kernel.meter t.kernel
+
+(* Trusted core work (in the kernel's audit boundary in both variants). *)
+let charge_core t ns =
+  K.Meter.charge (meter t) ~manager:"answering_service" K.Cost.Pl1 ns
+
+(* Login-server work: user domain in the split variant, still trusted in
+   the monolith. *)
+let charge_server t ns =
+  let manager =
+    match t.variant with
+    | Monolithic -> "answering_service"
+    | Split -> "login_server"
+  in
+  K.Meter.charge (meter t) ~manager K.Cost.Pl1 ns
+
+let register_user t ~user ~password ~clearance =
+  charge_core t K.Cost.directory_entry_op;
+  Hashtbl.replace t.users user
+    { ue_hash = Password.hash ~salt:user password; ue_clearance = clearance }
+
+(* The authentication core: the part Montgomery showed must stay
+   trusted. *)
+let authenticate t ~user ~password =
+  charge_core t K.Cost.password_hash;
+  match Hashtbl.find_opt t.users user with
+  | None -> Error `No_such_user
+  | Some entry ->
+      if Password.verify entry.ue_hash password then Ok entry
+      else Error `Bad_password
+
+let login t ~user ~password ~program =
+  (* Terminal dialogue and argument parsing: login-server work. *)
+  charge_server t (3 * K.Cost.directory_entry_op);
+  (match t.variant with
+  | Monolithic -> ()
+  | Split ->
+      (* The server, in an outer ring, crosses into the authentication
+         core and again for process creation: the 3% the paper
+         measured. *)
+      K.Meter.charge (meter t) ~manager:"login_server" K.Cost.Pl1
+        (2 * K.Cost.ring_crossing));
+  match authenticate t ~user ~password with
+  | Error e ->
+      t.failure_count <- t.failure_count + 1;
+      Accounting.note_failure t.acct ~user;
+      Error e
+  | Ok entry ->
+      charge_server t K.Cost.accounting_update;
+      let pid =
+        K.Kernel.spawn t.kernel
+          ~principal:{ K.Acl.user; project = "users" }
+          ~label:entry.ue_clearance ~ring:5 ~pname:(user ^ ".proc") program
+      in
+      t.login_count <- t.login_count + 1;
+      Accounting.note_login t.acct ~user;
+      Hashtbl.replace t.sessions pid
+        { s_user = user; s_start = K.Kernel.now t.kernel; s_pid = pid };
+      Ok pid
+
+let logout t ~pid =
+  charge_server t K.Cost.accounting_update;
+  match Hashtbl.find_opt t.sessions pid with
+  | None -> ()
+  | Some s ->
+      let p = K.User_process.proc (K.Kernel.user_process t.kernel) pid in
+      Accounting.note_usage t.acct ~user:s.s_user
+        ~connect_ns:(K.Kernel.now t.kernel - s.s_start)
+        ~cpu_ns:p.K.User_process.cpu_ns ~pages:0;
+      Hashtbl.remove t.sessions pid
+
+let accounting t = t.acct
+let logins t = t.login_count
+let failures t = t.failure_count
+
+let trusted_lines t =
+  match t.variant with Monolithic -> 10_000 | Split -> 900

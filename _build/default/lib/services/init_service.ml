@@ -1,0 +1,40 @@
+type variant = In_kernel | Previous_incarnation
+
+type step = { step_name : string; build_cost : int; verify_cost : int }
+
+let catalogue =
+  [ { step_name = "configuration_deck"; build_cost = 120_000; verify_cost = 8_000 };
+    { step_name = "sst_and_page_tables"; build_cost = 450_000; verify_cost = 25_000 };
+    { step_name = "descriptor_segments"; build_cost = 220_000; verify_cost = 12_000 };
+    { step_name = "interrupt_vectors"; build_cost = 90_000; verify_cost = 6_000 };
+    { step_name = "io_channel_tables"; build_cost = 310_000; verify_cost = 15_000 };
+    { step_name = "volume_registration"; build_cost = 260_000; verify_cost = 14_000 };
+    { step_name = "root_directory"; build_cost = 180_000; verify_cost = 10_000 };
+    { step_name = "scheduler_queues"; build_cost = 75_000; verify_cost = 5_000 } ]
+
+type result = {
+  boot_kernel_ns : int;
+  prior_user_ns : int;
+  kernel_lines : int;
+  steps_run : int;
+}
+
+let run variant =
+  match variant with
+  | In_kernel ->
+      let boot =
+        List.fold_left (fun acc s -> acc + s.build_cost) 0 catalogue
+      in
+      { boot_kernel_ns = boot; prior_user_ns = 0; kernel_lines = 2_100;
+        steps_run = List.length catalogue }
+  | Previous_incarnation ->
+      (* The heavy construction happened in a user process last
+         incarnation; boot only loads and verifies. *)
+      let prior =
+        List.fold_left (fun acc s -> acc + s.build_cost) 0 catalogue
+      in
+      let boot =
+        List.fold_left (fun acc s -> acc + s.verify_cost) 0 catalogue
+      in
+      { boot_kernel_ns = boot; prior_user_ns = prior; kernel_lines = 150;
+        steps_run = List.length catalogue }

@@ -1,0 +1,73 @@
+module K = Multics_kernel
+module Hw = Multics_hw
+
+type net = Arpanet | Front_end
+
+type variant = Per_network_in_kernel | Generic_demux
+
+type t = {
+  kernel : K.Kernel.t;
+  variant : variant;
+  channels : (string, net) Hashtbl.t;
+  mutable delivered : int;
+  mutable kernel_ns : int;
+  mutable user_ns : int;
+}
+
+let create ~kernel ~variant =
+  { kernel; variant; channels = Hashtbl.create 16; delivered = 0;
+    kernel_ns = 0; user_ns = 0 }
+
+let variant t = t.variant
+
+let attach_channel t ~net ~channel = Hashtbl.replace t.channels channel net
+
+(* Protocol work per message scales with size; the ARPANET's NCP does
+   more per message than the front-end's simple terminal framing. *)
+let protocol_steps net bytes =
+  match net with
+  | Arpanet -> 2 + (bytes / 256)
+  | Front_end -> 1 + (bytes / 512)
+
+let deliver t ~net ~channel ~bytes =
+  let meter = K.Kernel.meter t.kernel in
+  let steps = protocol_steps net bytes in
+  (* The interrupt and demultiplexing are kernel work in either
+     arrangement. *)
+  let demux = K.Cost.scale K.Cost.Pl1 K.Cost.net_demux_packet in
+  K.Meter.charge meter ~manager:"network_demux" K.Cost.Pl1
+    K.Cost.net_demux_packet;
+  t.kernel_ns <- t.kernel_ns + demux;
+  let proto = steps * K.Cost.net_protocol_step in
+  (match t.variant with
+  | Per_network_in_kernel ->
+      K.Meter.charge meter ~manager:"network_protocols_ring0" K.Cost.Pl1 proto;
+      t.kernel_ns <- t.kernel_ns + K.Cost.scale K.Cost.Pl1 proto
+  | Generic_demux ->
+      (* Hand the submessage out of the kernel, process it there. *)
+      K.Meter.charge meter ~manager:"network_protocols_user" K.Cost.Pl1
+        (K.Cost.ring_crossing + proto);
+      t.user_ns <- t.user_ns + K.Cost.scale K.Cost.Pl1 proto);
+  t.delivered <- t.delivered + 1;
+  (* Wake whoever awaits the channel. *)
+  let ec =
+    K.User_process.user_eventcount (K.Kernel.user_process t.kernel) channel
+  in
+  Multics_sync.Eventcount.advance ec
+
+let inject t ~net ~channel ~bytes ~delay_ns =
+  (match Hashtbl.find_opt t.channels channel with
+  | Some declared when declared = net -> ()
+  | Some _ -> invalid_arg "Network.inject: channel attached to another net"
+  | None -> invalid_arg "Network.inject: unknown channel");
+  Hw.Machine.schedule (K.Kernel.machine t.kernel) ~delay:delay_ns (fun () ->
+      deliver t ~net ~channel ~bytes)
+
+let delivered t = t.delivered
+let kernel_protocol_ns t = t.kernel_ns
+let user_protocol_ns t = t.user_ns
+
+let kernel_lines t ~networks =
+  match t.variant with
+  | Per_network_in_kernel -> networks * 3_500
+  | Generic_demux -> 900 + (networks * 40)

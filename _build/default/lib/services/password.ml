@@ -1,0 +1,20 @@
+type hashed = { salt : string; digest : int }
+
+let iterations = 64
+
+let fnv1a input =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x100000001b3 land max_int)
+    input;
+  !h
+
+let hash ~salt password =
+  let rec iterate digest n =
+    if n = 0 then digest
+    else iterate (fnv1a (salt ^ string_of_int digest ^ password)) (n - 1)
+  in
+  { salt; digest = iterate (fnv1a (salt ^ password)) iterations }
+
+let verify hashed password = (hash ~salt:hashed.salt password).digest = hashed.digest
+let to_string h = Printf.sprintf "%s$%x" h.salt h.digest

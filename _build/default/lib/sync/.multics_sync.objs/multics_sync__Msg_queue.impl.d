@@ -1,0 +1,1 @@
+lib/sync/msg_queue.ml: Eventcount Queue

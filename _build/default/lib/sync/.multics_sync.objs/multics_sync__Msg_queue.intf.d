@@ -1,0 +1,1 @@
+lib/sync/msg_queue.mli: Eventcount

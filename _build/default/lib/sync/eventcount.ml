@@ -1,0 +1,34 @@
+type waiter = { threshold : int; notify : unit -> unit }
+
+type t = {
+  ec_name : string;
+  mutable value : int;
+  mutable pending : waiter list;  (* newest first *)
+  mutable advance_count : int;
+}
+
+let create ?(name = "ec") () =
+  { ec_name = name; value = 0; pending = []; advance_count = 0 }
+
+let name t = t.ec_name
+let read t = t.value
+
+let advance t =
+  t.value <- t.value + 1;
+  t.advance_count <- t.advance_count + 1;
+  let ready, still =
+    List.partition (fun w -> w.threshold <= t.value) t.pending
+  in
+  t.pending <- still;
+  (* Fire in registration order. *)
+  List.iter (fun w -> w.notify ()) (List.rev ready)
+
+let await t ~value ~notify =
+  if t.value >= value then true
+  else begin
+    t.pending <- { threshold = value; notify } :: t.pending;
+    false
+  end
+
+let waiters t = List.length t.pending
+let advances t = t.advance_count

@@ -1,0 +1,33 @@
+(** Eventcounts (Reed and Kanodia, 1977).
+
+    An eventcount is a monotonically increasing counter.  A waiter asks
+    to be notified when the count reaches a threshold; the advancer need
+    not know who, if anyone, is waiting — the property the paper relies
+    on to let low-level virtual processors signal user processes without
+    depending on the user-process implementation.
+
+    Waiters here are callbacks: the virtual processor manager registers
+    a closure that marks its VP runnable. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val read : t -> int
+(** Current value; initially 0. *)
+
+val advance : t -> unit
+(** Increment the count and fire every waiter whose threshold has been
+    reached.  Waiters fire in registration order. *)
+
+val await : t -> value:int -> notify:(unit -> unit) -> bool
+(** [await t ~value ~notify] returns [true] immediately when
+    [read t >= value]; otherwise registers [notify] to be called when
+    the count reaches [value] and returns [false]. *)
+
+val waiters : t -> int
+(** Number of registered, unfired waiters. *)
+
+val advances : t -> int
+(** Total number of [advance] calls, for accounting. *)

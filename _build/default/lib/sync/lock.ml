@@ -1,0 +1,45 @@
+type t = {
+  lock_name : string;
+  mutable owner : string option;
+  mutable queue : (string * (unit -> unit)) list;  (* newest first *)
+  mutable acquisitions : int;
+  mutable contentions : int;
+}
+
+let create ?(name = "lock") () =
+  { lock_name = name; owner = None; queue = []; acquisitions = 0;
+    contentions = 0 }
+
+let name t = t.lock_name
+
+let try_acquire t ~owner =
+  match t.owner with
+  | Some _ -> false
+  | None ->
+      t.owner <- Some owner;
+      t.acquisitions <- t.acquisitions + 1;
+      true
+
+let acquire_or_wait t ~owner ~notify =
+  if try_acquire t ~owner then true
+  else begin
+    t.contentions <- t.contentions + 1;
+    t.queue <- (owner, notify) :: t.queue;
+    false
+  end
+
+let release t =
+  match t.owner with
+  | None -> invalid_arg (Printf.sprintf "Lock.release: %s not held" t.lock_name)
+  | Some _ -> (
+      match List.rev t.queue with
+      | [] -> t.owner <- None
+      | (next_owner, notify) :: rest ->
+          t.queue <- List.rev rest;
+          t.owner <- Some next_owner;
+          t.acquisitions <- t.acquisitions + 1;
+          notify ())
+
+let holder t = t.owner
+let acquisitions t = t.acquisitions
+let contentions t = t.contentions

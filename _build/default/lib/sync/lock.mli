@@ -1,0 +1,28 @@
+(** Global locks with contention accounting.
+
+    Models the page-table lock the paper describes: a single lock
+    serialising page control.  The simulation is sequential, so the lock
+    records *logical* ownership across simulated time; contenders queue
+    and are released in FIFO order.  Acquisition counts and contention
+    counts feed the benches. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val try_acquire : t -> owner:string -> bool
+(** Take the lock if free. *)
+
+val acquire_or_wait : t -> owner:string -> notify:(unit -> unit) -> bool
+(** [true] when acquired immediately; otherwise queues [notify], which
+    fires (with the lock already transferred to the queued owner) when
+    the current holder releases. *)
+
+val release : t -> unit
+(** Raises [Invalid_argument] when not held.  Hands the lock to the next
+    queued contender, if any, and fires its callback. *)
+
+val holder : t -> string option
+val acquisitions : t -> int
+val contentions : t -> int

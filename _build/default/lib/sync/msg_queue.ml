@@ -1,0 +1,40 @@
+type 'a t = {
+  q_name : string;
+  capacity : int;
+  queue : 'a Queue.t;
+  items_ec : Eventcount.t;
+  mutable consumed : int;
+  mutable drops : int;
+}
+
+let create ?(name = "msgq") ~capacity () =
+  assert (capacity > 0);
+  { q_name = name; capacity; queue = Queue.create ();
+    items_ec = Eventcount.create ~name:(name ^ ".items") ();
+    consumed = 0; drops = 0 }
+
+let name t = t.q_name
+let capacity t = t.capacity
+let length t = Queue.length t.queue
+
+let send t msg =
+  if Queue.length t.queue >= t.capacity then begin
+    t.drops <- t.drops + 1;
+    Error `Full
+  end
+  else begin
+    Queue.add msg t.queue;
+    Eventcount.advance t.items_ec;
+    Ok ()
+  end
+
+let receive t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some msg ->
+      t.consumed <- t.consumed + 1;
+      Some msg
+
+let items t = t.items_ec
+let consumed t = t.consumed
+let drops t = t.drops

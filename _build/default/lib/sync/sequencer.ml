@@ -1,0 +1,11 @@
+type t = { seq_name : string; mutable next : int }
+
+let create ?(name = "seq") () = { seq_name = name; next = 1 }
+let name t = t.seq_name
+
+let ticket t =
+  let n = t.next in
+  t.next <- n + 1;
+  n
+
+let issued t = t.next - 1

@@ -1,0 +1,1 @@
+test/test_aim.ml: Alcotest Array Gen List Multics_aim QCheck QCheck_alcotest

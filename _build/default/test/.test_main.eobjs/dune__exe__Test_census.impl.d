@@ -1,0 +1,1 @@
+test/test_census.ml: Alcotest Astring Format List Multics_census Printf

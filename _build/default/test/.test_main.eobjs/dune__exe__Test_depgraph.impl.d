@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Alcotest Astring Gen List Multics_depgraph Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Astring Buffer List Multics_aim Multics_census Multics_hw Multics_kernel Multics_legacy Printf

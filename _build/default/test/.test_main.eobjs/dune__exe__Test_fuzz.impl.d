@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Format List Multics_aim Multics_depgraph Multics_hw Multics_kernel Multics_legacy Printf QCheck QCheck_alcotest String

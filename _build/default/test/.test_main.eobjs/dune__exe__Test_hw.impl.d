@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array List Multics_hw QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_incarnation.ml: Alcotest List Multics_aim Multics_hw Multics_kernel

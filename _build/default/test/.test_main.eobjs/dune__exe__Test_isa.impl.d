@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Astring List Multics_aim Multics_hw Multics_kernel Multics_legacy QCheck QCheck_alcotest

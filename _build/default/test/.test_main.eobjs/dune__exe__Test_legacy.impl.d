@@ -1,0 +1,1 @@
+test/test_legacy.ml: Alcotest Astring List Multics_aim Multics_depgraph Multics_hw Multics_kernel Multics_legacy Option Printf String

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Astring Format List Multics_aim Multics_depgraph Multics_hw Multics_kernel Multics_legacy Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Astring Format List Multics_aim Multics_depgraph Multics_hw Multics_kernel Multics_legacy String

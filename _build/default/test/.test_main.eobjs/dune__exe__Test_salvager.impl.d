@@ -1,0 +1,1 @@
+test/test_salvager.ml: Alcotest Array Format List Multics_aim Multics_hw Multics_kernel Option

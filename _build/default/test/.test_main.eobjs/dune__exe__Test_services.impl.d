@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest List Multics_aim Multics_kernel Multics_services Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Gen List Multics_sync QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest List Multics_aim Multics_depgraph Multics_hw Multics_kernel Multics_services

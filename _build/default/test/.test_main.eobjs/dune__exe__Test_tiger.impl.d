@@ -1,0 +1,1 @@
+test/test_tiger.ml: Alcotest Astring List Multics_aim Multics_hw Multics_kernel Multics_services Printf

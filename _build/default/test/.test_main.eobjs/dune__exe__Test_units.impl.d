@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Fun Gen List Multics_hw Multics_kernel Multics_sync Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,247 @@
+(* Tests for the Access Isolation Mechanism: labels, lattice laws,
+   Bell-LaPadula flow rules, audit trail. *)
+
+module Aim = Multics_aim
+
+let check = Alcotest.check
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let label level comps =
+  Aim.Label.make (Aim.Level.of_int level) (Aim.Compartment.of_list comps)
+
+let label_gen =
+  QCheck.Gen.(
+    let* level = int_bound 7 in
+    let* comps = list_size (0 -- 4) (int_bound 17) in
+    return (label level comps))
+
+let label_arb =
+  QCheck.make ~print:(fun l -> Aim.Label.to_string l) label_gen
+
+let test_dominates () =
+  let unclass = label 0 [] in
+  let secret_nato = label 2 [ 1 ] in
+  let secret = label 2 [] in
+  check Alcotest.bool "secret+nato dominates unclass" true
+    (Aim.Label.dominates secret_nato unclass);
+  check Alcotest.bool "secret does not dominate secret+nato" false
+    (Aim.Label.dominates secret secret_nato);
+  check Alcotest.bool "incomparable" false
+    (Aim.Label.comparable (label 1 [ 2 ]) (label 2 [ 3 ]))
+
+let test_encode_roundtrip () =
+  let l = label 3 [ 0; 5; 17 ] in
+  check Alcotest.bool "roundtrip" true
+    (Aim.Label.equal l (Aim.Label.decode (Aim.Label.encode l)))
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"label encode/decode roundtrip" ~count:300 label_arb
+    (fun l -> Aim.Label.equal l (Aim.Label.decode (Aim.Label.encode l)))
+
+let prop_dominates_partial_order =
+  QCheck.Test.make ~name:"dominates is a partial order" ~count:300
+    QCheck.(triple label_arb label_arb label_arb)
+    (fun (a, b, c) ->
+      Aim.Label.dominates a a
+      && ((not (Aim.Label.dominates a b && Aim.Label.dominates b a))
+          || Aim.Label.equal a b)
+      && ((not (Aim.Label.dominates a b && Aim.Label.dominates b c))
+          || Aim.Label.dominates a c))
+
+let prop_lub_is_least_upper_bound =
+  QCheck.Test.make ~name:"lub bounds both and is least" ~count:300
+    QCheck.(triple label_arb label_arb label_arb)
+    (fun (a, b, c) ->
+      let j = Aim.Label.lub a b in
+      Aim.Label.dominates j a && Aim.Label.dominates j b
+      && ((not (Aim.Label.dominates c a && Aim.Label.dominates c b))
+          || Aim.Label.dominates c j))
+
+let prop_glb_is_greatest_lower_bound =
+  QCheck.Test.make ~name:"glb bounded by both and greatest" ~count:300
+    QCheck.(triple label_arb label_arb label_arb)
+    (fun (a, b, c) ->
+      let m = Aim.Label.glb a b in
+      Aim.Label.dominates a m && Aim.Label.dominates b m
+      && ((not (Aim.Label.dominates a c && Aim.Label.dominates b c))
+          || Aim.Label.dominates m c))
+
+let prop_lattice_absorption =
+  QCheck.Test.make ~name:"lattice absorption laws" ~count:300
+    QCheck.(pair label_arb label_arb)
+    (fun (a, b) ->
+      Aim.Label.equal a (Aim.Label.lub a (Aim.Label.glb a b))
+      && Aim.Label.equal a (Aim.Label.glb a (Aim.Label.lub a b)))
+
+let subject ?(trusted = false) name l =
+  { Aim.Flow.subject_name = name; label = l; trusted }
+
+let test_simple_security () =
+  let s = subject "alice" (label 2 [ 1 ]) in
+  check Alcotest.bool "read down ok" true
+    (Aim.Flow.can_observe s ~object_label:(label 1 [ 1 ]) = Aim.Flow.Granted);
+  check Alcotest.bool "read up denied" true
+    (Aim.Flow.can_observe s ~object_label:(label 3 []) = Aim.Flow.Denied);
+  check Alcotest.bool "read across denied" true
+    (Aim.Flow.can_observe s ~object_label:(label 2 [ 2 ]) = Aim.Flow.Denied)
+
+let test_star_property () =
+  let s = subject "alice" (label 2 []) in
+  check Alcotest.bool "write up ok" true
+    (Aim.Flow.can_modify s ~object_label:(label 3 []) = Aim.Flow.Granted);
+  check Alcotest.bool "write down denied" true
+    (Aim.Flow.can_modify s ~object_label:(label 1 []) = Aim.Flow.Denied);
+  check Alcotest.bool "write at level ok" true
+    (Aim.Flow.can_modify s ~object_label:(label 2 []) = Aim.Flow.Granted)
+
+let test_trusted_override () =
+  let s = subject ~trusted:true "answering_service" (label 3 []) in
+  check Alcotest.bool "trusted write down" true
+    (Aim.Flow.can_modify s ~object_label:(label 0 [])
+     = Aim.Flow.Granted_trusted)
+
+(* No flow both ways between incomparable labels: confinement. *)
+let prop_no_two_way_flow =
+  QCheck.Test.make ~name:"untrusted subject cannot read and write both ways"
+    ~count:300
+    QCheck.(pair label_arb label_arb)
+    (fun (sl, ol) ->
+      QCheck.assume (not (Aim.Label.equal sl ol));
+      let s = subject "s" sl in
+      let reads = Aim.Flow.can_observe s ~object_label:ol = Aim.Flow.Granted in
+      let writes = Aim.Flow.can_modify s ~object_label:ol = Aim.Flow.Granted in
+      not (reads && writes))
+
+let test_audit_trail () =
+  let audit = Aim.Audit.create () in
+  let alice = subject "alice" (label 2 []) in
+  let trusted = subject ~trusted:true "svc" (label 3 []) in
+  let ok =
+    Aim.Flow.check ~audit alice ~object_label:(label 1 []) ~object_name:"memo"
+      `Observe
+  in
+  check Alcotest.bool "grant" true ok;
+  let denied =
+    Aim.Flow.check ~audit alice ~object_label:(label 3 []) ~object_name:"plans"
+      `Observe
+  in
+  check Alcotest.bool "denied" false denied;
+  let via_trust =
+    Aim.Flow.check ~audit trusted ~object_label:(label 0 [])
+      ~object_name:"motd" `Modify
+  in
+  check Alcotest.bool "override" true via_trust;
+  check Alcotest.int "grants" 1 (Aim.Audit.grants audit);
+  check Alcotest.int "denials" 1 (Aim.Audit.denials audit);
+  check Alcotest.int "overrides" 1 (Aim.Audit.overrides audit);
+  match Aim.Audit.events audit with
+  | [ e1; e2 ] ->
+      check Alcotest.string "first event outcome" "denied" e1.Aim.Audit.outcome;
+      check Alcotest.string "second outcome" "trusted-override"
+        e2.Aim.Audit.outcome
+  | _ -> Alcotest.fail "expected two recorded events"
+
+(* ------------------------------------------------------------------ *)
+(* The executable MITRE model (the paper's box 4) *)
+
+let mitre_fixture () =
+  let m = Aim.Mitre.create () in
+  Aim.Mitre.add_subject m ~name:"low_s" ~label:(label 0 []) ~trusted:false;
+  Aim.Mitre.add_subject m ~name:"secret_s" ~label:(label 2 []) ~trusted:false;
+  Aim.Mitre.add_subject m ~name:"trusted_s" ~label:(label 3 []) ~trusted:true;
+  Aim.Mitre.add_object m ~name:"low_o" ~label:(label 0 []);
+  Aim.Mitre.add_object m ~name:"secret_o" ~label:(label 2 []);
+  m
+
+let test_mitre_rules () =
+  let m = mitre_fixture () in
+  check Alcotest.bool "read down granted" true
+    (Aim.Mitre.request m ~subject:"secret_s" ~object_:"low_o" Aim.Mitre.Observe
+     = `Granted);
+  check Alcotest.bool "read up refused" true
+    (Aim.Mitre.request m ~subject:"low_s" ~object_:"secret_o" Aim.Mitre.Observe
+     = `Refused);
+  check Alcotest.bool "write up granted" true
+    (Aim.Mitre.request m ~subject:"low_s" ~object_:"secret_o" Aim.Mitre.Modify
+     = `Granted);
+  check Alcotest.bool "write down refused" true
+    (Aim.Mitre.request m ~subject:"secret_s" ~object_:"low_o" Aim.Mitre.Modify
+     = `Refused);
+  check Alcotest.bool "trusted write down" true
+    (Aim.Mitre.request m ~subject:"trusted_s" ~object_:"low_o" Aim.Mitre.Modify
+     = `Granted);
+  check Alcotest.bool "state secure" true (Aim.Mitre.secure m);
+  check Alcotest.int "no violations" 0 (List.length (Aim.Mitre.violations m))
+
+(* The Basic Security Theorem for this rule set: any sequence of
+   requests and releases from the empty state leaves the state secure. *)
+let prop_basic_security_theorem =
+  QCheck.Test.make ~name:"basic security theorem" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 40)
+              (quad (int_bound 3) (int_bound 3) bool bool))
+    (fun ops ->
+      let m = Aim.Mitre.create () in
+      let subjects = [| "s0"; "s1"; "s2"; "s3" |] in
+      let objects = [| "o0"; "o1"; "o2"; "o3" |] in
+      Array.iteri
+        (fun i name ->
+          Aim.Mitre.add_subject m ~name ~label:(label i [ i mod 3 ])
+            ~trusted:false)
+        subjects;
+      Array.iteri
+        (fun i name -> Aim.Mitre.add_object m ~name ~label:(label i [ i mod 2 ]))
+        objects;
+      List.for_all
+        (fun (si, oi, is_modify, is_release) ->
+          let access = if is_modify then Aim.Mitre.Modify else Aim.Mitre.Observe in
+          if is_release then
+            Aim.Mitre.release m ~subject:subjects.(si) ~object_:objects.(oi)
+              access
+          else
+            ignore
+              (Aim.Mitre.request m ~subject:subjects.(si) ~object_:objects.(oi)
+                 access);
+          Aim.Mitre.secure m)
+        ops)
+
+(* The kernel's Flow decisions agree with the specification point for
+   point (for untrusted subjects; trusted ones are audited overrides). *)
+let prop_flow_agrees_with_mitre =
+  QCheck.Test.make ~name:"Flow implements the MITRE specification" ~count:300
+    QCheck.(triple label_arb label_arb bool)
+    (fun (sl, ol, is_modify) ->
+      let m = Aim.Mitre.create () in
+      Aim.Mitre.add_subject m ~name:"s" ~label:sl ~trusted:false;
+      Aim.Mitre.add_object m ~name:"o" ~label:ol;
+      let spec =
+        Aim.Mitre.request m ~subject:"s" ~object_:"o"
+          (if is_modify then Aim.Mitre.Modify else Aim.Mitre.Observe)
+      in
+      let s = subject "s" sl in
+      let impl =
+        if is_modify then Aim.Flow.can_modify s ~object_label:ol
+        else Aim.Flow.can_observe s ~object_label:ol
+      in
+      (spec = `Granted) = (impl = Aim.Flow.Granted))
+
+let test_level_bounds () =
+  Alcotest.check_raises "level 8" (Invalid_argument "Level.of_int: levels are 0..7")
+    (fun () -> ignore (Aim.Level.of_int 8))
+
+let tests =
+  [ Alcotest.test_case "dominates" `Quick test_dominates;
+    Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+    qcheck prop_encode_roundtrip;
+    qcheck prop_dominates_partial_order;
+    qcheck prop_lub_is_least_upper_bound;
+    qcheck prop_glb_is_greatest_lower_bound;
+    qcheck prop_lattice_absorption;
+    Alcotest.test_case "simple security" `Quick test_simple_security;
+    Alcotest.test_case "star property" `Quick test_star_property;
+    Alcotest.test_case "trusted override" `Quick test_trusted_override;
+    qcheck prop_no_two_way_flow;
+    Alcotest.test_case "audit trail" `Quick test_audit_trail;
+    Alcotest.test_case "mitre rules" `Quick test_mitre_rules;
+    qcheck prop_basic_security_theorem;
+    qcheck prop_flow_agrees_with_mitre;
+    Alcotest.test_case "level bounds" `Quick test_level_bounds ]

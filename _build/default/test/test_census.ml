@@ -1,0 +1,216 @@
+(* Tests asserting that the census model reproduces every aggregate the
+   paper publishes. *)
+
+module Census = Multics_census
+
+let check = Alcotest.check
+
+let base = Census.Inventory.base_1973
+let ring0 = Census.Inventory.ring_zero base
+
+(* "the number of source lines in ring zero is actually not 36,000 but
+   44,000" *)
+let test_ring0_source () =
+  check Alcotest.int "44,000 source lines" 44_000
+    (Census.Inventory.total_source ring0)
+
+(* "there were the equivalent of 36,000 lines of PL/I within ring zero" *)
+let test_ring0_pl1_equivalent () =
+  let equiv = Census.Inventory.total_pl1_equivalent ring0 in
+  check Alcotest.bool
+    (Printf.sprintf "~36,000 PL/I-equivalent (got %d)" equiv)
+    true
+    (abs (equiv - 36_000) <= 500)
+
+(* "approximately 1,200 distinct entry points ... of which 157 were
+   callable by the user" *)
+let test_entry_points () =
+  check Alcotest.int "1,200 entries" 1_200 (Census.Inventory.total_entries ring0);
+  check Alcotest.int "157 user entries" 157
+    (Census.Inventory.total_user_entries ring0)
+
+(* "These programs were the equivalent of 10,000 lines of PL/I code" *)
+let test_answering_service_size () =
+  let answering = Census.Inventory.find base "answering_service" in
+  check Alcotest.int "10,000 lines" 10_000
+    (Census.Component.source_lines answering)
+
+(* Start of project: 54K total *)
+let test_total_54k () =
+  check Alcotest.int "54,000 total" 54_000
+    (Census.Inventory.total_source (Census.Inventory.kernel base))
+
+let apply_one step =
+  let _, summary = step.Census.Restructure.apply base in
+  summary
+
+(* The size table: Linker 2K, Name Manager 1K, Answering Service 9K,
+   Network I/O 6K, Initialization 2K, Exclusive use of PL/I 8K, total
+   28K. *)
+let test_reduction_linker () =
+  let s = apply_one Census.Restructure.extract_linker in
+  check Alcotest.int "2K" 2_000 s.Census.Restructure.source_saved
+
+let test_reduction_name_manager () =
+  let s = apply_one Census.Restructure.extract_name_manager in
+  check Alcotest.int "1K" 1_000 s.Census.Restructure.source_saved
+
+let test_reduction_answering () =
+  let s = apply_one Census.Restructure.split_answering_service in
+  check Alcotest.int "9K" 9_100 s.Census.Restructure.source_saved
+
+let test_reduction_network () =
+  let s = apply_one Census.Restructure.extract_network in
+  check Alcotest.int "6K" 6_100 s.Census.Restructure.source_saved
+
+let test_reduction_initialization () =
+  let s = apply_one Census.Restructure.extract_initialization in
+  check Alcotest.int "2K" 2_100 s.Census.Restructure.source_saved
+
+let test_apply_all_28k () =
+  let final, summaries = Census.Restructure.apply_all base in
+  let total =
+    List.fold_left
+      (fun acc s -> acc + s.Census.Restructure.source_saved)
+      0 summaries
+  in
+  check Alcotest.bool (Printf.sprintf "~28K total saved (got %d)" total) true
+    (abs (total - 28_000) <= 500);
+  (* "could be to cut the size of the kernel roughly in half" *)
+  let remaining =
+    Census.Inventory.total_source (Census.Inventory.kernel final)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "roughly half of 54K remains (got %d)" remaining)
+    true
+    (remaining > 22_000 && remaining < 30_000)
+
+(* Recoding assembly saves ~8K source lines ("Exclusive use of PL/I 8K")
+   when run after the extractions, as in the table. *)
+let test_recode_assembly_8k () =
+  let with_extractions =
+    List.fold_left
+      (fun components step -> fst (step.Census.Restructure.apply components))
+      base
+      [ Census.Restructure.extract_linker;
+        Census.Restructure.extract_name_manager;
+        Census.Restructure.split_answering_service;
+        Census.Restructure.extract_network;
+        Census.Restructure.extract_initialization ]
+  in
+  let _, s = Census.Restructure.recode_assembly.Census.Restructure.apply
+      with_extractions
+  in
+  check Alcotest.bool
+    (Printf.sprintf "~8K (got %d)" s.Census.Restructure.source_saved)
+    true
+    (abs (s.Census.Restructure.source_saved - 8_000) <= 250)
+
+(* "it only removed 2 1/2% of the entry points inside the kernel ...
+   but it eliminated 11% of the entry points from the user domain" *)
+let test_linker_entry_point_effect () =
+  let s = apply_one Census.Restructure.extract_linker in
+  let entries = Census.Inventory.total_entries ring0 in
+  let user = Census.Inventory.total_user_entries ring0 in
+  let pct a b = 100.0 *. float_of_int a /. float_of_int b in
+  let entry_pct = pct s.Census.Restructure.entries_removed entries in
+  let user_pct = pct s.Census.Restructure.user_entries_removed user in
+  check Alcotest.bool
+    (Printf.sprintf "~2.5%% of entries (got %.1f%%)" entry_pct)
+    true
+    (entry_pct > 2.0 && entry_pct < 3.0);
+  check Alcotest.bool
+    (Printf.sprintf "~11%% of user entries (got %.1f%%)" user_pct)
+    true
+    (user_pct > 10.0 && user_pct < 12.0)
+
+(* "reduced the size of the kernel only by 2 1/2%" (name manager),
+   "reduction by a factor of four in the total size of the code" *)
+let test_name_manager_effects () =
+  let linker_like = Census.Inventory.find base "name_manager" in
+  let pct =
+    100.0
+    *. float_of_int (Census.Component.source_lines linker_like)
+    /. float_of_int (Census.Inventory.total_source ring0)
+  in
+  check Alcotest.bool (Printf.sprintf "~2.5%% of kernel (got %.1f%%)" pct) true
+    (pct > 2.0 && pct < 3.0);
+  match Census.Restructure.user_domain_algorithm_sizes with
+  | [ (_, in_kernel, out_of_kernel) ] ->
+      check Alcotest.int "factor of four" 4 (in_kernel / out_of_kernel)
+  | _ -> Alcotest.fail "expected one algorithm-size entry"
+
+(* "this 7,000 lines of code in the kernel may shrink to less than
+   1,000, a reduction of 17% of the supervisor" (of the 36K PL/I
+   equivalent) *)
+let test_network_effects () =
+  let network = Census.Inventory.find base "network_control" in
+  check Alcotest.int "7,000 lines" 7_000 (Census.Component.source_lines network);
+  let s = apply_one Census.Restructure.extract_network in
+  let pct =
+    100.0
+    *. float_of_int s.Census.Restructure.pl1_equiv_saved
+    /. float_of_int (Census.Inventory.total_pl1_equivalent ring0)
+  in
+  check Alcotest.bool (Printf.sprintf "~17%% of supervisor (got %.1f%%)" pct)
+    true
+    (pct > 15.0 && pct < 19.0)
+
+(* Specialisation estimate: "at most another 15 to 25%" *)
+let test_specialize_estimate () =
+  let final, _ = Census.Restructure.apply_all base in
+  let low, high = Census.Restructure.specialize_file_store_estimate final in
+  let remaining =
+    Census.Inventory.total_pl1_equivalent (Census.Inventory.kernel final)
+  in
+  check Alcotest.int "15%" (remaining * 15 / 100) low;
+  check Alcotest.int "25%" (remaining * 25 / 100) high
+
+(* Reports render without error and carry the headline numbers. *)
+let test_reports_render () =
+  let table = Format.asprintf "%a" Census.Report.size_table () in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool ("mentions " ^ needle) true
+        (Astring.String.is_infix ~affix:needle table))
+    [ "44K"; "10K"; "54K"; "Linker"; "Name Manager"; "Answering Service";
+      "Network I/O"; "Initialization"; "Exclusive use of PL/I"; "28K" ];
+  let entries = Format.asprintf "%a" Census.Report.entry_point_table () in
+  check Alcotest.bool "mentions 1200" true
+    (Astring.String.is_infix ~affix:"1200" entries)
+
+let test_recode_idempotent_on_pl1 () =
+  let comp =
+    { Census.Component.name = "x"; pl1_lines = 100; asm_lines = 0;
+      entry_points = 1; user_entry_points = 0;
+      region = Census.Component.Ring_zero }
+  in
+  check Alcotest.int "no change" 100
+    (Census.Component.recode_in_pl1 comp).Census.Component.pl1_lines
+
+let tests =
+  [ Alcotest.test_case "ring0 source 44K" `Quick test_ring0_source;
+    Alcotest.test_case "ring0 pl1-equivalent 36K" `Quick
+      test_ring0_pl1_equivalent;
+    Alcotest.test_case "entry points 1200/157" `Quick test_entry_points;
+    Alcotest.test_case "answering service 10K" `Quick
+      test_answering_service_size;
+    Alcotest.test_case "total 54K" `Quick test_total_54k;
+    Alcotest.test_case "reduction: linker 2K" `Quick test_reduction_linker;
+    Alcotest.test_case "reduction: name manager 1K" `Quick
+      test_reduction_name_manager;
+    Alcotest.test_case "reduction: answering service 9K" `Quick
+      test_reduction_answering;
+    Alcotest.test_case "reduction: network 6K" `Quick test_reduction_network;
+    Alcotest.test_case "reduction: initialization 2K" `Quick
+      test_reduction_initialization;
+    Alcotest.test_case "apply all ~28K, halved" `Quick test_apply_all_28k;
+    Alcotest.test_case "recode assembly ~8K" `Quick test_recode_assembly_8k;
+    Alcotest.test_case "linker entry-point effect" `Quick
+      test_linker_entry_point_effect;
+    Alcotest.test_case "name manager effects" `Quick test_name_manager_effects;
+    Alcotest.test_case "network effects" `Quick test_network_effects;
+    Alcotest.test_case "specialize estimate" `Quick test_specialize_estimate;
+    Alcotest.test_case "reports render" `Quick test_reports_render;
+    Alcotest.test_case "recode idempotent on pl1" `Quick
+      test_recode_idempotent_on_pl1 ]

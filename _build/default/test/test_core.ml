@@ -1,0 +1,558 @@
+(* Integration and unit tests for Kernel/Multics (lib/core). *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+module Aim = Multics_aim
+module Dg = Multics_depgraph
+
+let check = Alcotest.check
+
+let low = Aim.Label.system_low
+let secret = Aim.Label.make Aim.Level.secret Aim.Compartment.empty
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let boot ?(config = K.Kernel.small_config) () = K.Kernel.boot config
+
+let boot_with_home () =
+  let k = boot () in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  k
+
+let file_writer ~dir ~name ~pages =
+  K.Workload.concat
+    [ [| K.Workload.Create_file { dir; name };
+         K.Workload.Initiate { path = dir ^ ">" ^ name; reg = 0 } |];
+      K.Workload.sequential_write ~seg_reg:0 ~pages ]
+
+(* ------------------------------------------------------------------ *)
+(* Boot and structure *)
+
+let test_boot () =
+  let k = boot () in
+  check Alcotest.bool "core frozen" true (K.Core_segment.frozen (K.Kernel.core k));
+  check Alcotest.int "gates defined" 42 (K.Gate.registered (K.Kernel.gate k));
+  check Alcotest.int "user-callable gates" 30
+    (K.Gate.user_callable (K.Kernel.gate k))
+
+let test_declared_graph_loop_free () =
+  let g = K.Registry.declared_graph () in
+  check Alcotest.bool "loop free" true (Dg.Graph.is_loop_free g);
+  (* The core segment manager is the bottom of the lattice. *)
+  match Dg.Graph.layers g with
+  | Some (bottom :: _) ->
+      check Alcotest.bool "csm at bottom" true
+        (List.mem K.Registry.core_segment_manager bottom)
+  | _ -> Alcotest.fail "expected layers"
+
+(* ------------------------------------------------------------------ *)
+(* Basic process execution *)
+
+let test_write_read_roundtrip () =
+  let k = boot_with_home () in
+  let prog =
+    K.Workload.concat
+      [ file_writer ~dir:">home" ~name:"data" ~pages:4;
+        K.Workload.sequential_read ~seg_reg:0 ~pages:4 ]
+  in
+  let pid = K.Kernel.spawn k ~pname:"rw" prog in
+  check Alcotest.bool "completed" true (K.Kernel.run_to_completion k);
+  let p = K.User_process.proc (K.Kernel.user_process k) pid in
+  check Alcotest.bool "did all actions" true
+    (p.K.User_process.actions_done >= 9);
+  check Alcotest.int "no denials" 0 (K.Kernel.denials k)
+
+let test_quota_charged () =
+  let k = boot_with_home () in
+  K.Kernel.mkdir k ~path:">home>q" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>q" ~limit:16;
+  let prog = file_writer ~dir:">home>q" ~name:"f" ~pages:5 in
+  ignore (K.Kernel.spawn k ~pname:"quota" prog);
+  check Alcotest.bool "completed" true (K.Kernel.run_to_completion k);
+  match K.Kernel.quota_usage k ~path:">home>q" with
+  | None -> Alcotest.fail "expected quota cell"
+  | Some (used, limit) ->
+      check Alcotest.int "limit" 16 limit;
+      (* 5 data pages plus the first page of directory q itself is
+         charged to q's parent, so exactly the file's pages here. *)
+      check Alcotest.int "used" 5 used
+
+let test_quota_enforced () =
+  let k = boot_with_home () in
+  K.Kernel.mkdir k ~path:">home>tiny" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>tiny" ~limit:3;
+  let prog = file_writer ~dir:">home>tiny" ~name:"big" ~pages:8 in
+  let pid = K.Kernel.spawn k ~pname:"overquota" prog in
+  ignore (K.Kernel.run_to_completion k);
+  let p = K.User_process.proc (K.Kernel.user_process k) pid in
+  (match p.K.User_process.pstate with
+  | K.User_process.P_failed msg ->
+      check Alcotest.bool "quota message" true
+        (Astring.String.is_infix ~affix:"quota" msg)
+  | _ -> Alcotest.fail "process should fail on quota");
+  check Alcotest.bool "refusals counted" true
+    (K.Quota_cell.over_quota_refusals (K.Kernel.quota k) > 0)
+
+(* Quota-directory designation only while childless. *)
+let test_set_quota_requires_childless () =
+  let k = boot_with_home () in
+  K.Kernel.mkdir k ~path:">home>parent" ~acl:open_acl ~label:low;
+  K.Kernel.mkdir k ~path:">home>parent>child" ~acl:open_acl ~label:low;
+  Alcotest.check_raises "has children"
+    (Failure "set_quota: has children: >home>parent") (fun () ->
+      K.Kernel.set_quota k ~path:">home>parent" ~limit:8)
+
+(* ------------------------------------------------------------------ *)
+(* Paging under pressure *)
+
+let cramped_config =
+  { K.Kernel.small_config with
+    K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 36;
+    core_frames = 24 }
+(* 12 pageable frames only. *)
+
+let test_thrashing_completes () =
+  let k = K.Kernel.boot cramped_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  let prog =
+    K.Workload.concat
+      [ file_writer ~dir:">home" ~name:"ws" ~pages:14;
+        K.Workload.random_touches ~seg_reg:0 ~pages:14 ~count:200
+          ~write_pct:50 ~seed:7;
+      ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"thrash" prog);
+  check Alcotest.bool "completed under pressure" true
+    (K.Kernel.run_to_completion k);
+  let pfm = K.Kernel.page_frame k in
+  check Alcotest.bool "evictions happened" true (K.Page_frame.evictions pfm > 0);
+  check Alcotest.bool "real page reads" true (K.Page_frame.page_reads pfm > 0)
+
+(* Zero-page reclamation: grow a page, never write it, evict it — the
+   record is freed and the quota credited (the storage-charging feature
+   of paper p.29). *)
+let test_zero_page_reclaim () =
+  let k = boot_with_home () in
+  K.Kernel.mkdir k ~path:">home>z" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>z" ~limit:8;
+  K.Kernel.create_file k ~path:">home>z>f" ~acl:open_acl ~label:low;
+  let sm = K.Kernel.segment k in
+  let dm = K.Kernel.directory k in
+  let target =
+    match
+      K.Name_space.initiate (K.Kernel.name_space k) ~subject:K.Kernel.root_subject
+        ~ring:1 ~path:">home>z>f"
+    with
+    | Ok target -> target
+    | Error _ -> Alcotest.fail "initiate failed"
+  in
+  ignore dm;
+  let slot =
+    match
+      K.Segment.activate sm ~caller:K.Registry.gate
+        ~uid:target.K.Directory.t_uid ~cell:target.K.Directory.t_cell
+    with
+    | Ok slot -> slot
+    | Error _ -> Alcotest.fail "activate failed"
+  in
+  (match K.Segment.grow sm ~caller:K.Registry.gate ~slot ~pageno:0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grow failed");
+  let used_before, _ =
+    Option.get (K.Kernel.quota_usage k ~path:">home>z")
+  in
+  check Alcotest.int "page charged" 1 used_before;
+  (* Evict without ever writing: all zeros. *)
+  let pfm = K.Kernel.page_frame k in
+  (match
+     K.Page_frame.flush_page pfm ~caller:K.Registry.gate
+       ~ptw_abs:(K.Segment.ptw_abs sm ~slot ~pageno:0)
+   with
+  | `Zero_reclaimed -> ()
+  | `Written_to _ -> Alcotest.fail "page of zeros should be reclaimed"
+  | `Not_present -> Alcotest.fail "page should be present");
+  let used_after, _ = Option.get (K.Kernel.quota_usage k ~path:">home>z") in
+  check Alcotest.int "quota credited" 0 used_after;
+  check Alcotest.bool "reclaim counted" true
+    (K.Page_frame.zero_reclaims pfm > 0)
+
+(* The confinement anomaly: merely READING a never-written page charges
+   quota — information written on behalf of a read. *)
+let test_confinement_anomaly () =
+  let k = boot_with_home () in
+  K.Kernel.mkdir k ~path:">home>c" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>c" ~limit:8;
+  let prog =
+    K.Workload.concat
+      [ [| K.Workload.Create_file { dir = ">home>c"; name = "f" };
+           K.Workload.Initiate { path = ">home>c>f"; reg = 0 };
+           (* reads only — never writes *)
+           K.Workload.Touch { seg_reg = 0; pageno = 0; offset = 0; write = false };
+           K.Workload.Touch { seg_reg = 0; pageno = 1; offset = 0; write = false } |] ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"reader" prog);
+  check Alcotest.bool "completed" true (K.Kernel.run_to_completion k);
+  let used, _ = Option.get (K.Kernel.quota_usage k ~path:">home>c") in
+  check Alcotest.int "reads charged quota" 2 used
+
+(* ------------------------------------------------------------------ *)
+(* Full pack, relocation, upward signal *)
+
+let tiny_pack_config =
+  { K.Kernel.small_config with
+    K.Kernel.disk_packs = 3; records_per_pack = 8 }
+
+let test_full_pack_relocation () =
+  let k = K.Kernel.boot tiny_pack_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  (* Fill pack 0 (root and home live there) until a segment must move. *)
+  let prog =
+    K.Workload.concat
+      [ file_writer ~dir:">home" ~name:"a" ~pages:4;
+        K.Workload.concat [ file_writer ~dir:">home" ~name:"b" ~pages:6 ] ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"filler" prog);
+  let completed = K.Kernel.run_to_completion k in
+  check Alcotest.bool "completed" true completed;
+  check Alcotest.bool "full pack hit" true
+    (K.Volume.full_pack_exceptions (K.Kernel.volume k) > 0);
+  check Alcotest.bool "segment relocated" true
+    (K.Segment.relocations (K.Kernel.segment k) > 0);
+  check Alcotest.bool "upward signal raised" true
+    (K.Upward_signal.total_raised (K.Kernel.signals k) > 0);
+  check Alcotest.int "signals all delivered" 0
+    (K.Upward_signal.pending (K.Kernel.signals k))
+
+(* ------------------------------------------------------------------ *)
+(* Bratt's mythical identifiers *)
+
+let subject_of_user user =
+  { K.Directory.s_principal = { K.Acl.user; project = "proj" };
+    s_label = low; s_trusted = false }
+
+let test_mythical_search () =
+  let k = boot () in
+  (* A private directory alice can use but bob cannot read. *)
+  K.Kernel.mkdir k ~path:">private"
+    ~acl:[ K.Acl.entry "alice" K.Acl.rwe; K.Acl.entry "root" K.Acl.rwe ]
+    ~label:low;
+  K.Kernel.create_file k ~path:">private>secret_name" ~acl:open_acl ~label:low;
+  let dm = K.Kernel.directory k in
+  let bob = subject_of_user "bob" in
+  let root = K.Directory.root_uid dm in
+  let private_uid =
+    match
+      K.Directory.search dm ~caller:"test" ~subject:bob ~dir_uid:root
+        ~name:"private"
+    with
+    | `Found uid -> uid
+    | `No_entry -> Alcotest.fail "root is readable; private exists"
+  in
+  (* Bob searches the inaccessible directory: always "found". *)
+  let probe name =
+    match
+      K.Directory.search dm ~caller:"test" ~subject:bob ~dir_uid:private_uid
+        ~name
+    with
+    | `Found uid -> uid
+    | `No_entry -> Alcotest.fail "inaccessible directory must never say no"
+  in
+  let real = probe "secret_name" in
+  let myth1 = probe "no_such_file" in
+  let myth2 = probe "no_such_file" in
+  check Alcotest.bool "existing entry returns real uid" false
+    (K.Ids.is_mythical real);
+  check Alcotest.bool "missing entry returns mythical" true
+    (K.Ids.is_mythical myth1);
+  check Alcotest.bool "mythical ids are stable" true (K.Ids.equal myth1 myth2);
+  (* A mythical id is accepted as a directory to search. *)
+  (match
+     K.Directory.search dm ~caller:"test" ~subject:bob ~dir_uid:myth1
+       ~name:"deeper"
+   with
+  | `Found uid -> check Alcotest.bool "nested mythical" true (K.Ids.is_mythical uid)
+  | `No_entry -> Alcotest.fail "mythical directories always match");
+  (* Initiating through a mythical id: indistinguishable "no access". *)
+  (match
+     K.Directory.initiate_target dm ~caller:"test" ~subject:bob
+       ~dir_uid:myth1 ~name:"anything"
+   with
+  | Error `No_access -> ()
+  | Ok _ -> Alcotest.fail "mythical target must not initiate");
+  check Alcotest.bool "mythical answers counted" true
+    (K.Directory.mythical_answers dm >= 3)
+
+let test_readable_directory_says_no_entry () =
+  let k = boot_with_home () in
+  let dm = K.Kernel.directory k in
+  let alice = subject_of_user "alice" in
+  let root = K.Directory.root_uid dm in
+  match
+    K.Directory.search dm ~caller:"test" ~subject:alice ~dir_uid:root
+      ~name:"nonexistent"
+  with
+  | `No_entry -> ()
+  | `Found _ -> Alcotest.fail "readable directory reports absence honestly"
+
+(* ------------------------------------------------------------------ *)
+(* AIM enforcement through initiation *)
+
+let test_aim_no_read_up () =
+  let k = boot () in
+  K.Kernel.mkdir k ~path:">war" ~acl:open_acl ~label:low;
+  K.Kernel.create_file k ~path:">war>plans" ~acl:open_acl ~label:secret;
+  (* Pure Bell-LaPadula: the low subject may still *initiate* the secret
+     file for blind write-up, but any attempt to read it must fault. *)
+  let prog =
+    [| K.Workload.Initiate { path = ">war>plans"; reg = 0 };
+       K.Workload.Touch { seg_reg = 0; pageno = 0; offset = 0; write = false };
+       K.Workload.Terminate |]
+  in
+  let pid = K.Kernel.spawn k ~pname:"spy" ~label:low prog in
+  ignore (K.Kernel.run_to_completion k);
+  let p = K.User_process.proc (K.Kernel.user_process k) pid in
+  (match p.K.User_process.pstate with
+  | K.User_process.P_failed msg ->
+      check Alcotest.bool "read-up faults" true
+        (Astring.String.is_infix ~affix:"access violation" msg)
+  | _ -> Alcotest.fail "reading up must fail");
+  (* The denial is in the AIM audit trail. *)
+  check Alcotest.bool "audit saw denial" true
+    (Aim.Audit.denials (K.Kernel.aim_audit k) > 0)
+
+let test_aim_secret_can_read_down_not_write () =
+  let k = boot () in
+  K.Kernel.mkdir k ~path:">pub" ~acl:open_acl ~label:low;
+  K.Kernel.create_file k ~path:">pub>memo" ~acl:open_acl ~label:low;
+  let dm = K.Kernel.directory k in
+  let secret_subject =
+    { K.Directory.s_principal = { K.Acl.user = "carol"; project = "proj" };
+      s_label = secret; s_trusted = false }
+  in
+  let root = K.Directory.root_uid dm in
+  let pub =
+    match
+      K.Directory.search dm ~caller:"test" ~subject:secret_subject
+        ~dir_uid:root ~name:"pub"
+    with
+    | `Found uid -> uid
+    | `No_entry -> Alcotest.fail "pub exists"
+  in
+  match
+    K.Directory.initiate_target dm ~caller:"test" ~subject:secret_subject
+      ~dir_uid:pub ~name:"memo"
+  with
+  | Error `No_access -> Alcotest.fail "read down must be allowed"
+  | Ok target ->
+      check Alcotest.bool "can read" true target.K.Directory.t_mode.K.Acl.read;
+      check Alcotest.bool "cannot write down" false
+        target.K.Directory.t_mode.K.Acl.write
+
+(* ------------------------------------------------------------------ *)
+(* Two-level process implementation *)
+
+let test_eventcount_ipc_via_message_queue () =
+  let k = boot_with_home () in
+  let waiter =
+    [| K.Workload.Await_ec { ec = "rendezvous"; value = 1 };
+       K.Workload.Compute 1000; K.Workload.Terminate |]
+  in
+  let signaller =
+    [| K.Workload.Compute 100_000;  (* let the waiter block first *)
+       K.Workload.Advance_ec { ec = "rendezvous" }; K.Workload.Terminate |]
+  in
+  ignore (K.Kernel.spawn k ~pname:"waiter" waiter);
+  ignore (K.Kernel.spawn k ~pname:"signaller" signaller);
+  check Alcotest.bool "both complete" true (K.Kernel.run_to_completion k);
+  (* The wakeup travelled through the wired message queue to the
+     scheduler daemon. *)
+  check Alcotest.bool "message queue used" true
+    (K.User_process.wake_messages (K.Kernel.user_process k) > 0)
+
+let test_many_processes_few_vps () =
+  let k = boot_with_home () in
+  (* 8 processes over (at most) 4 user VPs. *)
+  for i = 1 to 8 do
+    let prog = file_writer ~dir:">home" ~name:(Printf.sprintf "f%d" i) ~pages:2 in
+    ignore (K.Kernel.spawn k ~pname:(Printf.sprintf "p%d" i) prog)
+  done;
+  check Alcotest.bool "all complete" true (K.Kernel.run_to_completion k);
+  check Alcotest.int "eight done" 8
+    (K.User_process.completed (K.Kernel.user_process k));
+  check Alcotest.bool "processes were multiplexed" true
+    (K.User_process.loads (K.Kernel.user_process k) >= 8)
+
+let test_preemption_round_robin () =
+  let config =
+    { K.Kernel.small_config with
+      K.Kernel.scheduler = K.Scheduler.Round_robin { quantum = 4 } }
+  in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  ignore (K.Kernel.spawn k ~pname:"a" (K.Workload.compute_bound ~steps:20 ~step_ns:500));
+  ignore (K.Kernel.spawn k ~pname:"b" (K.Workload.compute_bound ~steps:20 ~step_ns:500));
+  check Alcotest.bool "complete" true (K.Kernel.run_to_completion k);
+  let upm = K.Kernel.user_process k in
+  (* With quantum 4 and 20 actions each, both processes are preempted
+     repeatedly: strictly more loads than processes. *)
+  check Alcotest.bool "preemptions happened" true (K.User_process.loads upm > 2)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor lock bit (unit level) *)
+
+let test_transit_join () =
+  let k = boot_with_home () in
+  K.Kernel.create_file k ~path:">home>shared" ~acl:open_acl ~label:low;
+  let sm = K.Kernel.segment k and pfm = K.Kernel.page_frame k in
+  let target =
+    match
+      K.Name_space.initiate (K.Kernel.name_space k)
+        ~subject:K.Kernel.root_subject ~ring:1 ~path:">home>shared"
+    with
+    | Ok target -> target
+    | Error _ -> Alcotest.fail "initiate"
+  in
+  let slot =
+    match
+      K.Segment.activate sm ~caller:"test" ~uid:target.K.Directory.t_uid
+        ~cell:target.K.Directory.t_cell
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "activate"
+  in
+  (match K.Segment.grow sm ~caller:"test" ~slot ~pageno:0 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "grow");
+  (* Write data then force it out so the page has a record on disk. *)
+  (match K.Segment.write_word sm ~caller:"test" ~slot ~pageno:0 ~offset:0 77 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write");
+  let ptw_abs = K.Segment.ptw_abs sm ~slot ~pageno:0 in
+  (match K.Page_frame.flush_page pfm ~caller:"test" ~ptw_abs with
+  | `Written_to _ -> ()
+  | _ -> Alcotest.fail "expected write-back");
+  (* First faulter starts the read... *)
+  let w1 = K.Page_frame.service_missing_page pfm ~caller:"test" ~ptw_abs in
+  (* ...second faulter (other processor hit the locked descriptor). *)
+  let w2 = K.Page_frame.service_locked_descriptor pfm ~caller:"test" ~ptw_abs in
+  (match (w1, w2) with
+  | K.Page_frame.Wait (ec1, v1), K.Page_frame.Wait (ec2, v2) ->
+      check Alcotest.bool "same transit" true (ec1 == ec2 && v1 = v2)
+  | _ -> Alcotest.fail "both should wait on the transit eventcount");
+  (* Run the machine to complete the I/O; the descriptor unlocks. *)
+  K.Kernel.run k;
+  let ptw = Hw.Ptw.read (K.Kernel.machine k).Hw.Machine.mem ptw_abs in
+  check Alcotest.bool "present after io" true ptw.Hw.Ptw.present;
+  check Alcotest.bool "unlocked after io" false ptw.Hw.Ptw.locked;
+  (match K.Page_frame.service_locked_descriptor pfm ~caller:"test" ~ptw_abs with
+  | K.Page_frame.Retry -> ()
+  | K.Page_frame.Wait _ -> Alcotest.fail "stale lock should retry");
+  (* The word survived the round trip. *)
+  match K.Segment.read_word sm ~caller:"test" ~slot ~pageno:0 ~offset:0 with
+  | Ok w -> check Alcotest.int "data intact" 77 w
+  | Error _ -> Alcotest.fail "read back"
+
+(* ------------------------------------------------------------------ *)
+(* Gates *)
+
+let test_gate_ring_enforcement () =
+  let k = boot () in
+  let gate = K.Kernel.gate k in
+  (match K.Gate.call gate ~name:"hphcs_$shutdown" ~caller_ring:5 (fun () -> ()) with
+  | Error `Ring_violation -> ()
+  | _ -> Alcotest.fail "ring 5 cannot call hphcs_");
+  (match K.Gate.call gate ~name:"hphcs_$shutdown" ~caller_ring:1 (fun () -> 42) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "ring 1 can call hphcs_");
+  match K.Gate.call gate ~name:"no_such_gate" ~caller_ring:0 (fun () -> ()) with
+  | Error `No_gate -> ()
+  | _ -> Alcotest.fail "unknown gate"
+
+(* ------------------------------------------------------------------ *)
+(* Dependency conformance over a mixed workload *)
+
+let test_runtime_conformance () =
+  let k = K.Kernel.boot tiny_pack_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  K.Kernel.mkdir k ~path:">home>q" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>q" ~limit:24;
+  ignore (K.Kernel.spawn k ~pname:"w1" (file_writer ~dir:">home>q" ~name:"x" ~pages:6));
+  ignore (K.Kernel.spawn k ~pname:"w2"
+            (K.Workload.file_churn ~dir:">home" ~files:4 ~pages_each:2 ~seed:3));
+  ignore
+    (K.Kernel.spawn k ~pname:"w3"
+       (K.Workload.concat
+          [ [| K.Workload.Await_ec { ec = "go"; value = 1 } |];
+            file_writer ~dir:">home" ~name:"late" ~pages:2 ]));
+  ignore
+    (K.Kernel.spawn k ~pname:"w4"
+       [| K.Workload.Compute 50_000; K.Workload.Advance_ec { ec = "go" };
+          K.Workload.Terminate |]);
+  check Alcotest.bool "mixed load completes" true (K.Kernel.run_to_completion k);
+  let conf = K.Kernel.dependency_audit k in
+  let violations = Dg.Conformance.violations conf in
+  List.iter
+    (fun v ->
+      Format.printf "violation: %s -> %s@." v.Dg.Conformance.v_from
+        v.Dg.Conformance.v_to)
+    violations;
+  check Alcotest.bool "no undeclared call edges" true
+    (Dg.Conformance.conforms conf)
+
+(* ------------------------------------------------------------------ *)
+(* Segment relocation updates the directory (whole-path check) *)
+
+let test_relocation_updates_directory () =
+  let k = K.Kernel.boot tiny_pack_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  ignore (K.Kernel.spawn k ~pname:"fill1" (file_writer ~dir:">home" ~name:"a" ~pages:5));
+  ignore (K.Kernel.run_to_completion k);
+  ignore (K.Kernel.spawn k ~pname:"fill2" (file_writer ~dir:">home" ~name:"b" ~pages:5));
+  ignore (K.Kernel.run_to_completion k);
+  check Alcotest.bool "a relocation happened" true
+    (K.Segment.relocations (K.Kernel.segment k) > 0);
+  (* After relocation the moved file must still be initiable (by its
+     owner: ACLs have no root bypass) and the entry must be current. *)
+  let owner =
+    { K.Directory.s_principal = { K.Acl.user = "user"; project = "proj" };
+      s_label = low; s_trusted = false }
+  in
+  List.iter
+    (fun path ->
+      match
+        K.Name_space.initiate (K.Kernel.name_space k) ~subject:owner ~ring:5
+          ~path
+      with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.failf "%s must remain reachable" path)
+    [ ">home>a"; ">home>b" ]
+
+let tests =
+  [ Alcotest.test_case "boot" `Quick test_boot;
+    Alcotest.test_case "declared graph loop-free" `Quick
+      test_declared_graph_loop_free;
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "quota charged" `Quick test_quota_charged;
+    Alcotest.test_case "quota enforced" `Quick test_quota_enforced;
+    Alcotest.test_case "set_quota requires childless" `Quick
+      test_set_quota_requires_childless;
+    Alcotest.test_case "thrashing completes" `Quick test_thrashing_completes;
+    Alcotest.test_case "zero-page reclaim" `Quick test_zero_page_reclaim;
+    Alcotest.test_case "confinement anomaly" `Quick test_confinement_anomaly;
+    Alcotest.test_case "full pack relocation" `Quick test_full_pack_relocation;
+    Alcotest.test_case "mythical search" `Quick test_mythical_search;
+    Alcotest.test_case "readable dir says no-entry" `Quick
+      test_readable_directory_says_no_entry;
+    Alcotest.test_case "aim no read up" `Quick test_aim_no_read_up;
+    Alcotest.test_case "aim read down not write down" `Quick
+      test_aim_secret_can_read_down_not_write;
+    Alcotest.test_case "eventcount ipc via message queue" `Quick
+      test_eventcount_ipc_via_message_queue;
+    Alcotest.test_case "many processes few vps" `Quick
+      test_many_processes_few_vps;
+    Alcotest.test_case "preemption round robin" `Quick
+      test_preemption_round_robin;
+    Alcotest.test_case "transit join (lock bit)" `Quick test_transit_join;
+    Alcotest.test_case "gate ring enforcement" `Quick test_gate_ring_enforcement;
+    Alcotest.test_case "runtime conformance" `Quick test_runtime_conformance;
+    Alcotest.test_case "relocation updates directory" `Quick
+      test_relocation_updates_directory ]

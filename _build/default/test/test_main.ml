@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "multics"
+    [ ("hw", Test_hw.tests); ("sync", Test_sync.tests); ("depgraph", Test_depgraph.tests); ("aim", Test_aim.tests); ("census", Test_census.tests); ("core", Test_core.tests); ("legacy", Test_legacy.tests); ("services", Test_services.tests); ("units", Test_units.tests); ("fuzz", Test_fuzz.tests); ("salvager", Test_salvager.tests); ("tiger", Test_tiger.tests); ("incarnation", Test_incarnation.tests); ("more", Test_more.tests); ("edge", Test_edge.tests); ("system", Test_system.tests); ("printers", Test_printers.tests); ("isa", Test_isa.tests) ]

@@ -1,0 +1,119 @@
+(* Printers and small accessors: the reporting surface the examples and
+   benches rely on. *)
+
+module K = Multics_kernel
+module L = Multics_legacy
+module Hw = Multics_hw
+module Dg = Multics_depgraph
+module Aim = Multics_aim
+
+let check = Alcotest.check
+
+let contains s affix = Astring.String.is_infix ~affix s
+
+let test_fault_printers () =
+  List.iter
+    (fun (fault, needle) ->
+      check Alcotest.bool needle true (contains (Hw.Fault.to_string fault) needle))
+    [ (Hw.Fault.Missing_segment { segno = 3 }, "missing-segment");
+      (Hw.Fault.Missing_page { segno = 1; pageno = 2; ptw_abs = 5 },
+       "missing-page");
+      (Hw.Fault.Quota_fault { segno = 1; pageno = 2 }, "quota-fault");
+      (Hw.Fault.Locked_descriptor { segno = 1; pageno = 2; ptw_abs = 5 },
+       "locked-descriptor");
+      (Hw.Fault.Access_violation
+         { segno = 1; access = Hw.Fault.Write; ring = 4 },
+       "write");
+      (Hw.Fault.Bounds_fault { segno = 1; wordno = 9 }, "bounds") ]
+
+let test_hw_config_pp () =
+  let s = Format.asprintf "%a" Hw.Hw_config.pp Hw.Hw_config.kernel_multics in
+  check Alcotest.bool "mentions lock bit" true (contains s "lock-bit=true");
+  let s = Format.asprintf "%a" Hw.Hw_config.pp Hw.Hw_config.legacy_multics in
+  check Alcotest.bool "legacy has none" true (contains s "lock-bit=false")
+
+let test_machine_stats_pp () =
+  let machine = Hw.Machine.create Hw.Hw_config.legacy_multics in
+  ignore (Hw.Phys_mem.read machine.Hw.Machine.mem 0);
+  let s = Format.asprintf "%a" Hw.Machine.pp_stats machine in
+  check Alcotest.bool "has read count" true (contains s "r=1")
+
+let test_workload_printers () =
+  List.iter
+    (fun (action, needle) ->
+      check Alcotest.bool needle true
+        (contains (Format.asprintf "%a" K.Workload.pp_action action) needle))
+    [ (K.Workload.Touch { seg_reg = 0; pageno = 1; offset = 2; write = true },
+       "touch");
+      (K.Workload.Initiate { path = ">a"; reg = 1 }, "initiate");
+      (K.Workload.Set_acl { path = ">a"; user = "u"; read = true; write = false },
+       "set-acl");
+      (K.Workload.Await_ec { ec = "e"; value = 3 }, "await");
+      (K.Workload.Terminate, "terminate") ]
+
+let test_dep_kind_names () =
+  List.iter
+    (fun kind ->
+      check Alcotest.bool "short is 1 char" true
+        (String.length (Dg.Dep_kind.short kind) = 1))
+    Dg.Dep_kind.all;
+  check Alcotest.int "seven kinds" 7 (List.length Dg.Dep_kind.all)
+
+let test_kernel_report () =
+  let k = K.Kernel.boot K.Kernel.small_config in
+  let s = Format.asprintf "%a" K.Kernel.pp_report k in
+  List.iter
+    (fun needle -> check Alcotest.bool needle true (contains s needle))
+    [ "processes:"; "paging:"; "gates:"; "kernel time by manager" ]
+
+let test_legacy_report () =
+  let s = L.Old_supervisor.boot L.Old_supervisor.small_config in
+  let out = Format.asprintf "%a" L.Old_supervisor.pp_report s in
+  List.iter
+    (fun needle -> check Alcotest.bool needle true (contains out needle))
+    [ "Legacy Multics"; "races:"; "quota:" ]
+
+let test_salvager_printer () =
+  let f =
+    { K.Salvager.f_kind = K.Salvager.Orphan_vtoc; f_detail = "uid 9";
+      f_repairable = false }
+  in
+  let s = Format.asprintf "%a" K.Salvager.pp_finding f in
+  check Alcotest.bool "kind" true (contains s "orphan-vtoc");
+  check Alcotest.bool "operator note" true (contains s "operator")
+
+let test_label_printer () =
+  let l = Aim.Label.make Aim.Level.secret (Aim.Compartment.of_list [ 1; 3 ]) in
+  let s = Aim.Label.to_string l in
+  check Alcotest.bool "level" true (contains s "secret");
+  check Alcotest.bool "compartments" true (contains s "{1,3}")
+
+let test_acl_printer () =
+  let s =
+    Format.asprintf "%a" K.Acl.pp
+      [ K.Acl.entry "alice" K.Acl.rw; K.Acl.entry "*" K.Acl.r ]
+  in
+  check Alcotest.bool "alice rw" true (contains s "alice.*:rw-");
+  check Alcotest.bool "star r" true (contains s "*.*:r--")
+
+let test_uid_printer () =
+  let fresh = K.Ids.generator () in
+  let real = fresh () in
+  check Alcotest.bool "real" true
+    (contains (Format.asprintf "%a" K.Ids.pp real) "uid1");
+  let myth = K.Ids.mythical ~parent:real ~name:"x" in
+  check Alcotest.bool "mythical" true
+    (contains (Format.asprintf "%a" K.Ids.pp myth) "mythical")
+
+let tests =
+  [ Alcotest.test_case "fault printers" `Quick test_fault_printers;
+    Alcotest.test_case "hw config pp" `Quick test_hw_config_pp;
+    Alcotest.test_case "machine stats pp" `Quick test_machine_stats_pp;
+    Alcotest.test_case "workload printers" `Quick test_workload_printers;
+    Alcotest.test_case "dep kind names" `Quick test_dep_kind_names;
+    Alcotest.test_case "kernel report" `Quick test_kernel_report;
+    Alcotest.test_case "legacy report" `Quick test_legacy_report;
+    Alcotest.test_case "salvager printer" `Quick test_salvager_printer;
+    Alcotest.test_case "label printer" `Quick test_label_printer;
+    Alcotest.test_case "acl printer" `Quick test_acl_printer;
+    Alcotest.test_case "uid printer" `Quick test_uid_printer ]

@@ -1,0 +1,146 @@
+(* The salvager and the invariant checker, including fault injection:
+   we corrupt the on-disk structures the way a crash would and check
+   that the salvager finds and repairs the damage. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+module Aim = Multics_aim
+
+let check = Alcotest.check
+
+let low = Aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let populated_kernel () =
+  let k = K.Kernel.boot K.Kernel.small_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  K.Kernel.mkdir k ~path:">home>q" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">home>q" ~limit:32;
+  let prog =
+    K.Workload.concat
+      [ [| K.Workload.Create_file { dir = ">home>q"; name = "data" };
+           K.Workload.Initiate { path = ">home>q>data"; reg = 0 } |];
+        K.Workload.sequential_write ~seg_reg:0 ~pages:5;
+        K.Workload.file_churn ~dir:">home" ~files:3 ~pages_each:2 ~seed:9 ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"pop" prog);
+  assert (K.Kernel.run_to_completion k);
+  k
+
+let test_clean_system_scans_clean () =
+  let k = populated_kernel () in
+  check Alcotest.int "no invariant problems" 0
+    (List.length (K.Invariants.check k));
+  let findings = K.Salvager.scan k in
+  List.iter
+    (fun f -> Format.printf "unexpected: %a@." K.Salvager.pp_finding f)
+    findings;
+  check Alcotest.int "no findings" 0 (List.length findings)
+
+let test_detects_and_repairs_quota_corruption () =
+  let k = populated_kernel () in
+  (* Crash damage: the quota cell count drifts (e.g. a charge made it to
+     the cache but the page never materialised). *)
+  let quota = K.Kernel.quota k in
+  (match K.Quota_cell.registered quota with
+  | [] -> Alcotest.fail "expected cells"
+  | (cell, _, _) :: _ ->
+      ignore (K.Quota_cell.charge quota ~caller:"crash" cell 3));
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "mismatch found" true
+    (List.exists (fun f -> f.K.Salvager.f_kind = K.Salvager.Quota_mismatch) findings);
+  check Alcotest.bool "invariants also complain" true
+    (K.Invariants.check k <> []);
+  let repaired = K.Salvager.repair k in
+  check Alcotest.bool "something repaired" true (repaired > 0);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k));
+  check Alcotest.int "invariants clean after repair" 0
+    (List.length (K.Invariants.check k))
+
+let test_detects_and_repairs_leaked_record () =
+  let k = populated_kernel () in
+  (* Crash damage: a record allocated during a grow whose file-map write
+     never happened. *)
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  ignore (Hw.Disk.alloc_record disk ~pack:0);
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "leak found" true
+    (List.exists (fun f -> f.K.Salvager.f_kind = K.Salvager.Leaked_record) findings);
+  ignore (K.Salvager.repair k);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k))
+
+let test_detects_orphan_vtoc () =
+  let k = populated_kernel () in
+  (* Crash damage: a segment created but never entered in a directory. *)
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  let map = Array.make Hw.Addr.max_pages_per_segment Hw.Disk.unallocated in
+  ignore
+    (Hw.Disk.create_vtoc_entry disk ~pack:1
+       { Hw.Disk.uid = 999_999; file_map = map; len_pages = 0;
+         is_directory = false; quota = None; aim_label = 0 });
+  let findings = K.Salvager.scan k in
+  (match
+     List.find_opt
+       (fun f -> f.K.Salvager.f_kind = K.Salvager.Orphan_vtoc)
+       findings
+   with
+  | Some f ->
+      check Alcotest.bool "not auto-repairable" false f.K.Salvager.f_repairable
+  | None -> Alcotest.fail "orphan not found");
+  (* Repair leaves the orphan for the operator. *)
+  ignore (K.Salvager.repair k);
+  check Alcotest.bool "orphan still reported" true
+    (List.exists
+       (fun f -> f.K.Salvager.f_kind = K.Salvager.Orphan_vtoc)
+       (K.Salvager.scan k))
+
+(* A lost Segment_moved signal: the directory entry goes stale; the
+   salvager delivers the update the signal would have. *)
+let test_repairs_stale_entry () =
+  let k = populated_kernel () in
+  let target =
+    match
+      K.Name_space.initiate (K.Kernel.name_space k)
+        ~subject:K.Kernel.root_subject ~ring:1 ~path:">home>q>data"
+    with
+    | Ok target -> target
+    | Error _ -> Alcotest.fail "initiate"
+  in
+  (* Move the segment at the volume level, bypassing the signal (as if
+     the system crashed between relocation and delivery). *)
+  let volume = K.Kernel.volume k in
+  (match K.Segment.find_active (K.Kernel.segment k) ~uid:target.K.Directory.t_uid with
+  | Some slot -> K.Segment.deactivate (K.Kernel.segment k) ~caller:"test" ~slot
+  | None -> ());
+  let pack, index = Option.get (K.Volume.locate volume ~uid:target.K.Directory.t_uid) in
+  (match
+     K.Volume.move_segment volume ~caller:"crash" ~pack ~index
+       ~to_pack:((pack + 1) mod 3)
+   with
+  | Ok _ -> ()
+  | Error `No_space -> Alcotest.fail "move");
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "stale entry found" true
+    (List.exists
+       (fun f ->
+         f.K.Salvager.f_kind = K.Salvager.Stale_entry && f.K.Salvager.f_repairable)
+       findings);
+  ignore (K.Salvager.repair k);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k));
+  (* And the file is reachable again. *)
+  match
+    K.Name_space.initiate (K.Kernel.name_space k) ~subject:K.Kernel.root_subject
+      ~ring:1 ~path:">home>q>data"
+  with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "file must be reachable after salvage"
+
+let tests =
+  [ Alcotest.test_case "clean system scans clean" `Quick
+      test_clean_system_scans_clean;
+    Alcotest.test_case "quota corruption repaired" `Quick
+      test_detects_and_repairs_quota_corruption;
+    Alcotest.test_case "leaked record repaired" `Quick
+      test_detects_and_repairs_leaked_record;
+    Alcotest.test_case "orphan vtoc reported" `Quick test_detects_orphan_vtoc;
+    Alcotest.test_case "stale entry repaired" `Quick test_repairs_stale_entry ]
