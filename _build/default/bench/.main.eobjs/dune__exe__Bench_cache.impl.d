@@ -1,0 +1,1 @@
+bench/bench_cache.ml: Array Bench_util Format Multics_hw Multics_kernel Printf

@@ -1,1 +1,1 @@
-bench/bench_util.ml: Format Multics_aim Multics_kernel Multics_legacy Printf String
+bench/bench_util.ml: Buffer Char Float Format List Multics_aim Multics_kernel Multics_legacy Printf String

@@ -1,1 +1,1 @@
-bench/main.ml: Array Bench_ablation Bench_figures Bench_micro Bench_perf Bench_size Format List String Sys
+bench/main.ml: Array Bench_ablation Bench_cache Bench_figures Bench_micro Bench_perf Bench_size Bench_util Format List String Sys

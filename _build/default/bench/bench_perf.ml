@@ -30,7 +30,13 @@ let perf_linker () =
     "Dynamic linker: in-kernel vs user-ring (paper p.35-36)";
   let rules = [ ">home"; ">lib>std" ] in
   let time placement =
-    let k = Bench_util.boot_new () in
+    (* Pathname caching is the paper's anticipated cure for this very
+       penalty (measured in C1); here we measure the disease. *)
+    let k =
+      Bench_util.boot_new
+        ~config:{ K.Kernel.default_config with K.Kernel.use_path_cache = false }
+        ()
+    in
     setup_link_tree k;
     let linker = S.Linker.create ~kernel:k ~placement in
     let before = K.Meter.total (K.Kernel.meter k) in
@@ -48,6 +54,8 @@ let perf_linker () =
   in
   let in_kernel, _ = time S.Linker.In_kernel in
   let user_ring, crossings = time S.Linker.User_ring in
+  Bench_util.recordi ~section:"P1" ~metric:"link_ns_in_kernel" in_kernel;
+  Bench_util.recordi ~section:"P1" ~metric:"link_ns_user_ring" user_ring;
   Bench_util.row2 "per link resolved" (Bench_util.fmt_us in_kernel)
     (Bench_util.fmt_us user_ring);
   Bench_util.row2 "" "(in kernel)" "(user ring)";
@@ -58,6 +66,9 @@ let perf_linker () =
   Format.printf
     "  paper: \"the dynamic linker ran somewhat slower when removed from \
      the kernel [causes] well understood and curable\"@.";
+  Format.printf
+    "  (the cure: the user-ring name manager's pathname cache — section C1 \
+     — which skips the search gate crossings; it is off here)@.";
   Format.printf
     "  size effect (census): removing it saves 2K source lines, 2.5%% of \
      kernel entries, 11%% of user entries@."
@@ -88,8 +99,14 @@ let perf_name_manager () =
     | Error _ -> failwith "bench: legacy resolve"
   done;
   let legacy_per = (K.Meter.total (L.Old_supervisor.meter s) - before) / 50 in
-  (* New: the user-ring name manager over the search primitive. *)
-  let k = Bench_util.boot_new () in
+  (* New: the user-ring name manager over the search primitive.  The
+     pathname cache stays off — the paper compares the algorithms, and
+     the cache's own effect is section C1. *)
+  let k =
+    Bench_util.boot_new
+      ~config:{ K.Kernel.default_config with K.Kernel.use_path_cache = false }
+      ()
+  in
   K.Kernel.mkdir k ~path:">home>a" ~acl:Bench_util.open_acl ~label:Bench_util.low;
   K.Kernel.mkdir k ~path:">home>a>b" ~acl:Bench_util.open_acl
     ~label:Bench_util.low;
@@ -107,6 +124,8 @@ let perf_name_manager () =
     | Error _ -> failwith "bench: new resolve"
   done;
   let new_per = (K.Meter.total (K.Kernel.meter k) - before) / 50 in
+  Bench_util.recordi ~section:"P2" ~metric:"resolve_ns_legacy" legacy_per;
+  Bench_util.recordi ~section:"P2" ~metric:"resolve_ns_new" new_per;
   Bench_util.row2 "per 5-component resolution" (Bench_util.fmt_us legacy_per)
     (Bench_util.fmt_us new_per);
   Bench_util.row2 "" "(old, in kernel)" "(new, user ring)";
@@ -148,6 +167,8 @@ let perf_answering () =
   in
   let mono = time S.Answering_service.Monolithic in
   let split = time S.Answering_service.Split in
+  Bench_util.recordi ~section:"P3" ~metric:"login_ns_monolithic" mono;
+  Bench_util.recordi ~section:"P3" ~metric:"login_ns_split" split;
   Bench_util.row2 "per login session" (Bench_util.fmt_us mono)
     (Bench_util.fmt_us split);
   Bench_util.row2 "" "(monolithic)" "(split)";
@@ -323,6 +344,10 @@ let perf_scheduler () =
   assert (K.Kernel.run_to_completion k);
   let new_elapsed = K.Kernel.now k in
   let new_switches = K.Vp.context_switches (K.Kernel.vp k) in
+  Bench_util.recordi ~section:"P5" ~metric:"mix_elapsed_ns_one_level"
+    old_elapsed;
+  Bench_util.recordi ~section:"P5" ~metric:"mix_elapsed_ns_two_level"
+    new_elapsed;
   Bench_util.row2 "elapsed (10-process mix)"
     (Bench_util.fmt_us old_elapsed) (Bench_util.fmt_us new_elapsed);
   Bench_util.row2 "context switches" (string_of_int old_switches)

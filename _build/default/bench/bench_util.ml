@@ -30,6 +30,63 @@ let boot_old ?(config = L.Old_supervisor.default_config) () =
 
 let us ns = float_of_int ns /. 1_000.0
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable metrics.  Sections push rows here; main writes the
+   accumulated list to BENCH_perf.json after the run. *)
+
+type metric = {
+  m_section : string;
+  m_metric : string;
+  m_value : float;
+  m_unit : string;
+}
+
+let metrics : metric list ref = ref []
+
+let record ~section ~metric ?(unit = "ns") value =
+  metrics :=
+    { m_section = section; m_metric = metric; m_value = value; m_unit = unit }
+    :: !metrics
+
+let recordi ~section ~metric ?unit value =
+  record ~section ~metric ?unit (float_of_int value)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let write_metrics ~path =
+  let rows = List.rev !metrics in
+  let n = List.length rows in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i m ->
+      Printf.fprintf oc
+        "  {\"section\": \"%s\", \"metric\": \"%s\", \"value\": %s, \
+         \"unit\": \"%s\"}%s\n"
+        (json_escape m.m_section) (json_escape m.m_metric)
+        (json_number m.m_value) (json_escape m.m_unit)
+        (if i < n - 1 then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Format.printf "@.%d metrics -> %s@." n path
+
 let pct_delta a b =
   (* how much slower b is than a, in percent *)
   100.0 *. (float_of_int b -. float_of_int a) /. float_of_int a

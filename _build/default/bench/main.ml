@@ -13,7 +13,10 @@ let sections =
     ("F2", "figures 2-4 and conformance audits", Bench_figures.run);
     ("P1", "performance experiments P1-P5, S2, S3, S5", Bench_perf.run);
     ("A1", "design-choice ablations", Bench_ablation.run);
+    ("C1", "associative memories: off vs on + equality", Bench_cache.run);
     ("micro", "bechamel wall-clock micro-benchmarks", Bench_micro.run) ]
+
+let default_sections = [ "T1"; "F2"; "P1"; "A1"; "C1"; "micro" ]
 
 let aliases =
   [ ("T1", "T1"); ("S1", "T1"); ("S4", "T1"); ("S6", "T1");
@@ -21,30 +24,38 @@ let aliases =
     ("P1", "P1"); ("P2", "P1"); ("P3", "P1"); ("P4", "P1"); ("P5", "P1");
     ("S2", "P1"); ("S3", "P1"); ("S5", "P1");
     ("A1", "A1"); ("A2", "A1");
+    ("C1", "C1"); ("CACHE", "C1"); ("SMOKE", "C1");
     ("micro", "micro") ]
+
+(* `--smoke` and `smoke` both select the cache section. *)
+let strip_dashes s =
+  let i = ref 0 in
+  while !i < String.length s && s.[!i] = '-' do incr i done;
+  String.sub s !i (String.length s - !i)
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
-    | _ -> [ "T1"; "F2"; "P1"; "A1"; "micro" ]
+    | _ -> default_sections
   in
   let wanted =
     List.filter_map
-      (fun arg -> List.assoc_opt (String.uppercase_ascii arg) aliases
-                  |> function
-                  | Some s -> Some s
-                  | None -> List.assoc_opt arg aliases)
+      (fun arg ->
+        let arg = strip_dashes arg in
+        List.assoc_opt (String.uppercase_ascii arg) aliases
+        |> function
+        | Some s -> Some s
+        | None -> List.assoc_opt arg aliases)
       requested
     |> List.sort_uniq compare
   in
-  let wanted =
-    if wanted = [] then [ "T1"; "F2"; "P1"; "A1"; "micro" ] else wanted
-  in
+  let wanted = if wanted = [] then default_sections else wanted in
   Format.printf
     "The Multics Kernel Design Project (SOSP 1977) — experiment harness@.";
   Format.printf "sections: %s@." (String.concat ", " wanted);
   List.iter
     (fun (id, _desc, run) -> if List.mem id wanted then run ())
     sections;
+  Bench_util.write_metrics ~path:"BENCH_perf.json";
   Format.printf "@.done.@."

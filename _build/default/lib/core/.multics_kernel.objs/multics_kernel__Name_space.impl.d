@@ -1,1 +1,1 @@
-lib/core/name_space.ml: Cost Directory Gate List Meter Registry String Tracer
+lib/core/name_space.ml: Acl Cost Directory Gate Hashtbl Ids List Meter Multics_aim Printf Registry String Tracer

@@ -1,1 +1,1 @@
-lib/core/segment.ml: Array Core_segment Cost Ids List Meter Multics_hw Page_frame Printf Quota_cell Registry Tracer Upward_signal Volume
+lib/core/segment.ml: Array Core_segment Cost Hashtbl Ids List Meter Multics_hw Page_frame Printf Quota_cell Registry Tracer Upward_signal Volume

@@ -1,1 +1,1 @@
-lib/core/tracer.ml: List Map Multics_depgraph Option
+lib/core/tracer.ml: Hashtbl List Map Multics_depgraph Option

@@ -51,3 +51,6 @@ val link_search_step : int    (* one search-rule step of the linker *)
 val link_snap : int
 val net_demux_packet : int
 val net_protocol_step : int
+val name_cache_hit : int
+(* serving a component resolution from the pathname cache instead of a
+   gated single-directory search *)

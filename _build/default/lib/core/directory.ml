@@ -64,6 +64,9 @@ type t = {
   owner_of : (int, int) Hashtbl.t;  (* entry uid -> owning dir uid *)
   mutable root : Ids.uid option;
   mutable mythical_count : int;
+  (* Run after any naming- or access-relevant mutation (delete, ACL
+     change) so resolution caches above the gate can invalidate. *)
+  mutable change_hooks : (unit -> unit) list;
 }
 
 let name = Registry.directory_manager
@@ -78,7 +81,10 @@ let entry_charge t ~caller ns =
 let create ~machine ~meter ~tracer ~segment ~quota ~volume ~known ~audit =
   { machine; meter; tracer; segment; quota; quota_volume = volume; known; audit;
     dirs = Hashtbl.create 32; owner_of = Hashtbl.create 64; root = None;
-    mythical_count = 0 }
+    mythical_count = 0; change_hooks = [] }
+
+let on_change t hook = t.change_hooks <- hook :: t.change_hooks
+let notify_change t = List.iter (fun hook -> hook ()) t.change_hooks
 
 let flow_subject s =
   { Aim.Flow.subject_name = s.s_principal.Acl.user; label = s.s_label;
@@ -293,6 +299,7 @@ let delete_entry t ~caller ~subject ~dir_uid ~name:entry_name =
               Hashtbl.remove dir.d_entries entry_name;
               Hashtbl.remove t.owner_of (Ids.to_int de.de_uid);
               Hashtbl.remove t.dirs (Ids.to_int de.de_uid);
+              notify_change t;
               Ok ()
             end))
 
@@ -333,6 +340,7 @@ let set_acl t ~caller ~subject ~dir_uid ~name:entry_name ~acl =
             | Some child -> child.d_acl <- acl
             | None -> ());
             touch_entries t dir ~upto:(de.de_slot + 1) ~write:true;
+            notify_change t;
             Ok ())
 
 let set_quota t ~caller ~subject ~dir_uid ~name:entry_name ~limit =

@@ -59,6 +59,11 @@ val create_root : t -> caller:string -> quota_limit:int -> Ids.uid
 
 val root_uid : t -> Ids.uid
 
+val on_change : t -> (unit -> unit) -> unit
+(** Register a hook run after any mutation that can change the meaning
+    of a name or the access to an entry (delete, ACL change).  The name
+    manager's resolution cache registers its invalidation here. *)
+
 val search :
   t -> caller:string -> subject:subject -> dir_uid:Ids.uid -> name:string ->
   [ `Found of Ids.uid | `No_entry ]

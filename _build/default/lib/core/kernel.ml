@@ -17,6 +17,7 @@ type config = {
   scheduler : Scheduler.policy;
   use_cleaner_daemon : bool;
   root_quota : int;
+  use_path_cache : bool;
 }
 
 let default_config =
@@ -24,7 +25,7 @@ let default_config =
     disk_packs = 4; records_per_pack = 1024; core_frames = 32; n_vps = 6;
     user_vps = 4; ast_slots = 64; pt_words = 64; max_processes = 16;
     max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
-    use_cleaner_daemon = true; root_quota = 2048 }
+    use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true }
 
 let small_config =
   { default_config with
@@ -142,7 +143,23 @@ let rec boot_internal ?previous_disk cfg =
   let gate = Gate.create ~meter ~tracer ~signals ~directory in
   List.iter (fun (g, ring) -> Gate.define gate ~name:g ~max_ring:ring)
     gate_table;
-  let name_space = Name_space.create ~meter ~tracer ~gate ~directory in
+  let name_space =
+    Name_space.create ~use_cache:cfg.use_path_cache ~meter ~tracer ~gate
+      ~directory ()
+  in
+  Meter.register_cache meter ~name:"sdw_am" (fun () ->
+      List.fold_left
+        (fun acc (cpu : Hw.Cpu.t) ->
+          { Meter.c_hits = acc.Meter.c_hits + Hw.Assoc_mem.hits cpu.Hw.Cpu.tlb;
+            c_misses = acc.Meter.c_misses + Hw.Assoc_mem.misses cpu.Hw.Cpu.tlb;
+            c_invalidations =
+              acc.Meter.c_invalidations + Hw.Assoc_mem.flushes cpu.Hw.Cpu.tlb })
+        { Meter.c_hits = 0; c_misses = 0; c_invalidations = 0 }
+        (Hw.Machine.all_cpus machine));
+  Meter.register_cache meter ~name:"pathname" (fun () ->
+      { Meter.c_hits = Name_space.cache_hits name_space;
+        c_misses = Name_space.cache_misses name_space;
+        c_invalidations = Name_space.cache_invalidations name_space });
   let fault_dispatch =
     Fault_dispatch.create ~meter ~tracer ~page_frame ~known ~address_space
       ~gate
@@ -412,6 +429,9 @@ let boot cfg = boot_internal cfg
 let shutdown t =
   if not (User_process.all_done t.user_process) then
     failwith "Kernel.shutdown: processes still running";
+  (* Caches do not survive an incarnation. *)
+  Name_space.clear_cache t.name_space;
+  Hw.Machine.flush_all_tlbs t.machine;
   Directory.persist t.directory ~caller:Registry.gate;
   List.iter
     (fun slot -> Segment.deactivate t.segment ~caller:Registry.gate ~slot)
@@ -545,6 +565,29 @@ let run_to_completion ?(max_events = 2_000_000) t =
 let now t = Hw.Machine.now t.machine
 let denials t = t.denials
 
+type cache_report = {
+  tlb_hits : int;
+  tlb_misses : int;
+  tlb_flushes : int;
+  path_hits : int;
+  path_misses : int;
+  path_invalidations : int;
+}
+
+let stats t =
+  let find name =
+    match List.assoc_opt name (Meter.cache_stats t.meter) with
+    | Some c -> c
+    | None -> { Meter.c_hits = 0; c_misses = 0; c_invalidations = 0 }
+  in
+  let am = find "sdw_am" and path = find "pathname" in
+  { tlb_hits = am.Meter.c_hits;
+    tlb_misses = am.Meter.c_misses;
+    tlb_flushes = am.Meter.c_invalidations;
+    path_hits = path.Meter.c_hits;
+    path_misses = path.Meter.c_misses;
+    path_invalidations = path.Meter.c_invalidations }
+
 let dependency_audit t =
   Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
 
@@ -579,6 +622,14 @@ let pp_report ppf t =
   Format.fprintf ppf "  gates: %d defined (%d user-callable), %d calls@."
     (Gate.registered t.gate) (Gate.user_callable t.gate)
     (Gate.calls_total t.gate);
+  Format.fprintf ppf "  caches:@.";
+  List.iter
+    (fun (cache, c) ->
+      Format.fprintf ppf
+        "    %-12s %8d hits %8d misses %6d invalidations (%.1f%% hit)@." cache
+        c.Meter.c_hits c.Meter.c_misses c.Meter.c_invalidations
+        (100.0 *. Meter.hit_rate c))
+    (Meter.cache_stats t.meter);
   Format.fprintf ppf "  kernel time by manager:@.";
   List.iter
     (fun (manager, ns) ->

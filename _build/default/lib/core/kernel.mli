@@ -24,6 +24,10 @@ type config = {
   scheduler : Scheduler.policy;
   use_cleaner_daemon : bool;
   root_quota : int;  (** pages in the root quota cell *)
+  use_path_cache : bool;
+      (** Enable the name manager's pathname resolution cache.  The
+          hardware associative memory is controlled separately by
+          [hw.assoc_mem_size]. *)
 }
 
 val default_config : config
@@ -111,6 +115,20 @@ val now : t -> int
 val denials : t -> int
 (** Access denials absorbed by workload actions (the process continues
     with an empty register). *)
+
+type cache_report = {
+  tlb_hits : int;  (** SDW associative-memory hits, all CPUs *)
+  tlb_misses : int;
+  tlb_flushes : int;
+  path_hits : int;  (** pathname-cache hits *)
+  path_misses : int;
+  path_invalidations : int;
+}
+
+val stats : t -> cache_report
+(** Aggregated hit/miss/invalidation counters for the hardware
+    associative memories (summed over every physical and virtual CPU)
+    and the pathname cache. *)
 
 val dependency_audit : t -> Multics_depgraph.Conformance.t
 (** Observed cross-manager calls vs. the declared graph of {!Registry}. *)

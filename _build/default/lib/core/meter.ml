@@ -1,10 +1,28 @@
+type cache_stats = {
+  c_hits : int;
+  c_misses : int;
+  c_invalidations : int;
+}
+
 type t = {
   mutable pending : int;
   mutable total : int;
   per_manager : (string, int) Hashtbl.t;
+  (* Caches report through thunks so the registry never goes stale;
+     list order is registration order, for stable reports. *)
+  mutable caches : (string * (unit -> cache_stats)) list;
 }
 
-let create () = { pending = 0; total = 0; per_manager = Hashtbl.create 16 }
+let create () =
+  { pending = 0; total = 0; per_manager = Hashtbl.create 16; caches = [] }
+
+let register_cache t ~name read = t.caches <- t.caches @ [ (name, read) ]
+
+let cache_stats t = List.map (fun (n, read) -> (n, read ())) t.caches
+
+let hit_rate c =
+  let lookups = c.c_hits + c.c_misses in
+  if lookups = 0 then 0.0 else float_of_int c.c_hits /. float_of_int lookups
 
 let charge_raw t ~manager ns =
   assert (ns >= 0);

@@ -24,4 +24,21 @@ val total : t -> int
 val by_manager : t -> (string * int) list
 (** Sorted by manager name. *)
 
+type cache_stats = {
+  c_hits : int;
+  c_misses : int;
+  c_invalidations : int;  (** flush / whole-cache-drop events *)
+}
+
+val register_cache : t -> name:string -> (unit -> cache_stats) -> unit
+(** Register a cache's live counters under [name]; the thunk is read
+    whenever stats are reported. *)
+
+val cache_stats : t -> (string * cache_stats) list
+(** In registration order. *)
+
+val hit_rate : cache_stats -> float
+(** Hits over lookups; 0 when there were no lookups. *)
+
 val reset : t -> unit
+(** Clears meters; registered caches stay registered. *)

@@ -13,8 +13,16 @@
 type t
 
 val create :
+  ?use_cache:bool ->
   meter:Meter.t -> tracer:Tracer.t -> gate:Gate.t -> directory:Directory.t ->
-  t
+  unit -> t
+(** [use_cache] (default true) enables the pathname resolution cache:
+    (subject, ring, directory uid, component) -> real entry uid.  Only
+    positive, non-mythical answers are cached, the key includes the
+    whole subject so no resolution leaks across principals, and the
+    cache is dropped whenever the directory manager reports a delete
+    or ACL change — resolution results are identical with the cache on
+    or off. *)
 
 val components : string -> string list
 (** [">a>b>c" -> ["a"; "b"; "c"]]; tolerates a missing leading [>]. *)
@@ -33,4 +41,14 @@ val initiate :
 
 val search_calls : t -> int
 (** Gate crossings spent on search — the price of extraction, measured
-    by the name-manager bench. *)
+    by the name-manager bench.  Cache hits do not cross the gate and
+    are not counted here. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_invalidations : t -> int
+(** Whole-cache drops (directory change, capacity, explicit clear). *)
+
+val cache_size : t -> int
+val clear_cache : t -> unit
+(** Used at shutdown/reboot; also available to tests. *)

@@ -34,7 +34,9 @@ type t = {
   mutable free_count : int;
   mutable clock_hand : int;
   transits : (int, transit) Hashtbl.t;
-  mutable page_tables : pt_info list;
+  (* ptw_abs -> owning page table, one key per PTW in each registered
+     range, so fault paths resolve a PTW without scanning. *)
+  page_tables : (Hw.Addr.abs, pt_info) Hashtbl.t;
   frees_ec : Sync.Eventcount.t;
   cleaner : Sync.Eventcount.t;
   use_cleaner_daemon : bool;
@@ -70,7 +72,7 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon =
     frame_region; core;
     free = List.init n (fun i -> i);
     free_count = n; clock_hand = 0; transits = Hashtbl.create 32;
-    page_tables = [];
+    page_tables = Hashtbl.create 256;
     frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ();
     cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ();
     use_cleaner_daemon;
@@ -96,21 +98,28 @@ let mirror t frame =
 
 let mem t = t.machine.Hw.Machine.mem
 
-let lookup_pt t ptw_abs =
-  List.find_opt
-    (fun pt -> ptw_abs >= pt.pt_base && ptw_abs < pt.pt_base + pt.pt_words)
-    t.page_tables
+let lookup_pt t ptw_abs = Hashtbl.find_opt t.page_tables ptw_abs
+
+let remove_pt_range t ~pt_base =
+  match Hashtbl.find_opt t.page_tables pt_base with
+  | None -> ()
+  | Some pt ->
+      for i = 0 to pt.pt_words - 1 do
+        Hashtbl.remove t.page_tables (pt_base + i)
+      done
 
 let register_page_table t ~caller ~pt_base ~pt_words ~home_pack ~home_index
     ~cell =
   entry t ~caller Cost.ptw_update;
-  t.page_tables <-
-    { pt_base; pt_words; home_pack; home_index; cell }
-    :: List.filter (fun pt -> pt.pt_base <> pt_base) t.page_tables
+  remove_pt_range t ~pt_base;
+  let pt = { pt_base; pt_words; home_pack; home_index; cell } in
+  for i = 0 to pt_words - 1 do
+    Hashtbl.replace t.page_tables (pt_base + i) pt
+  done
 
 let unregister_page_table t ~caller ~pt_base =
   entry t ~caller Cost.ptw_update;
-  t.page_tables <- List.filter (fun pt -> pt.pt_base <> pt_base) t.page_tables
+  remove_pt_range t ~pt_base
 
 let release_frame t frame =
   let e = t.frames.(frame) in

@@ -26,6 +26,7 @@ type t = {
   pt_words : int;
   pt_region : Core_segment.region;  (* n_slots * pt_words PTWs *)
   ast : ast_entry array;
+  active_index : (int, int) Hashtbl.t;  (* uid -> live AST slot *)
   uid_supply : unit -> Ids.uid;
   mutable activations : int;
   mutable deactivations : int;
@@ -56,6 +57,7 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~page_frame ~signals
           { uid = Ids.of_int 0; home_pack = 0; home_index = 0;
             cell = Quota_cell.no_cell; is_directory = false; label = 0;
             connections = []; live = false });
+    active_index = Hashtbl.create (2 * ast_slots);
     uid_supply; activations = 0; deactivations = 0; relocations = 0;
     grows = 0 }
 
@@ -85,12 +87,10 @@ let create_segment t ~caller ~pack ~is_directory ~label =
   in
   (uid, index)
 
-let find_active t ~uid =
-  let found = ref None in
-  Array.iteri
-    (fun i e -> if e.live && Ids.equal e.uid uid then found := Some i)
-    t.ast;
-  !found
+(* The AST hash of real Multics: uid -> slot without scanning the
+   table.  [active_index] is updated on activate/deactivate only, so a
+   present entry always names a live slot with that uid. *)
+let find_active t ~uid = Hashtbl.find_opt t.active_index (Ids.to_int uid)
 
 (* Sever every registered connection by faulting the SDWs (the trailer
    walk).  The SDWs live in descriptor segments the address space
@@ -103,7 +103,11 @@ let sever_connections t e =
       Hw.Sdw.write_at (mem t) sdw_abs { sdw with Hw.Sdw.present = false };
       charge t Cost.ptw_update)
     e.connections;
-  e.connections <- []
+  e.connections <- [];
+  (* A changed descriptor may be cached in some processor's associative
+     memory; the trailer walk ends with a broadcast AM clear. *)
+  Hw.Machine.flush_all_tlbs t.machine;
+  Tracer.note_cache t.tracer ~cache:"sdw_am" ~event:"setfaults_flush"
 
 let build_page_table t slot (vtoc : Hw.Disk.vtoc_entry) =
   for pageno = 0 to t.pt_words - 1 do
@@ -150,6 +154,7 @@ let deactivate_slot t slot =
   sever_connections t e;
   Page_frame.unregister_page_table t.page_frame ~caller:name
     ~pt_base:(pt_base t ~slot);
+  Hashtbl.remove t.active_index (Ids.to_int e.uid);
   e.live <- false;
   t.deactivations <- t.deactivations + 1
 
@@ -202,6 +207,7 @@ let activate t ~caller ~uid ~cell =
                 e.label <- vtoc.Hw.Disk.aim_label;
                 e.connections <- [];
                 e.live <- true;
+                Hashtbl.replace t.active_index (Ids.to_int uid) slot;
                 build_page_table t slot vtoc;
                 Page_frame.register_page_table t.page_frame ~caller:name
                   ~pt_base:(pt_base t ~slot) ~pt_words:t.pt_words

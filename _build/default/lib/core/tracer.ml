@@ -4,9 +4,23 @@ module PMap = Map.Make (struct
   let compare = compare
 end)
 
-type t = { mutable edges : int PMap.t; mutable total : int }
+type t = {
+  mutable edges : int PMap.t;
+  mutable total : int;
+  cache_events : (string, int) Hashtbl.t;  (* "cache:event" -> count *)
+}
 
-let create () = { edges = PMap.empty; total = 0 }
+let create () =
+  { edges = PMap.empty; total = 0; cache_events = Hashtbl.create 8 }
+
+let note_cache t ~cache ~event =
+  let key = cache ^ ":" ^ event in
+  let count = Option.value ~default:0 (Hashtbl.find_opt t.cache_events key) in
+  Hashtbl.replace t.cache_events key (count + 1)
+
+let cache_events t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cache_events []
+  |> List.sort compare
 
 let call t ~from ~to_ =
   if from <> to_ then begin
@@ -32,4 +46,5 @@ let calls t = t.total
 
 let reset t =
   t.edges <- PMap.empty;
-  t.total <- 0
+  t.total <- 0;
+  Hashtbl.reset t.cache_events

@@ -23,4 +23,12 @@ val audit : t -> declared:Multics_depgraph.Graph.t ->
 val calls : t -> int
 (** Total cross-manager calls recorded. *)
 
+val note_cache : t -> cache:string -> event:string -> unit
+(** Record a cache lifecycle event (e.g. an associative-memory
+    broadcast flush, a pathname-cache invalidation) for the trace
+    report. *)
+
+val cache_events : t -> (string * int) list
+(** ["cache:event" -> count], sorted. *)
+
 val reset : t -> unit

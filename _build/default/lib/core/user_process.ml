@@ -171,7 +171,23 @@ let user_step t (vp : Vp.vp) =
           | Some f -> f
           | None -> fun _ -> Failed ("no interpreter installed", 0)
         in
-        match interpret p with
+        (* Fold the hardware's translation time (descriptor walks vs.
+           associative-memory hits) into the step's simulated cost. *)
+        let xl0 = p.vcpu.Hw.Cpu.xl_ns in
+        let outcome = interpret p in
+        let xl = p.vcpu.Hw.Cpu.xl_ns - xl0 in
+        let outcome =
+          if xl = 0 then outcome
+          else
+            match outcome with
+            | Did c -> Did (c + xl)
+            | Again c -> Again (c + xl)
+            | Blocked_page (ec, v, c) -> Blocked_page (ec, v, c + xl)
+            | Blocked_user (ec, v, c) -> Blocked_user (ec, v, c + xl)
+            | Finished c -> Finished (c + xl)
+            | Failed (m, c) -> Failed (m, c + xl)
+        in
+        match outcome with
         | Did cost ->
             p.pc <- p.pc + 1;
             p.quantum <- p.quantum - 1;
@@ -266,6 +282,9 @@ let create_process t ~caller ~pname ~principal ~label ~trusted ~ring ~program =
   let vcpu = Hw.Cpu.create ~id:(1000 + pid) in
   vcpu.Hw.Cpu.ring <- ring;
   Address_space.install_system_dbr t.address_space vcpu;
+  (* Descriptor changes must reach this processor's associative
+     memory when setfaults broadcasts its clear. *)
+  Hw.Machine.register_cpu t.machine vcpu;
   let p =
     { pid; pname; principal; label; trusted; ring; vcpu; program; pc = 0;
       regs = Array.make Workload.n_registers (-1); pstate = P_ready;

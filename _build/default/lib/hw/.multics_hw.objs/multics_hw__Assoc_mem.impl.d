@@ -1,0 +1,1 @@
+lib/hw/assoc_mem.ml: Array Format Sdw

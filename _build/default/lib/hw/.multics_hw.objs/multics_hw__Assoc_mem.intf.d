@@ -1,0 +1,1 @@
+lib/hw/assoc_mem.mli: Format Sdw

@@ -1,1 +1,1 @@
-lib/hw/cpu.ml: Addr Fault Hw_config Phys_mem Ptw Sdw
+lib/hw/cpu.ml: Addr Assoc_mem Fault Hw_config Phys_mem Ptw Sdw

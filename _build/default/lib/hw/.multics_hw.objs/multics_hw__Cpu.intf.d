@@ -1,1 +1,1 @@
-lib/hw/cpu.mli: Addr Fault Hw_config Phys_mem Word
+lib/hw/cpu.mli: Addr Assoc_mem Fault Hw_config Phys_mem Word

@@ -1,1 +1,1 @@
-lib/hw/machine.ml: Array Cpu Disk Event_queue Format Hw_config Phys_mem
+lib/hw/machine.ml: Array Assoc_mem Cpu Disk Event_queue Format Hw_config List Phys_mem

@@ -11,13 +11,21 @@ type t = {
   mutable idle_ns : int;
   mutable translations : int;
   mutable faults : int;
+  tlb : Assoc_mem.t;
+  mutable xl_ns : int;
 }
 
 let create ~id =
   { id; ring = 0; user_dbr = None; system_dbr = None; wakeup_waiting = false;
-    locked_ptw = None; busy_ns = 0; idle_ns = 0; translations = 0; faults = 0 }
+    locked_ptw = None; busy_ns = 0; idle_ns = 0; translations = 0; faults = 0;
+    tlb = Assoc_mem.create (); xl_ns = 0 }
 
-let load_user_dbr t dbr = t.user_dbr <- dbr
+(* A process switch invalidates the associative memory: the cached SDWs
+   describe the outgoing address space.  System segments (below the
+   split) are flushed too — the hardware cleared the whole AM. *)
+let load_user_dbr t dbr =
+  t.user_dbr <- dbr;
+  Assoc_mem.flush t.tlb
 
 (* Which descriptor table serves this segment number. *)
 let select_dbr (config : Hw_config.t) t segno =
@@ -36,7 +44,26 @@ let translate (config : Hw_config.t) mem t (virt : Addr.virt) access =
   | Some dbr ->
       if segno >= dbr.n_segments then fault (Fault.Missing_segment { segno })
       else
-        let sdw = Sdw.read_at mem (dbr.base + (segno * Sdw.words)) in
+        let am_on = config.assoc_mem_size > 0 in
+        if am_on then Assoc_mem.resize t.tlb config.assoc_mem_size;
+        let cached =
+          if am_on then Assoc_mem.lookup t.tlb ~segno else None
+        in
+        let sdw =
+          match cached with
+          | Some sdw ->
+              t.xl_ns <- t.xl_ns + config.tlb_hit_cost;
+              sdw
+          | None ->
+              let sdw = Sdw.read_at mem (dbr.base + (segno * Sdw.words)) in
+              t.xl_ns <- t.xl_ns + config.walk_cost;
+              (* Only translatable SDWs enter the AM; invalid or faulted
+                 descriptors always re-walk, so installing a fresh SDW
+                 over an invalid one needs no flush. *)
+              if am_on && sdw.Sdw.valid && sdw.Sdw.present then
+                Assoc_mem.insert t.tlb ~segno ~sdw;
+              sdw
+        in
         if not (sdw.Sdw.valid && sdw.Sdw.present) then
           fault (Fault.Missing_segment { segno })
         else if not (Sdw.permits sdw ~ring:t.ring access) then
@@ -47,6 +74,10 @@ let translate (config : Hw_config.t) mem t (virt : Addr.virt) access =
             fault (Fault.Bounds_fault { segno; wordno = virt.Addr.wordno })
           else
             let ptw_abs = sdw.Sdw.page_table + pageno in
+            (* The PTW is re-read even on an AM hit: replacement and
+               quota depend on the used/modified bits every translation
+               writes back, and the lock/fault bits must be observed
+               fresh.  Only the SDW fetch is skipped. *)
             let ptw = Ptw.read mem ptw_abs in
             if not ptw.Ptw.valid then
               fault (Fault.Bounds_fault { segno; wordno = virt.Addr.wordno })

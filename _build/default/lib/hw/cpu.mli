@@ -20,12 +20,18 @@ type t = {
   mutable idle_ns : int;
   mutable translations : int;
   mutable faults : int;
+  tlb : Assoc_mem.t;                       (** SDW associative memory *)
+  mutable xl_ns : int;
+      (** Simulated ns spent in address translation (walks vs. AM
+          hits).  The hw library cannot meter, so this accumulates and
+          the kernel's dispatcher folds the delta into step costs. *)
 }
 
 val create : id:int -> t
 
 val load_user_dbr : t -> dbr option -> unit
-(** Performed by the dispatcher on every process switch. *)
+(** Performed by the dispatcher on every process switch.  Flushes the
+    associative memory: its contents describe the outgoing space. *)
 
 val translate :
   Hw_config.t -> Phys_mem.t -> t -> Addr.virt -> Fault.access ->
@@ -34,7 +40,13 @@ val translate :
     segment numbers below the split when [dual_dbr] is on.  Side
     effects mirror the hardware: sets the PTW used/modified bits on
     success; with [descriptor_lock_bit], atomically sets the lock bit
-    and records [locked_ptw] when a missing-page fault is taken. *)
+    and records [locked_ptw] when a missing-page fault is taken.
+
+    With [assoc_mem_size > 0] the SDW comes from the associative
+    memory when present, skipping the descriptor-table fetch and
+    charging [tlb_hit_cost] instead of [walk_cost] to [xl_ns].  The
+    PTW is always re-read, so results and memory side effects are
+    identical with the AM on or off. *)
 
 val read :
   Hw_config.t -> Phys_mem.t -> t -> Addr.virt -> (Word.t, Fault.t) result

@@ -17,6 +17,9 @@ type vtoc_entry = {
 type pack = {
   records : (int, Word.t array) Hashtbl.t;
   mutable free : int list;
+  (* Mirror of [free] for O(1) membership tests; the list is kept for
+     allocation order. *)
+  free_map : bool array;
   mutable n_free : int;
   vtoc : (int, vtoc_entry) Hashtbl.t;
   mutable next_vtoc : int;
@@ -37,6 +40,7 @@ let create ~packs ~records_per_pack ~read_latency_ns =
   let make_pack _ =
     { records = Hashtbl.create 64;
       free = List.init records_per_pack (fun i -> i);
+      free_map = Array.make records_per_pack true;
       n_free = records_per_pack;
       vtoc = Hashtbl.create 16;
       next_vtoc = 0 }
@@ -67,6 +71,7 @@ let alloc_record t ~pack =
   | [] -> raise (Pack_full pack)
   | record :: rest ->
       p.free <- rest;
+      p.free_map.(record) <- false;
       p.n_free <- p.n_free - 1;
       record
 
@@ -74,9 +79,12 @@ let free_record t ~pack ~record =
   let p = get_pack t pack in
   Hashtbl.remove p.records record;
   p.free <- record :: p.free;
+  p.free_map.(record) <- true;
   p.n_free <- p.n_free + 1
 
-let record_is_free t ~pack ~record = List.mem record (get_pack t pack).free
+let record_is_free t ~pack ~record =
+  let p = get_pack t pack in
+  record >= 0 && record < Array.length p.free_map && p.free_map.(record)
 
 let read_record t ~pack ~record =
   let p = get_pack t pack in

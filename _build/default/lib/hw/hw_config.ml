@@ -7,22 +7,26 @@ type t = {
   system_segno_split : int;
   mem_access_cost : int;
   fault_overhead_cost : int;
+  assoc_mem_size : int;
+  walk_cost : int;
+  tlb_hit_cost : int;
 }
 
 let kernel_multics =
   { n_cpus = 2; memory_frames = 256; descriptor_lock_bit = true;
     quota_fault_bit = true; dual_dbr = true; system_segno_split = 64;
-    mem_access_cost = 1; fault_overhead_cost = 30 }
+    mem_access_cost = 1; fault_overhead_cost = 30;
+    assoc_mem_size = 16; walk_cost = 700; tlb_hit_cost = 25 }
 
 let legacy_multics =
   { kernel_multics with descriptor_lock_bit = false; quota_fault_bit = false;
-    dual_dbr = false }
+    dual_dbr = false; assoc_mem_size = 0 }
 
 let with_frames t frames = { t with memory_frames = frames }
 let with_cpus t n = { t with n_cpus = n }
 
 let pp ppf t =
   Format.fprintf ppf
-    "hw{cpus=%d frames=%d lock-bit=%b quota-bit=%b dual-dbr=%b split=%d}"
+    "hw{cpus=%d frames=%d lock-bit=%b quota-bit=%b dual-dbr=%b split=%d am=%d}"
     t.n_cpus t.memory_frames t.descriptor_lock_bit t.quota_fault_bit t.dual_dbr
-    t.system_segno_split
+    t.system_segno_split t.assoc_mem_size

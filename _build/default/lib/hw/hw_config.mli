@@ -22,6 +22,15 @@ type t = {
           through the system descriptor table. *)
   mem_access_cost : int;  (** simulated nanoseconds per word access *)
   fault_overhead_cost : int;  (** processor fault/trap overhead, ns *)
+  assoc_mem_size : int;
+      (** Slots in the per-CPU SDW associative memory; 0 disables it
+          (the 6180 had 16).  Off, every translation re-reads the SDW
+          from memory and is charged [walk_cost]. *)
+  walk_cost : int;
+      (** Simulated ns for a full descriptor walk (SDW fetch). *)
+  tlb_hit_cost : int;
+      (** Simulated ns for a translation served by the associative
+          memory. *)
 }
 
 val kernel_multics : t

@@ -5,6 +5,7 @@ type t = {
   disk : Disk.t;
   events : Event_queue.t;
   mutable now : int;
+  mutable extra_cpus : Cpu.t list;
 }
 
 let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
@@ -19,9 +20,20 @@ let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
           Disk.create ~packs:disk_packs ~records_per_pack
             ~read_latency_ns:2_000_000);
     events = Event_queue.create ();
-    now = 0 }
+    now = 0;
+    extra_cpus = [] }
 
 let now t = t.now
+
+let register_cpu t cpu = t.extra_cpus <- cpu :: t.extra_cpus
+
+let all_cpus t = Array.to_list t.cpus @ List.rev t.extra_cpus
+
+(* The setfaults trailer walk: changing a descriptor in place must
+   broadcast an associative-memory clear to every processor, physical
+   or virtual, or a stale SDW could translate to freed storage. *)
+let flush_all_tlbs t =
+  List.iter (fun (cpu : Cpu.t) -> Assoc_mem.flush cpu.Cpu.tlb) (all_cpus t)
 
 let schedule t ~delay handler =
   assert (delay >= 0);

@@ -13,6 +13,9 @@ type t = {
   disk : Disk.t;
   events : Event_queue.t;
   mutable now : int;  (** simulated nanoseconds since boot *)
+  mutable extra_cpus : Cpu.t list;
+      (** Virtual CPUs registered by the kernel so descriptor changes
+          can broadcast associative-memory clears to all of them. *)
 }
 
 val create :
@@ -35,5 +38,16 @@ val step : t -> bool
 val run : ?until:int -> ?max_events:int -> t -> unit
 (** Drain the event queue, optionally stopping at simulated time [until]
     or after [max_events] events. *)
+
+val register_cpu : t -> Cpu.t -> unit
+(** Add a virtual CPU to the broadcast set for [flush_all_tlbs]. *)
+
+val all_cpus : t -> Cpu.t list
+(** Physical CPUs followed by registered virtual CPUs, in
+    registration order. *)
+
+val flush_all_tlbs : t -> unit
+(** Clear every CPU's SDW associative memory — the setfaults trailer
+    walk's hardware broadcast. *)
 
 val pp_stats : Format.formatter -> t -> unit

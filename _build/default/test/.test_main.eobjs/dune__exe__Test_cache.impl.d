@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array List Multics_aim Multics_hw Multics_kernel Printf String

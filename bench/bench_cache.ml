@@ -1,0 +1,299 @@
+(* C1: the associative memories, off vs on.
+
+   The 6180 carried a 16-slot SDW associative memory; the simulator
+   models it per CPU (physical and virtual), and the user-ring name
+   manager adds a pathname-resolution cache above the kernel's search
+   gate.  Both are pure accelerators: every experiment here runs the
+   same workload with the caches disabled and enabled, reports the
+   simulated-time delta and hit rates, and FAILS if the functional
+   results differ — the caches may change when things happen, never
+   what happens. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+
+let sec = "C1"
+
+let user_subject =
+  { K.Directory.s_principal = { K.Acl.user = "user"; project = "proj" };
+    s_label = Bench_util.low; s_trusted = false }
+
+(* Everything off: no SDW associative memory, no pathname cache. *)
+let off_config =
+  { K.Kernel.default_config with
+    K.Kernel.hw =
+      { Hw.Hw_config.kernel_multics with Hw.Hw_config.assoc_mem_size = 0 };
+    use_path_cache = false }
+
+let on_config = K.Kernel.default_config
+
+let pct_saved off on =
+  100.0 *. float_of_int (off - on) /. float_of_int (max 1 off)
+
+let tlb_rate (s : K.Kernel.cache_report) =
+  let lookups = s.K.Kernel.tlb_hits + s.K.Kernel.tlb_misses in
+  if lookups = 0 then 0.0
+  else 100.0 *. float_of_int s.K.Kernel.tlb_hits /. float_of_int lookups
+
+let path_rate (s : K.Kernel.cache_report) =
+  let lookups = s.K.Kernel.path_hits + s.K.Kernel.path_misses in
+  if lookups = 0 then 0.0
+  else 100.0 *. float_of_int s.K.Kernel.path_hits /. float_of_int lookups
+
+let report_caches k label =
+  let s = K.Kernel.stats k in
+  Format.printf
+    "  %-10s sdw_am %d hits / %d misses (%.1f%% hit), %d flushes; \
+     pathname %d hits / %d misses (%.1f%% hit)@."
+    label s.K.Kernel.tlb_hits s.K.Kernel.tlb_misses (tlb_rate s)
+    s.K.Kernel.tlb_flushes s.K.Kernel.path_hits s.K.Kernel.path_misses
+    (path_rate s)
+
+(* The functional fingerprint of a kernel run: what happened, not when.
+   Context switches and elapsed ns legitimately move with the caches;
+   these must not. *)
+let fingerprint k ~completed =
+  ( completed,
+    K.Kernel.denials k,
+    K.Page_frame.faults_served (K.Kernel.page_frame k),
+    K.Segment.grows (K.Kernel.segment k),
+    K.Page_frame.page_reads (K.Kernel.page_frame k) )
+
+let check_same what a b =
+  if a <> b then
+    failwith
+      (Printf.sprintf "bench_cache: %s computed different results with caches \
+                       on — the accelerators changed semantics" what);
+  let completed, denials, faults, grows, reads = a in
+  Format.printf
+    "  functional results identical off/on: completed=%b denials=%d \
+     faults=%d grows=%d reads=%d@."
+    completed denials faults grows reads
+
+(* ------------------------------------------------------------------ *)
+(* C1a: bare hardware.  A hand-built descriptor table and a random
+   translation loop over a working set that fits the 16 slots — the
+   paper's translation-heavy inner loop with nothing else in the way. *)
+
+let hw_microloop () =
+  let translations = 2_000 in
+  let n_segs = 8 and pages = 4 in
+  let run (config : Hw.Hw_config.t) =
+    let machine = Hw.Machine.create config in
+    let mem = machine.Hw.Machine.mem in
+    let cpu = machine.Hw.Machine.cpus.(0) in
+    (* Frame 0 holds the tables; data pages live in frames 1..32. *)
+    let table = Hw.Addr.frame_base 0 in
+    let pt_base s = table + 128 + (s * 16) in
+    for s = 0 to n_segs - 1 do
+      for p = 0 to pages - 1 do
+        Hw.Ptw.write mem
+          (pt_base s + p)
+          (Hw.Ptw.in_core ~frame:(1 + (s * pages) + p))
+      done;
+      Hw.Sdw.write_at mem
+        (table + (s * Hw.Sdw.words))
+        (Hw.Sdw.make ~page_table:(pt_base s) ~length:pages ~read:true
+           ~write:true ~execute:false ~r1:0 ~r2:7 ~r3:7)
+    done;
+    let dbr = Some { Hw.Cpu.base = table; n_segments = n_segs } in
+    Hw.Cpu.load_user_dbr cpu dbr;
+    cpu.Hw.Cpu.system_dbr <- dbr;
+    let prng = K.Workload.Prng.create ~seed:7 in
+    for _ = 1 to translations do
+      let v =
+        Hw.Addr.of_page
+          ~segno:(K.Workload.Prng.int prng n_segs)
+          ~pageno:(K.Workload.Prng.int prng pages)
+          ~offset:(K.Workload.Prng.int prng Hw.Addr.page_size)
+      in
+      match Hw.Cpu.read config mem cpu v with
+      | Ok _ -> ()
+      | Error _ -> failwith "bench_cache: microloop translation faulted"
+    done;
+    ( cpu.Hw.Cpu.xl_ns,
+      Hw.Assoc_mem.hits cpu.Hw.Cpu.tlb,
+      Hw.Assoc_mem.misses cpu.Hw.Cpu.tlb )
+  in
+  let off_xl, _, _ =
+    run { Hw.Hw_config.kernel_multics with Hw.Hw_config.assoc_mem_size = 0 }
+  in
+  let on_xl, hits, misses = run Hw.Hw_config.kernel_multics in
+  let rate = 100.0 *. float_of_int hits /. float_of_int (hits + misses) in
+  let saved = pct_saved off_xl on_xl in
+  Format.printf
+    "C1a  hardware translation loop (%d translations, %d segments):@."
+    translations n_segs;
+  Bench_util.row2 "translation ns (total)"
+    (Bench_util.fmt_us off_xl) (Bench_util.fmt_us on_xl);
+  Bench_util.row2 "" "(AM off)" "(AM on)";
+  Format.printf
+    "  associative memory: %d hits / %d misses (%.1f%% hit rate), \
+     %.0f%% of translation time saved@."
+    hits misses rate saved;
+  Bench_util.recordi ~section:sec ~metric:"hw_translate_ns_off" off_xl;
+  Bench_util.recordi ~section:sec ~metric:"hw_translate_ns_on" on_xl;
+  Bench_util.record ~section:sec ~metric:"hw_translate_hit_rate" ~unit:"pct"
+    rate;
+  Bench_util.record ~section:sec ~metric:"hw_translate_saved" ~unit:"pct"
+    saved;
+  if saved < 30.0 then
+    failwith
+      (Printf.sprintf
+         "bench_cache: expected >= 30%% translation-time reduction, got \
+          %.0f%%" saved)
+
+(* ------------------------------------------------------------------ *)
+(* C1b: a translation-heavy kernel workload — the P4 toucher, one
+   process over two working sets, ample memory so the two variants see
+   the same faults. *)
+
+let touches = 400
+let touch_pages = 8
+
+let touch_program () =
+  let prng = K.Workload.Prng.create ~seed:41 in
+  let body =
+    Array.init touches (fun _ ->
+        K.Workload.Touch
+          { seg_reg = K.Workload.Prng.int prng 2;
+            pageno = K.Workload.Prng.int prng touch_pages;
+            offset = K.Workload.Prng.int prng 1024;
+            write = K.Workload.Prng.pct prng 40 })
+  in
+  K.Workload.concat
+    [ [| K.Workload.Initiate { path = ">home>ws1"; reg = 0 };
+         K.Workload.Initiate { path = ">home>ws2"; reg = 1 } |];
+      body ]
+
+let kernel_touch_run config =
+  let k = Bench_util.boot_new ~config () in
+  ignore
+    (K.Kernel.spawn k ~pname:"w1"
+       (Bench_util.file_writer ~dir:">home" ~name:"ws1" ~pages:touch_pages));
+  ignore
+    (K.Kernel.spawn k ~pname:"w2"
+       (Bench_util.file_writer ~dir:">home" ~name:"ws2" ~pages:touch_pages));
+  let ok1 = K.Kernel.run_to_completion k in
+  let t0 = K.Kernel.now k in
+  ignore (K.Kernel.spawn k ~pname:"t1" (touch_program ()));
+  let ok2 = K.Kernel.run_to_completion k in
+  (k, fingerprint k ~completed:(ok1 && ok2), K.Kernel.now k - t0)
+
+let kernel_touches () =
+  Format.printf "@.C1b  kernel toucher (%d touches over 2 segments):@."
+    touches;
+  let k_off, fp_off, ns_off = kernel_touch_run off_config in
+  let k_on, fp_on, ns_on = kernel_touch_run on_config in
+  Bench_util.row2 "elapsed per touch"
+    (Bench_util.fmt_us (ns_off / touches))
+    (Bench_util.fmt_us (ns_on / touches));
+  Bench_util.row2 "" "(caches off)" "(caches on)";
+  Format.printf "  %.1f%% of elapsed time saved by the caches@."
+    (pct_saved ns_off ns_on);
+  report_caches k_off "off:";
+  report_caches k_on "on:";
+  check_same "kernel toucher" fp_off fp_on;
+  Bench_util.recordi ~section:sec ~metric:"toucher_elapsed_ns_off" ns_off;
+  Bench_util.recordi ~section:sec ~metric:"toucher_elapsed_ns_on" ns_on;
+  Bench_util.record ~section:sec ~metric:"toucher_tlb_hit_rate" ~unit:"pct"
+    (tlb_rate (K.Kernel.stats k_on))
+
+(* ------------------------------------------------------------------ *)
+(* C1c: the pathname cache — the P2 name-manager loop, 50 resolutions
+   of a 5-component path.  A hit skips four search gate crossings. *)
+
+let path_run config =
+  let deep_path = ">home>a>b>c>leaf" in
+  let k = Bench_util.boot_new ~config () in
+  K.Kernel.mkdir k ~path:">home>a" ~acl:Bench_util.open_acl
+    ~label:Bench_util.low;
+  K.Kernel.mkdir k ~path:">home>a>b" ~acl:Bench_util.open_acl
+    ~label:Bench_util.low;
+  K.Kernel.mkdir k ~path:">home>a>b>c" ~acl:Bench_util.open_acl
+    ~label:Bench_util.low;
+  K.Kernel.create_file k ~path:deep_path ~acl:Bench_util.open_acl
+    ~label:Bench_util.low;
+  let before = K.Meter.total (K.Kernel.meter k) in
+  let uid = ref 0 in
+  for _ = 1 to 50 do
+    match
+      K.Name_space.initiate (K.Kernel.name_space k) ~subject:user_subject
+        ~ring:5 ~path:deep_path
+    with
+    | Ok target -> uid := K.Ids.to_int target.K.Directory.t_uid
+    | Error _ -> failwith "bench_cache: resolve"
+  done;
+  let per = (K.Meter.total (K.Kernel.meter k) - before) / 50 in
+  (k, per, !uid)
+
+let path_bench () =
+  Format.printf "@.C1c  name manager (50 x 5-component resolution):@.";
+  let k_off, per_off, uid_off = path_run off_config in
+  let k_on, per_on, uid_on = path_run on_config in
+  if uid_off <> uid_on then
+    failwith "bench_cache: pathname cache resolved a different uid";
+  Bench_util.row2 "per resolution" (Bench_util.fmt_us per_off)
+    (Bench_util.fmt_us per_on);
+  Bench_util.row2 "" "(cache off)" "(cache on)";
+  Format.printf
+    "  %.0f%% of resolution time saved; every resolution reached the same \
+     uid@."
+    (pct_saved per_off per_on);
+  report_caches k_off "off:";
+  report_caches k_on "on:";
+  Bench_util.recordi ~section:sec ~metric:"resolve_ns_off" per_off;
+  Bench_util.recordi ~section:sec ~metric:"resolve_ns_on" per_on;
+  Bench_util.record ~section:sec ~metric:"resolve_path_hit_rate" ~unit:"pct"
+    (path_rate (K.Kernel.stats k_on))
+
+(* ------------------------------------------------------------------ *)
+(* C1d: a P5-style process mix — context switches flush the AM between
+   processes, so this measures the caches under multiplexing, and
+   checks the whole mix still computes the same results. *)
+
+let mix_run config =
+  let k = Bench_util.boot_new ~config () in
+  for i = 1 to 4 do
+    ignore
+      (K.Kernel.spawn k
+         ~pname:(Printf.sprintf "cpu%d" i)
+         (K.Workload.compute_bound ~steps:60 ~step_ns:3_000))
+  done;
+  for i = 1 to 2 do
+    ignore
+      (K.Kernel.spawn k
+         ~pname:(Printf.sprintf "io%d" i)
+         (Bench_util.file_writer ~dir:">home"
+            ~name:(Printf.sprintf "io%d" i) ~pages:2))
+  done;
+  let completed = K.Kernel.run_to_completion k in
+  (k, fingerprint k ~completed, K.Kernel.now k)
+
+let mix_bench () =
+  Format.printf "@.C1d  6-process mix under multiplexing:@.";
+  let k_off, fp_off, ns_off = mix_run off_config in
+  let k_on, fp_on, ns_on = mix_run on_config in
+  Bench_util.row2 "elapsed" (Bench_util.fmt_us ns_off)
+    (Bench_util.fmt_us ns_on);
+  Bench_util.row2 "" "(caches off)" "(caches on)";
+  let s_on = K.Kernel.stats k_on in
+  Format.printf
+    "  %d AM flushes on (context switches + setfaults); %.1f%% elapsed \
+     saved@."
+    s_on.K.Kernel.tlb_flushes (pct_saved ns_off ns_on);
+  report_caches k_off "off:";
+  report_caches k_on "on:";
+  check_same "process mix" fp_off fp_on;
+  Bench_util.recordi ~section:sec ~metric:"mix_elapsed_ns_off" ns_off;
+  Bench_util.recordi ~section:sec ~metric:"mix_elapsed_ns_on" ns_on;
+  Bench_util.recordi ~section:sec ~metric:"mix_tlb_flushes"
+    s_on.K.Kernel.tlb_flushes ~unit:"count"
+
+let run () =
+  Bench_util.section "C1"
+    "Associative memories: SDW AM + pathname cache, off vs on";
+  hw_microloop ();
+  kernel_touches ();
+  path_bench ();
+  mix_bench ()
