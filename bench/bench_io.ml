@@ -1,0 +1,266 @@
+(* C2: asynchronous batched disk I/O, sync vs async vs async+prefetch.
+
+   The seed charged every page transfer a flat latency inline.  The I/O
+   scheduler replaces that with per-pack elevator queues: one seek per
+   discontinuity, one transfer per record, completions delivered through
+   the event queue.  Batching only pays when requests arrive together —
+   write-behind sweeps from the cleaning daemon and sequential
+   read-ahead are what fill the queues.
+
+   Three configurations over the same workloads:
+
+     sync      use_io_sched=false           the seed's flat protocol
+     async     use_io_sched=true, ra=0      elevator + write-behind
+     prefetch  use_io_sched=true, ra=2      + sequential read-ahead
+
+   Every experiment checks the variants computed the same results; the
+   sequential experiment additionally FAILS unless the batched variant
+   runs in <= 0.7x the sync elapsed time, the mean batch exceeds one
+   record, and read-ahead actually hit. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+
+let sec = "C2"
+
+(* A cramped machine: 40 pageable frames under a 64-page segment, so a
+   sequential sweep of a big file faults page after page. *)
+let base_config =
+  { K.Kernel.default_config with
+    K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 64;
+    core_frames = 24 }
+
+let sync_config =
+  { base_config with K.Kernel.use_io_sched = false; read_ahead = 0 }
+
+let async_config =
+  { base_config with K.Kernel.use_io_sched = true; read_ahead = 0 }
+
+let prefetch_config =
+  { base_config with K.Kernel.use_io_sched = true; read_ahead = 2 }
+
+let ratio num den = float_of_int num /. float_of_int (max 1 den)
+
+(* What happened, not when: timing legitimately moves with the
+   scheduler; these must not. *)
+let fingerprint k ~completed =
+  ( completed,
+    K.Kernel.denials k,
+    K.Segment.grows (K.Kernel.segment k) )
+
+(* Everything the run left on disk: VTOC shape, file maps, and the
+   words of every allocated record.  Computed after [shutdown], whose
+   quiesce barrier settles outstanding write-behinds — so a divergence
+   here means the scheduler lost or misdirected a transfer. *)
+let disk_checksum k =
+  let d = (K.Kernel.machine k).Hw.Machine.disk in
+  let h = ref 0 in
+  let mix v = h := (((!h * 31) + v + 1) lxor (!h lsr 17)) land max_int in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    List.iter
+      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
+        mix index;
+        mix e.Hw.Disk.uid;
+        mix e.Hw.Disk.len_pages;
+        Array.iter
+          (fun handle ->
+            mix handle;
+            if handle >= 0 then
+              Array.iter mix
+                (Hw.Disk.read_record d
+                   ~pack:(Hw.Disk.pack_of_handle handle)
+                   ~record:(Hw.Disk.record_of_handle handle)))
+          e.Hw.Disk.file_map)
+      (Hw.Disk.vtoc_entries d ~pack)
+  done;
+  !h
+
+let check_fingerprint what a b =
+  if a <> b then
+    failwith
+      (Printf.sprintf
+         "bench_io: %s computed different results under the scheduler" what)
+
+let check_disk what a b =
+  if a <> b then
+    failwith
+      (Printf.sprintf
+         "bench_io: %s left different disk contents under the scheduler" what)
+
+let report_io k label =
+  let io = K.Kernel.io_stats k in
+  Format.printf
+    "  %-10s %d reads / %d writes in %d batches (mean %.1f, max %d), %d \
+     merges, queue peak %d@."
+    label io.K.Kernel.io_reads io.K.Kernel.io_writes io.K.Kernel.io_batches
+    io.K.Kernel.io_mean_batch io.K.Kernel.io_max_batch io.K.Kernel.io_merges
+    io.K.Kernel.io_queue_peak;
+  if io.K.Kernel.prefetch_issued > 0 then
+    Format.printf "  %-10s read-ahead %d issued, %d hit, %d dropped@." ""
+      io.K.Kernel.prefetch_issued io.K.Kernel.prefetch_hits
+      io.K.Kernel.prefetch_dropped
+
+(* ------------------------------------------------------------------ *)
+(* C2a: sequential sweep.  A writer fills a 48-page file (more pages
+   than the pool, so the early pages are evicted through write-behind),
+   then a reader walks it front to back — every touch at the head of
+   the sweep is a missing-page fault. *)
+
+let seq_pages = 48
+
+let reader_program =
+  K.Workload.concat
+    [ [| K.Workload.Initiate { path = ">home>big"; reg = 0 } |];
+      K.Workload.sequential_read ~seg_reg:0 ~pages:seq_pages ]
+
+let seq_run ~label config =
+  let k = Bench_util.boot_new ~config () in
+  ignore
+    (K.Kernel.spawn k ~pname:"writer"
+       (Bench_util.file_writer ~dir:">home" ~name:"big" ~pages:seq_pages));
+  let ok1 = K.Kernel.run_to_completion k in
+  (* Settle the write phase's queued transfers so every variant starts
+     the measured window with an idle arm. *)
+  K.Volume.quiesce (K.Kernel.volume k);
+  let pre = K.Kernel.io_stats k in
+  let t0 = K.Kernel.now k in
+  ignore (K.Kernel.spawn k ~pname:"reader" reader_program);
+  let ok2 = K.Kernel.run_to_completion k in
+  let elapsed = K.Kernel.now k - t0 in
+  let post = K.Kernel.io_stats k in
+  Format.printf
+    "  %-10s measured window: %d reads, %d writes, %d batches, %d merges, \
+     arm busy %s@."
+    (label ^ ":")
+    (post.K.Kernel.io_reads - pre.K.Kernel.io_reads)
+    (post.K.Kernel.io_writes - pre.K.Kernel.io_writes)
+    (post.K.Kernel.io_batches - pre.K.Kernel.io_batches)
+    (post.K.Kernel.io_merges - pre.K.Kernel.io_merges)
+    (Bench_util.fmt_us (post.K.Kernel.io_busy_ns - pre.K.Kernel.io_busy_ns));
+  let fp = fingerprint k ~completed:(ok1 && ok2) in
+  K.Kernel.shutdown k;
+  (k, fp, disk_checksum k, elapsed)
+
+let sequential () =
+  Format.printf "C2a  sequential sweep (%d-page file, 40-frame pool):@."
+    seq_pages;
+  let k_sync, fp_sync, d_sync, ns_sync = seq_run ~label:"sync" sync_config in
+  let k_async, fp_async, d_async, ns_async =
+    seq_run ~label:"async" async_config
+  in
+  let k_pre, fp_pre, d_pre, ns_pre =
+    seq_run ~label:"prefetch" prefetch_config
+  in
+  Format.printf "  %-24s %12s@." "sync (flat latency)"
+    (Bench_util.fmt_us ns_sync);
+  Format.printf "  %-24s %12s  (%.2fx)@." "async (elevator)"
+    (Bench_util.fmt_us ns_async) (ratio ns_async ns_sync);
+  Format.printf "  %-24s %12s  (%.2fx)@." "async + read-ahead"
+    (Bench_util.fmt_us ns_pre) (ratio ns_pre ns_sync);
+  report_io k_sync "sync:";
+  report_io k_async "async:";
+  report_io k_pre "prefetch:";
+  check_fingerprint "sequential sweep (async)" fp_sync fp_async;
+  check_fingerprint "sequential sweep (prefetch)" fp_sync fp_pre;
+  check_disk "sequential sweep (async)" d_sync d_async;
+  check_disk "sequential sweep (prefetch)" d_sync d_pre;
+  Format.printf
+    "  functional results and final disk contents identical across all \
+     three variants@.";
+  let io = K.Kernel.io_stats k_pre in
+  let hit_rate =
+    100.0
+    *. float_of_int io.K.Kernel.prefetch_hits
+    /. float_of_int (max 1 io.K.Kernel.prefetch_issued)
+  in
+  Bench_util.recordi ~section:sec ~metric:"seq_elapsed_ns_sync" ns_sync;
+  Bench_util.recordi ~section:sec ~metric:"seq_elapsed_ns_async" ns_async;
+  Bench_util.recordi ~section:sec ~metric:"seq_elapsed_ns_prefetch" ns_pre;
+  Bench_util.record ~section:sec ~metric:"seq_batched_ratio" ~unit:"x"
+    (ratio ns_pre ns_sync);
+  Bench_util.record ~section:sec ~metric:"seq_mean_batch" ~unit:"records"
+    io.K.Kernel.io_mean_batch;
+  Bench_util.record ~section:sec ~metric:"seq_prefetch_hit_rate" ~unit:"pct"
+    hit_rate;
+  Bench_util.recordi ~section:sec ~metric:"seq_io_merges" ~unit:"count"
+    io.K.Kernel.io_merges;
+  ignore (K.Kernel.io_stats k_async : K.Kernel.io_report);
+  if ratio ns_pre ns_sync > 0.7 then
+    failwith
+      (Printf.sprintf
+         "bench_io: batched sequential sweep took %.2fx sync time \
+          (acceptance: <= 0.70x)"
+         (ratio ns_pre ns_sync));
+  if io.K.Kernel.io_mean_batch <= 1.0 then
+    failwith "bench_io: mean batch did not exceed one record";
+  if io.K.Kernel.prefetch_hits = 0 then
+    failwith "bench_io: read-ahead never hit on a sequential sweep"
+
+(* ------------------------------------------------------------------ *)
+(* C2b: random faults from a multiprogrammed mix.  Four processes touch
+   random pages of their own files; overlapping faults and the cleaning
+   daemon's write-behinds are what give the elevator a queue to sort.
+   Read-ahead stays off — the access pattern has no sequential runs. *)
+
+let rand_files = 4
+let rand_pages = 24
+let rand_touches = 120
+
+let rand_run config =
+  let k = Bench_util.boot_new ~config () in
+  for i = 0 to rand_files - 1 do
+    ignore
+      (K.Kernel.spawn k
+         ~pname:(Printf.sprintf "w%d" i)
+         (Bench_util.file_writer ~dir:">home"
+            ~name:(Printf.sprintf "r%d" i)
+            ~pages:rand_pages))
+  done;
+  let ok1 = K.Kernel.run_to_completion k in
+  K.Volume.quiesce (K.Kernel.volume k);
+  let t0 = K.Kernel.now k in
+  for i = 0 to rand_files - 1 do
+    ignore
+      (K.Kernel.spawn k
+         ~pname:(Printf.sprintf "t%d" i)
+         (K.Workload.concat
+            [ [| K.Workload.Initiate
+                   { path = Printf.sprintf ">home>r%d" i; reg = 0 } |];
+              K.Workload.random_touches ~seg_reg:0 ~pages:rand_pages
+                ~count:rand_touches ~write_pct:30 ~seed:(11 + i) ]))
+  done;
+  let ok2 = K.Kernel.run_to_completion k in
+  let elapsed = K.Kernel.now k - t0 in
+  let fp = fingerprint k ~completed:(ok1 && ok2) in
+  K.Kernel.shutdown k;
+  (k, fp, disk_checksum k, elapsed)
+
+let random () =
+  Format.printf
+    "@.C2b  random faults (%d processes x %d touches over %d-page files):@."
+    rand_files rand_touches rand_pages;
+  let k_sync, fp_sync, d_sync, ns_sync = rand_run sync_config in
+  let k_async, fp_async, d_async, ns_async = rand_run async_config in
+  Format.printf "  %-24s %12s@." "sync (flat latency)"
+    (Bench_util.fmt_us ns_sync);
+  Format.printf "  %-24s %12s  (%.2fx)@." "async (elevator)"
+    (Bench_util.fmt_us ns_async) (ratio ns_async ns_sync);
+  report_io k_sync "sync:";
+  report_io k_async "async:";
+  check_fingerprint "random mix" fp_sync fp_async;
+  check_disk "random mix" d_sync d_async;
+  Format.printf
+    "  functional results and final disk contents identical sync/async@.";
+  let io = K.Kernel.io_stats k_async in
+  Bench_util.recordi ~section:sec ~metric:"rand_elapsed_ns_sync" ns_sync;
+  Bench_util.recordi ~section:sec ~metric:"rand_elapsed_ns_async" ns_async;
+  Bench_util.record ~section:sec ~metric:"rand_mean_batch" ~unit:"records"
+    io.K.Kernel.io_mean_batch;
+  Bench_util.recordi ~section:sec ~metric:"rand_queue_peak" ~unit:"count"
+    io.K.Kernel.io_queue_peak
+
+let run () =
+  Bench_util.section "C2"
+    "Asynchronous batched disk I/O: elevator, write-behind, read-ahead";
+  sequential ();
+  random ()

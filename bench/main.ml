@@ -14,9 +14,10 @@ let sections =
     ("P1", "performance experiments P1-P5, S2, S3, S5", Bench_perf.run);
     ("A1", "design-choice ablations", Bench_ablation.run);
     ("C1", "associative memories: off vs on + equality", Bench_cache.run);
+    ("C2", "batched disk I/O: sync vs async vs read-ahead", Bench_io.run);
     ("micro", "bechamel wall-clock micro-benchmarks", Bench_micro.run) ]
 
-let default_sections = [ "T1"; "F2"; "P1"; "A1"; "C1"; "micro" ]
+let default_sections = [ "T1"; "F2"; "P1"; "A1"; "C1"; "C2"; "micro" ]
 
 let aliases =
   [ ("T1", "T1"); ("S1", "T1"); ("S4", "T1"); ("S6", "T1");
@@ -25,6 +26,7 @@ let aliases =
     ("S2", "P1"); ("S3", "P1"); ("S5", "P1");
     ("A1", "A1"); ("A2", "A1");
     ("C1", "C1"); ("CACHE", "C1"); ("SMOKE", "C1");
+    ("C2", "C2"); ("IO", "C2");
     ("micro", "micro") ]
 
 (* `--smoke` and `smoke` both select the cache section. *)

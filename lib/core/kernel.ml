@@ -18,6 +18,8 @@ type config = {
   use_cleaner_daemon : bool;
   root_quota : int;
   use_path_cache : bool;
+  use_io_sched : bool;
+  read_ahead : int;
 }
 
 let default_config =
@@ -25,7 +27,8 @@ let default_config =
     disk_packs = 4; records_per_pack = 1024; core_frames = 32; n_vps = 6;
     user_vps = 4; ast_slots = 64; pt_words = 64; max_processes = 16;
     max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
-    use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true }
+    use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
+    use_io_sched = true; read_ahead = 2 }
 
 let small_config =
   { default_config with
@@ -110,6 +113,7 @@ let rec boot_internal ?previous_disk cfg =
   let page_frame =
     Page_frame.create ~machine ~meter ~tracer ~core ~volume ~quota
       ~use_cleaner_daemon:cfg.use_cleaner_daemon
+      ~use_io_sched:cfg.use_io_sched ~read_ahead:cfg.read_ahead ()
   in
   let signals = Upward_signal.create ~meter in
   (* A new incarnation resumes its uid supply above everything already
@@ -160,6 +164,11 @@ let rec boot_internal ?previous_disk cfg =
       { Meter.c_hits = Name_space.cache_hits name_space;
         c_misses = Name_space.cache_misses name_space;
         c_invalidations = Name_space.cache_invalidations name_space });
+  Meter.register_cache meter ~name:"read_ahead" (fun () ->
+      let hits = Page_frame.prefetch_hits page_frame in
+      { Meter.c_hits = hits;
+        c_misses = max 0 (Page_frame.prefetch_issued page_frame - hits);
+        c_invalidations = Page_frame.prefetch_dropped page_frame });
   let fault_dispatch =
     Fault_dispatch.create ~meter ~tracer ~page_frame ~known ~address_space
       ~gate
@@ -439,9 +448,15 @@ let shutdown t =
   List.iter
     (fun (cell, _, _) ->
       Quota_cell.unregister t.quota ~caller:Registry.gate cell)
-    (Quota_cell.registered t.quota)
+    (Quota_cell.registered t.quota);
+  (* Settle every write-behind so the packs outlive this incarnation
+     intact. *)
+  Volume.quiesce t.volume
 
 let reboot cfg ~from =
+  (* Defensive: a caller that skipped shutdown still gets settled
+     packs. *)
+  Volume.quiesce from.volume;
   boot_internal ~previous_disk:from.machine.Hw.Machine.disk cfg
 
 (* ------------------------------------------------------------------ *)
@@ -588,6 +603,34 @@ let stats t =
     path_misses = path.Meter.c_misses;
     path_invalidations = path.Meter.c_invalidations }
 
+type io_report = {
+  io_reads : int;
+  io_writes : int;
+  io_batches : int;
+  io_merges : int;
+  io_mean_batch : float;
+  io_max_batch : int;
+  io_queue_peak : int;
+  io_busy_ns : int;
+  prefetch_issued : int;
+  prefetch_hits : int;
+  prefetch_dropped : int;
+}
+
+let io_stats t =
+  let s = Volume.io_stats t.volume in
+  { io_reads = s.Hw.Io_sched.s_reads;
+    io_writes = s.Hw.Io_sched.s_writes;
+    io_batches = s.Hw.Io_sched.s_batches;
+    io_merges = s.Hw.Io_sched.s_merges;
+    io_mean_batch = Hw.Io_sched.mean_batch s;
+    io_max_batch = s.Hw.Io_sched.s_max_batch;
+    io_queue_peak = s.Hw.Io_sched.s_queue_peak;
+    io_busy_ns = s.Hw.Io_sched.s_busy_ns;
+    prefetch_issued = Page_frame.prefetch_issued t.page_frame;
+    prefetch_hits = Page_frame.prefetch_hits t.page_frame;
+    prefetch_dropped = Page_frame.prefetch_dropped t.page_frame }
+
 let dependency_audit t =
   Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
 
@@ -615,6 +658,15 @@ let pp_report ppf t =
   Format.fprintf ppf "  signals: %d raised; full packs: %d@."
     (Upward_signal.total_raised t.signals)
     (Volume.full_pack_exceptions t.volume);
+  let io = io_stats t in
+  Format.fprintf ppf
+    "  disk i/o: %d reads, %d writes in %d batches (mean %.1f, max %d), %d \
+     merges, queue peak %d@."
+    io.io_reads io.io_writes io.io_batches io.io_mean_batch io.io_max_batch
+    io.io_merges io.io_queue_peak;
+  Format.fprintf ppf
+    "  read-ahead: %d issued, %d hits, %d dropped at low water@."
+    io.prefetch_issued io.prefetch_hits io.prefetch_dropped;
   Format.fprintf ppf
     "  vps: %d dispatches, %d switches, %d wakeup-waiting saves@."
     (Vp.dispatches t.vp) (Vp.context_switches t.vp)

@@ -28,6 +28,13 @@ type config = {
       (** Enable the name manager's pathname resolution cache.  The
           hardware associative memory is controlled separately by
           [hw.assoc_mem_size]. *)
+  use_io_sched : bool;
+      (** Route page reads and write-behinds through the per-pack
+          elevator queues; [false] reproduces the seed's flat-latency
+          synchronous disk protocol. *)
+  read_ahead : int;
+      (** Records prefetched after two sequential missing-page faults on
+          a segment; [0] disables read-ahead. *)
 }
 
 val default_config : config
@@ -129,6 +136,24 @@ val stats : t -> cache_report
 (** Aggregated hit/miss/invalidation counters for the hardware
     associative memories (summed over every physical and virtual CPU)
     and the pathname cache. *)
+
+type io_report = {
+  io_reads : int;  (** records read by the disk subsystem *)
+  io_writes : int;
+  io_batches : int;  (** elevator sweeps dispatched *)
+  io_merges : int;  (** adjacent records chained without a seek *)
+  io_mean_batch : float;
+  io_max_batch : int;
+  io_queue_peak : int;  (** deepest any pack's queue ever got *)
+  io_busy_ns : int;  (** total arm time charged by the latency model *)
+  prefetch_issued : int;
+  prefetch_hits : int;
+  prefetch_dropped : int;  (** suppressed at the free-pool low-water mark *)
+}
+
+val io_stats : t -> io_report
+(** Disk scheduler counters (summed over packs) plus the page frame
+    manager's read-ahead accounting. *)
 
 val dependency_audit : t -> Multics_depgraph.Conformance.t
 (** Observed cross-manager calls vs. the declared graph of {!Registry}. *)

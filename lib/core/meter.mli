@@ -16,6 +16,13 @@ val charge : t -> manager:string -> Cost.language -> int -> unit
 val charge_raw : t -> manager:string -> int -> unit
 (** Charge without language scaling (e.g. pure waiting). *)
 
+val charge_async : t -> manager:string -> int -> unit
+(** Record time spent by autonomous hardware (a disk arm sweeping a
+    batch) in the totals WITHOUT adding to the pending step cost.
+    Batch completions run inside event handlers, not dispatch steps;
+    folding their latency into whichever virtual processor happens to
+    run next would misattribute it. *)
+
 val take_pending : t -> int
 (** Return and reset the cost accumulated since the last call. *)
 

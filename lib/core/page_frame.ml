@@ -6,6 +6,7 @@ type frame_entry = {
   mutable record_handle : int;  (* -1 when the page has no disk record *)
   mutable quota_cell : Quota_cell.handle;
   mutable pinned : bool;  (* page in transit; not evictable *)
+  mutable prefetched : bool;  (* read ahead of demand; hit not yet seen *)
 }
 
 (* A page table registered by the segment manager: where its PTWs live,
@@ -19,7 +20,12 @@ type pt_info = {
   cell : Quota_cell.handle;
 }
 
-type transit = { ec : Sync.Eventcount.t; expected : int }
+type transit = {
+  ec : Sync.Eventcount.t;
+  expected : int;
+  frame : int;
+  mutable prefetch : bool;  (* no demand fault has joined yet *)
+}
 
 type t = {
   machine : Hw.Machine.t;
@@ -40,8 +46,11 @@ type t = {
   frees_ec : Sync.Eventcount.t;
   cleaner : Sync.Eventcount.t;
   use_cleaner_daemon : bool;
+  use_io_sched : bool;
+  read_ahead : int;
   low_water : int;
   high_water : int;
+  mutable prev_fault_ptw : int;  (* sequentiality detector for read-ahead *)
   mutable faults_served : int;
   mutable page_reads : int;
   mutable page_writes : int;
@@ -49,6 +58,9 @@ type t = {
   mutable zero_reclaims : int;
   mutable inline_evictions : int;
   mutable pages_cleaned : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_dropped : int;
 }
 
 let name = Registry.page_frame_manager
@@ -60,26 +72,30 @@ let entry t ~caller ns =
   Tracer.call t.tracer ~from:caller ~to_:name;
   charge t (Cost.kernel_call + ns)
 
-let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon =
+let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon
+    ?(use_io_sched = true) ?(read_ahead = 0) () =
   let n = Core_segment.first_reserved_frame core in
   assert (n > 0);
+  assert (read_ahead >= 0);
   let frame_region = Core_segment.alloc core ~name:"frame_table" ~words:n in
   { machine; meter; tracer; volume; quota;
     frames =
       Array.init n (fun _ ->
           { used_by = -1; record_handle = -1; quota_cell = Quota_cell.no_cell;
-            pinned = false });
+            pinned = false; prefetched = false });
     frame_region; core;
     free = List.init n (fun i -> i);
     free_count = n; clock_hand = 0; transits = Hashtbl.create 32;
     page_tables = Hashtbl.create 256;
     frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ();
     cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ();
-    use_cleaner_daemon;
+    use_cleaner_daemon; use_io_sched; read_ahead;
     low_water = max 2 (n / 16);
     high_water = max 4 (n / 8);
+    prev_fault_ptw = min_int;
     faults_served = 0; page_reads = 0; page_writes = 0; evictions = 0;
-    zero_reclaims = 0; inline_evictions = 0; pages_cleaned = 0 }
+    zero_reclaims = 0; inline_evictions = 0; pages_cleaned = 0;
+    prefetch_issued = 0; prefetch_hits = 0; prefetch_dropped = 0 }
 
 let n_frames t = Array.length t.frames
 let free_frames t = t.free_count
@@ -127,10 +143,20 @@ let release_frame t frame =
   e.record_handle <- -1;
   e.quota_cell <- Quota_cell.no_cell;
   e.pinned <- false;
+  e.prefetched <- false;
   t.free <- frame :: t.free;
   t.free_count <- t.free_count + 1;
   mirror t frame;
   Sync.Eventcount.advance t.frees_ec
+
+(* A prefetched page counts as a hit once a reference is observed: a
+   demand fault joining its transit, or its used bit found set when the
+   frame is next scanned. *)
+let note_prefetch_reference t e ~used =
+  if e.prefetched then begin
+    e.prefetched <- false;
+    if used then t.prefetch_hits <- t.prefetch_hits + 1
+  end
 
 (* Evict the page occupying [frame].  The paper's page-removal
    algorithm: scan the content; all-zero pages lose their record and
@@ -143,6 +169,7 @@ let evict_frame t frame =
   let ptw = Hw.Ptw.read (mem t) ptw_abs in
   charge t Cost.frame_scan_zero;
   t.evictions <- t.evictions + 1;
+  note_prefetch_reference t e ~used:ptw.Hw.Ptw.used;
   if Hw.Phys_mem.frame_is_zero (mem t) frame then begin
     (* Zero reclamation: the page reverts to an unallocated flag in the
        file map, the record is freed and the quota cell credited — the
@@ -166,8 +193,15 @@ let evict_frame t frame =
     assert (e.record_handle >= 0);
     if ptw.Hw.Ptw.modified then begin
       t.page_writes <- t.page_writes + 1;
-      Volume.write_page t.volume ~caller:name ~handle:e.record_handle
-        (Hw.Phys_mem.read_frame (mem t) frame)
+      let img = Hw.Phys_mem.read_frame (mem t) frame in
+      (* Write-behind: queue the flush on the pack's elevator and free
+         the frame now.  The scheduler's write buffer keeps any reader
+         of the record coherent until the sweep lands. *)
+      if t.use_io_sched then
+        Volume.write_record_async t.volume ~caller:name
+          ~handle:e.record_handle img
+      else
+        Volume.write_page t.volume ~caller:name ~handle:e.record_handle img
     end;
     Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:e.record_handle)
   end;
@@ -190,7 +224,13 @@ let clock_pick t =
       else
         let ptw = Hw.Ptw.read (mem t) e.used_by in
         if ptw.Hw.Ptw.locked then scan (steps + 1) forced
+        else if e.prefetched && (not ptw.Hw.Ptw.used) && not forced then
+          (* A read-ahead page nobody has referenced yet: give it the
+             same grace a used bit earns, or the clock would throw
+             prefetches away before the sequential reader arrives. *)
+          scan (steps + 1) forced
         else if ptw.Hw.Ptw.used && not forced then begin
+          note_prefetch_reference t e ~used:true;
           Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.used = false };
           scan (steps + 1) forced
         end
@@ -223,19 +263,108 @@ let acquire_frame t ~inline =
         end
   in
   let result = loop 0 in
-  if t.use_cleaner_daemon && t.free_count < t.low_water then
+  if t.use_cleaner_daemon && t.free_count <= t.low_water then
     Sync.Eventcount.advance t.cleaner;
   result
 
 type service_outcome = Wait of Sync.Eventcount.t * int | Retry
 
-let join_transit transit = Wait (transit.ec, transit.expected)
+let join_transit t transit =
+  if transit.prefetch then begin
+    (* A demand fault arrived while the read-ahead was still in the
+       air: the prefetch hid (part of) this fault's latency. *)
+    transit.prefetch <- false;
+    t.frames.(transit.frame).prefetched <- false;
+    t.prefetch_hits <- t.prefetch_hits + 1
+  end;
+  Wait (transit.ec, transit.expected)
+
+(* Claim [frame] for the page behind [ptw_abs] and start the record
+   read.  Completion — a batch sweep of the I/O scheduler, or the flat
+   latency when the scheduler is off — unlocks the descriptor and
+   notifies the transit eventcount. *)
+let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
+  let e = t.frames.(frame) in
+  e.used_by <- ptw_abs;
+  e.record_handle <- record_handle;
+  e.quota_cell <- cell;
+  e.pinned <- true;
+  e.prefetched <- false;
+  mirror t frame;
+  let ec =
+    Sync.Eventcount.create ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs) ()
+  in
+  let transit = { ec; expected = 1; frame; prefetch } in
+  Hashtbl.replace t.transits ptw_abs transit;
+  charge t Cost.disk_io_setup;
+  t.page_reads <- t.page_reads + 1;
+  let finish img =
+    Hw.Phys_mem.write_frame (mem t) frame img;
+    (* Unlock the descriptor and notify all waiters. *)
+    Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+    e.pinned <- false;
+    e.prefetched <- transit.prefetch;
+    Hashtbl.remove t.transits ptw_abs;
+    Sync.Eventcount.advance ec
+  in
+  if t.use_io_sched then
+    Volume.read_record_async t.volume ~caller:name ~handle:record_handle
+      ~done_:finish
+  else
+    Hw.Machine.schedule t.machine ~delay:(Volume.io_latency_ns t.volume)
+      (fun () ->
+        finish (Volume.read_page t.volume ~caller:name ~handle:record_handle));
+  transit
+
+(* Sequential read-ahead: when this fault's page directly follows the
+   previous fault's, queue the next [read_ahead] on-disk pages of the
+   same page table.  Prefetches take frames only from the free pool and
+   never push it below the cleaner's low-water mark — under memory
+   pressure they are dropped silently. *)
+let maybe_read_ahead t ~ptw_abs =
+  if t.read_ahead > 0 then begin
+    let sequential = t.prev_fault_ptw = ptw_abs - 1 in
+    (if sequential then
+       match lookup_pt t ptw_abs with
+       | None -> ()
+       | Some pt ->
+           for i = 1 to t.read_ahead do
+             let target = ptw_abs + i in
+             if target < pt.pt_base + pt.pt_words then begin
+               let ptw = Hw.Ptw.read (mem t) target in
+               if
+                 ptw.Hw.Ptw.valid && (not ptw.Hw.Ptw.present)
+                 && (not ptw.Hw.Ptw.unallocated)
+                 && (not ptw.Hw.Ptw.locked)
+                 && not (Hashtbl.mem t.transits target)
+               then
+                 if t.free_count > t.low_water then (
+                   match t.free with
+                   | [] -> t.prefetch_dropped <- t.prefetch_dropped + 1
+                   | frame :: rest ->
+                       t.free <- rest;
+                       t.free_count <- t.free_count - 1;
+                       charge t Cost.frame_alloc;
+                       t.prefetch_issued <- t.prefetch_issued + 1;
+                       if t.use_cleaner_daemon && t.free_count <= t.low_water
+                       then Sync.Eventcount.advance t.cleaner;
+                       ignore
+                         (start_read t ~ptw_abs:target ~frame
+                            ~record_handle:ptw.Hw.Ptw.arg ~cell:pt.cell
+                            ~prefetch:true))
+                 else t.prefetch_dropped <- t.prefetch_dropped + 1
+             end
+           done);
+    t.prev_fault_ptw <- ptw_abs
+  end
 
 let service_missing_page t ~caller ~ptw_abs =
   entry t ~caller Cost.fault_entry;
   t.faults_served <- t.faults_served + 1;
   match Hashtbl.find_opt t.transits ptw_abs with
-  | Some transit -> join_transit transit
+  | Some transit ->
+      maybe_read_ahead t ~ptw_abs;
+      join_transit t transit
   | None ->
       let ptw = Hw.Ptw.read (mem t) ptw_abs in
       if ptw.Hw.Ptw.present then Retry
@@ -251,38 +380,18 @@ let service_missing_page t ~caller ~ptw_abs =
               | Some pt -> pt.cell
               | None -> Quota_cell.no_cell
             in
-            let e = t.frames.(frame) in
-            e.used_by <- ptw_abs;
-            e.record_handle <- record_handle;
-            e.quota_cell <- cell;
-            e.pinned <- true;
-            mirror t frame;
-            let ec =
-              Sync.Eventcount.create
-                ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs) ()
+            let transit =
+              start_read t ~ptw_abs ~frame ~record_handle ~cell
+                ~prefetch:false
             in
-            let transit = { ec; expected = 1 } in
-            Hashtbl.replace t.transits ptw_abs transit;
-            charge t Cost.disk_io_setup;
-            t.page_reads <- t.page_reads + 1;
-            Hw.Machine.schedule t.machine
-              ~delay:(Volume.io_latency_ns t.volume) (fun () ->
-                let img =
-                  Volume.read_page t.volume ~caller:name ~handle:record_handle
-                in
-                Hw.Phys_mem.write_frame (mem t) frame img;
-                (* Unlock the descriptor and notify all waiters. *)
-                Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
-                e.pinned <- false;
-                Hashtbl.remove t.transits ptw_abs;
-                Sync.Eventcount.advance ec);
-            join_transit transit
+            maybe_read_ahead t ~ptw_abs;
+            join_transit t transit
       end
 
 let service_locked_descriptor t ~caller ~ptw_abs =
   entry t ~caller Cost.kernel_call;
   match Hashtbl.find_opt t.transits ptw_abs with
-  | Some transit -> join_transit transit
+  | Some transit -> join_transit t transit
   | None -> Retry
 
 let add_zero_page t ~caller ~ptw_abs ~record_handle ~quota_cell =
@@ -367,22 +476,39 @@ let cleaner_ec t = t.cleaner
    modified bit, WITHOUT freeing the frames.  Fault-time eviction then
    usually finds clean victims and never stalls on a write — the work
    moved to a process that runs "at a low priority, when the processor
-   might otherwise have been idle" (Huber's design). *)
+   might otherwise have been idle" (Huber's design).
+
+   With the I/O scheduler the daemon only QUEUES the writes: one pass
+   accumulates up to a sweep's worth of dirty pages per pack, and the
+   elevator flushes them as one batched sweep whose latency is charged
+   by the scheduler's cost model — the daemon's step cost is just the
+   scan.  Without it, each write is an isolated transfer charged at the
+   full single-transfer rate (the old half-latency hack undercharged
+   and lived outside the cost model). *)
 let cleaner_step t _vp =
   ignore (Meter.take_pending t.meter);
   let cleaned = ref 0 in
+  let limit = if t.use_io_sched then 8 else 4 in
   Array.iteri
     (fun frame e ->
-      if !cleaned < 4 && e.used_by >= 0 && (not e.pinned) && e.record_handle >= 0
+      if
+        !cleaned < limit && e.used_by >= 0 && (not e.pinned)
+        && e.record_handle >= 0
       then begin
         let ptw = Hw.Ptw.read (mem t) e.used_by in
         if ptw.Hw.Ptw.modified && not ptw.Hw.Ptw.used then begin
-          Volume.write_page t.volume ~caller:name ~handle:e.record_handle
-            (Hw.Phys_mem.read_frame (mem t) frame);
-          (* The daemon's own low-priority time, metered separately so
-             fault-path accounting stays clean. *)
-          Meter.charge_raw t.meter ~manager:"page_cleaner_daemon"
-            (Volume.io_latency_ns t.volume / 2);
+          let img = Hw.Phys_mem.read_frame (mem t) frame in
+          if t.use_io_sched then
+            Volume.write_record_async t.volume ~caller:name
+              ~handle:e.record_handle img
+          else begin
+            Volume.write_page t.volume ~caller:name ~handle:e.record_handle
+              img;
+            (* The daemon's own low-priority time, metered separately
+               so fault-path accounting stays clean. *)
+            Meter.charge_raw t.meter ~manager:"page_cleaner_daemon"
+              (Volume.io_latency_ns t.volume)
+          end;
           Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.modified = false };
           t.page_writes <- t.page_writes + 1;
           t.pages_cleaned <- t.pages_cleaned + 1;
@@ -390,6 +516,22 @@ let cleaner_step t _vp =
         end
       end)
     t.frames;
+  (* Keep the pool of free frames stocked ("a pool of free page frames
+     at low priority"): when the fault path has drained it to the
+     low-water mark, evict up to the high-water mark so demand faults —
+     and read-aheads — find frames without stalling on the clock. *)
+  if t.free_count <= t.low_water then begin
+    let rec refill budget =
+      if budget > 0 && t.free_count < t.high_water then
+        match clock_pick t with
+        | None -> ()
+        | Some frame ->
+            evict_frame t frame;
+            incr cleaned;
+            refill (budget - 1)
+    in
+    refill limit
+  end;
   let cost = Cost.kernel_call + Meter.take_pending t.meter in
   if !cleaned = 0 then
     Vp.Wait (t.cleaner, Sync.Eventcount.read t.cleaner + 1, cost)
@@ -402,3 +544,19 @@ let evictions t = t.evictions
 let zero_reclaims t = t.zero_reclaims
 let inline_evictions t = t.inline_evictions
 let pages_cleaned t = t.pages_cleaned
+let low_water_mark t = t.low_water
+let prefetch_issued t = t.prefetch_issued
+let prefetch_dropped t = t.prefetch_dropped
+
+let prefetch_hits t =
+  (* Fold in prefetched pages whose reference the clock has not yet
+     observed; still-unreferenced flags stay set so a later reference
+     can count. *)
+  Array.iter
+    (fun e ->
+      if
+        e.prefetched && e.used_by >= 0 && (not e.pinned)
+        && (Hw.Ptw.read (mem t) e.used_by).Hw.Ptw.used
+      then note_prefetch_reference t e ~used:true)
+    t.frames;
+  t.prefetch_hits

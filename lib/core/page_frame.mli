@@ -22,8 +22,14 @@ type t
 val create :
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t ->
   core:Core_segment.t -> volume:Volume.t -> quota:Quota_cell.t ->
-  use_cleaner_daemon:bool -> t
-(** Manages frames [0 .. Core_segment.first_reserved_frame - 1]. *)
+  use_cleaner_daemon:bool -> ?use_io_sched:bool -> ?read_ahead:int -> unit ->
+  t
+(** Manages frames [0 .. Core_segment.first_reserved_frame - 1].
+    [use_io_sched] (default true) routes fault reads and write-behinds
+    through the per-pack elevator queues; false reproduces the seed's
+    flat-latency synchronous protocol.  [read_ahead] (default 0) is the
+    number of file-map records prefetched after two sequential faults
+    on the same segment. *)
 
 val n_frames : t -> int
 val free_frames : t -> int
@@ -100,3 +106,17 @@ val inline_evictions : t -> int
 
 val pages_cleaned : t -> int
 (** Dirty pages written behind by the cleaning daemon. *)
+
+val low_water_mark : t -> int
+(** Free-pool floor: prefetches never take the pool at or below it. *)
+
+val prefetch_issued : t -> int
+val prefetch_dropped : t -> int
+(** Read-aheads suppressed because the free pool was at the low-water
+    mark (or empty) — sequential streams never steal the cleaner's
+    reserve. *)
+
+val prefetch_hits : t -> int
+(** Prefetched pages later referenced: a demand fault joined the
+    read-ahead's transit, or the page's used bit was found set.  Also
+    sweeps current frames, so it is accurate at report time. *)

@@ -4,6 +4,7 @@ type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  io : Hw.Io_sched.t;
   locator : (int, int * int) Hashtbl.t;  (* uid -> (pack, vtoc index) *)
   mutable full_pack_count : int;
 }
@@ -16,7 +17,18 @@ let entry t ~caller base_cost =
     (Cost.kernel_call + base_cost)
 
 let create ~machine ~meter ~tracer =
-  { machine; meter; tracer; locator = Hashtbl.create 64; full_pack_count = 0 }
+  let io =
+    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk
+      ~schedule:(Hw.Machine.schedule machine) ()
+  in
+  (* The arm's busy time is hardware time, not any virtual processor's
+     step: record it under this manager without touching the pending
+     step cost.  This is the only place batch latency is charged. *)
+  Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size:_ ~cost_ns ->
+      Meter.charge_async meter ~manager:name cost_ns;
+      Tracer.note_cache tracer ~cache:"disk_io" ~event:"batch");
+  { machine; meter; tracer; io; locator = Hashtbl.create 64;
+    full_pack_count = 0 }
 
 let locate t ~uid = Hashtbl.find_opt t.locator (Ids.to_int uid)
 
@@ -57,10 +69,12 @@ let delete_segment t ~caller ~pack ~index =
   let entry_ = Hw.Disk.vtoc_entry (disk t) ~pack ~index in
   Array.iter
     (fun handle ->
-      if handle >= 0 then
-        Hw.Disk.free_record (disk t)
-          ~pack:(Hw.Disk.pack_of_handle handle)
-          ~record:(Hw.Disk.record_of_handle handle))
+      if handle >= 0 then begin
+        let pack = Hw.Disk.pack_of_handle handle in
+        let record = Hw.Disk.record_of_handle handle in
+        Hw.Io_sched.cancel_writes t.io ~pack ~record;
+        Hw.Disk.free_record (disk t) ~pack ~record
+      end)
     entry_.Hw.Disk.file_map;
   Hashtbl.remove t.locator entry_.Hw.Disk.uid;
   Hw.Disk.delete_vtoc_entry (disk t) ~pack ~index
@@ -80,22 +94,46 @@ let alloc_page_record t ~caller ~pack =
 
 let free_page_record t ~caller ~pack ~record =
   entry t ~caller Cost.frame_alloc;
+  (* A write-behind of the dying page must not land on this record
+     once it is reallocated. *)
+  Hw.Io_sched.cancel_writes t.io ~pack ~record;
   Hw.Disk.free_record (disk t) ~pack ~record
+
+(* The synchronous API is a shim over the scheduler: reads observe the
+   write-behind buffer, writes supersede any queued flush of the same
+   record.  Callers account for the transfer latency themselves. *)
 
 let read_page t ~caller ~handle =
   entry t ~caller Cost.disk_io_setup;
-  Hw.Disk.read_record (disk t)
+  Hw.Io_sched.read_now t.io
     ~pack:(Hw.Disk.pack_of_handle handle)
     ~record:(Hw.Disk.record_of_handle handle)
 
 let write_page t ~caller ~handle img =
   entry t ~caller Cost.disk_io_setup;
-  Hw.Disk.write_record (disk t)
+  Hw.Io_sched.write_now t.io
     ~pack:(Hw.Disk.pack_of_handle handle)
     ~record:(Hw.Disk.record_of_handle handle)
     img
 
-let io_latency_ns t = Hw.Disk.io_latency_ns (disk t)
+let read_record_async t ~caller ~handle ~done_ =
+  entry t ~caller Cost.disk_io_setup;
+  Hw.Io_sched.submit_read t.io
+    ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle)
+    ~done_
+
+let write_record_async t ~caller ?done_ ~handle img =
+  entry t ~caller Cost.disk_io_setup;
+  Hw.Io_sched.submit_write t.io ?done_
+    ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle)
+    img
+
+let quiesce t = Hw.Io_sched.quiesce t.io
+let io_stats t = Hw.Io_sched.stats t.io
+let io_queue_depth t ~pack = Hw.Io_sched.queue_depth t.io ~pack
+let io_latency_ns t = Hw.Io_sched.single_transfer_ns t.io
 
 let pick_emptier_pack t ~except = Hw.Disk.emptiest_pack (disk t) ~except
 
@@ -118,9 +156,14 @@ let move_segment t ~caller ~pack ~index ~to_pack =
           else begin
             let old_pack = Hw.Disk.pack_of_handle handle in
             let old_record = Hw.Disk.record_of_handle handle in
-            let img = Hw.Disk.read_record d ~pack:old_pack ~record:old_record in
+            (* Through the scheduler shims so the copy observes any
+               write-behind still queued for the old record. *)
+            let img =
+              Hw.Io_sched.read_now t.io ~pack:old_pack ~record:old_record
+            in
             let new_record = Hw.Disk.alloc_record d ~pack:to_pack in
-            Hw.Disk.write_record d ~pack:to_pack ~record:new_record img;
+            Hw.Io_sched.write_now t.io ~pack:to_pack ~record:new_record img;
+            Hw.Io_sched.cancel_writes t.io ~pack:old_pack ~record:old_record;
             Hw.Disk.free_record d ~pack:old_pack ~record:old_record;
             Hw.Disk.handle ~pack:to_pack ~record:new_record
           end)

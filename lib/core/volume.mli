@@ -45,12 +45,38 @@ val free_page_record : t -> caller:string -> pack:int -> record:int -> unit
 
 val read_page : t -> caller:string -> handle:int -> Multics_hw.Word.t array
 (** Read the record named by an 18-bit handle.  The caller accounts for
-    the I/O latency (the page frame manager overlaps it with waiting). *)
+    the I/O latency (the page frame manager overlaps it with waiting).
+    A synchronous shim over the I/O scheduler: observes the
+    write-behind buffer, so results are bit-identical to the
+    asynchronous path. *)
 
 val write_page :
   t -> caller:string -> handle:int -> Multics_hw.Word.t array -> unit
+(** Synchronous shim; supersedes any queued write-behind of the same
+    record. *)
+
+val read_record_async :
+  t -> caller:string -> handle:int ->
+  done_:(Multics_hw.Word.t array -> unit) -> unit
+(** Queue the read on the record's pack; [done_] fires from the batch
+    completion event.  The transfer latency is modelled by the
+    scheduler's elevator sweep, not charged here. *)
+
+val write_record_async :
+  t -> caller:string -> ?done_:(unit -> unit) -> handle:int ->
+  Multics_hw.Word.t array -> unit
+(** Queue a write-behind of a private copy of the image. *)
+
+val quiesce : t -> unit
+(** Apply every queued transfer immediately — shutdown's barrier, so a
+    surviving disk holds all write-behinds before a reboot reads it. *)
+
+val io_stats : t -> Multics_hw.Io_sched.stats
+val io_queue_depth : t -> pack:int -> int
 
 val io_latency_ns : t -> int
+(** Cost of one unbatched transfer (seek + transfer) — the synchronous
+    cost model, delegated to the I/O scheduler. *)
 
 val pick_emptier_pack : t -> except:int -> int option
 

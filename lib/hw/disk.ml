@@ -101,6 +101,12 @@ let write_record t ~pack ~record img =
 
 let io_latency_ns t = t.read_latency_ns
 
+(* Seek dominates a record transfer on 1970s moving-head packs; the
+   split keeps seek + transfer equal to the flat latency, so batched
+   and synchronous cost models agree on an isolated transfer. *)
+let seek_latency_ns t = t.read_latency_ns * 3 / 5
+let transfer_latency_ns t = t.read_latency_ns - seek_latency_ns t
+
 let create_vtoc_entry t ~pack entry =
   let p = get_pack t pack in
   let index = p.next_vtoc in

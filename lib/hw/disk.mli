@@ -55,6 +55,14 @@ val write_record : t -> pack:int -> record:int -> Word.t array -> unit
 val io_latency_ns : t -> int
 (** Latency of one record transfer; callers schedule completion events. *)
 
+val seek_latency_ns : t -> int
+(** Head-repositioning share of {!io_latency_ns}; with
+    {!transfer_latency_ns} it sums back to the flat latency.  The
+    elevator scheduler pays it once per discontinuity instead of once
+    per record. *)
+
+val transfer_latency_ns : t -> int
+
 val create_vtoc_entry : t -> pack:int -> vtoc_entry -> int
 (** Returns the VTOC index on that pack. *)
 

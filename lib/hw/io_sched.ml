@@ -1,0 +1,263 @@
+type config = {
+  max_batch : int;
+  seek_ns : int;
+  transfer_ns : int;
+}
+
+let default_config = { max_batch = 8; seek_ns = 1_200_000; transfer_ns = 800_000 }
+
+let config_of_disk disk =
+  { max_batch = 8;
+    seek_ns = Disk.seek_latency_ns disk;
+    transfer_ns = Disk.transfer_latency_ns disk }
+
+type op =
+  | Read of (Word.t array -> unit)
+  | Write of Word.t array * (unit -> unit) option
+
+type req = {
+  seq : int;
+  record : int;
+  op : op;
+  mutable cancelled : bool;
+}
+
+type pack_state = {
+  id : int;
+  mutable queue : req list;  (* submission order *)
+  mutable current : (req list * int * bool ref) option;  (* in-flight sweep *)
+  mutable head_pos : int;
+  mutable busy : bool;
+}
+
+type stats = {
+  s_reads : int;
+  s_writes : int;
+  s_batches : int;
+  s_merges : int;
+  s_max_batch : int;
+  s_queue_peak : int;
+  s_busy_ns : int;
+  s_cancelled : int;
+}
+
+type t = {
+  disk : Disk.t;
+  config : config;
+  schedule : delay:int -> (unit -> unit) -> unit;
+  packs : pack_state array;
+  (* (pack, record) -> (seq, image) of the latest unapplied write, so
+     any read — queued or immediate — observes write-behind data. *)
+  pending_writes : (int * int, int * Word.t array) Hashtbl.t;
+  mutable seq : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable batches : int;
+  mutable merges : int;
+  mutable max_batch_seen : int;
+  mutable queue_peak : int;
+  mutable busy_ns : int;
+  mutable cancelled : int;
+  mutable on_batch : pack:int -> size:int -> cost_ns:int -> unit;
+}
+
+let create ?config ~disk ~schedule () =
+  let config =
+    match config with Some c -> c | None -> config_of_disk disk
+  in
+  assert (config.max_batch > 0 && config.seek_ns >= 0 && config.transfer_ns > 0);
+  { disk; config; schedule;
+    packs =
+      Array.init (Disk.n_packs disk) (fun id ->
+          { id; queue = []; current = None; head_pos = 0; busy = false });
+    pending_writes = Hashtbl.create 64;
+    seq = 0; reads = 0; writes = 0; batches = 0; merges = 0;
+    max_batch_seen = 0; queue_peak = 0; busy_ns = 0; cancelled = 0;
+    on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ()) }
+
+let set_on_batch t f = t.on_batch <- f
+let single_transfer_ns t = t.config.seek_ns + t.config.transfer_ns
+
+let pack_state t pack =
+  assert (pack >= 0 && pack < Array.length t.packs);
+  t.packs.(pack)
+
+(* ------------------------------------------------------------------ *)
+(* The elevator: one circular sweep (C-SCAN) from the head position.
+   Requests sort by (record, submission sequence); those at or past the
+   head go first, then the sweep wraps.  Same-record requests keep
+   submission order, so read-your-writes holds within the queue. *)
+
+let take_batch t p =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match compare a.record b.record with
+        | 0 -> compare a.seq b.seq
+        | c -> c)
+      p.queue
+  in
+  let ahead, behind = List.partition (fun r -> r.record >= p.head_pos) sorted in
+  let sweep = ahead @ behind in
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | r :: rest -> split (n - 1) (r :: acc) rest
+  in
+  let batch, rest = split t.config.max_batch [] sweep in
+  p.queue <- rest;
+  batch
+
+(* One seek per discontinuity, one transfer per record.  Same-record
+   and adjacent-record requests chain without repositioning — that is
+   the merge the batch dispatch exists to harvest.  The arm keeps its
+   position between sweeps: a batch that picks up where the last one
+   ended ([p.head_pos]) continues without a seek, so a sequential
+   stream pays the repositioning once, not once per sweep. *)
+let batch_cost t p batch =
+  let cost = ref 0 and prev = ref (p.head_pos - 1) in
+  List.iter
+    (fun r ->
+      if r.record - !prev <= 1 && r.record - !prev >= 0
+      then t.merges <- t.merges + 1
+      else cost := !cost + t.config.seek_ns;
+      cost := !cost + t.config.transfer_ns;
+      prev := r.record)
+    batch;
+  !cost
+
+let execute_req t pack (r : req) =
+  if not r.cancelled then
+    match r.op with
+    | Read done_ ->
+        let img =
+          match Hashtbl.find_opt t.pending_writes (pack, r.record) with
+          | Some (wseq, img) when wseq < r.seq -> Array.copy img
+          | _ -> Disk.read_record t.disk ~pack ~record:r.record
+        in
+        done_ img
+    | Write (img, done_) ->
+        Disk.write_record t.disk ~pack ~record:r.record img;
+        (match Hashtbl.find_opt t.pending_writes (pack, r.record) with
+        | Some (wseq, _) when wseq = r.seq ->
+            Hashtbl.remove t.pending_writes (pack, r.record)
+        | _ -> ());
+        (match done_ with Some f -> f () | None -> ())
+
+let finish_batch t p batch cost =
+  t.batches <- t.batches + 1;
+  t.busy_ns <- t.busy_ns + cost;
+  let size = List.length batch in
+  if size > t.max_batch_seen then t.max_batch_seen <- size;
+  List.iter (execute_req t p.id) batch;
+  t.on_batch ~pack:p.id ~size ~cost_ns:cost
+
+let rec dispatch t p =
+  match take_batch t p with
+  | [] ->
+      p.busy <- false;
+      p.current <- None
+  | batch ->
+      let cost = batch_cost t p batch in
+      (match List.rev batch with
+      | last :: _ -> p.head_pos <- last.record + 1
+      | [] -> ());
+      let live = ref true in
+      p.current <- Some (batch, cost, live);
+      t.schedule ~delay:cost (fun () ->
+          (* [live] goes false when quiesce already applied the sweep;
+             the stale completion event must then be a no-op. *)
+          if !live then begin
+            live := false;
+            p.current <- None;
+            finish_batch t p batch cost;
+            dispatch t p
+          end)
+
+let submit t ~pack ~record op =
+  let p = pack_state t pack in
+  assert (record >= 0 && record < Disk.records_per_pack t.disk);
+  let r = { seq = t.seq; record; op; cancelled = false } in
+  t.seq <- t.seq + 1;
+  p.queue <- p.queue @ [ r ];
+  let depth = List.length p.queue in
+  if depth > t.queue_peak then t.queue_peak <- depth;
+  if not p.busy then begin
+    p.busy <- true;
+    (* Delay 0: the dispatch runs after the current event handler, so
+       every request submitted at this instant lands in one sweep. *)
+    t.schedule ~delay:0 (fun () -> dispatch t p)
+  end;
+  r
+
+let submit_read t ~pack ~record ~done_ =
+  t.reads <- t.reads + 1;
+  ignore (submit t ~pack ~record (Read done_))
+
+let submit_write t ?done_ ~pack ~record img =
+  t.writes <- t.writes + 1;
+  let r = submit t ~pack ~record (Write (Array.copy img, done_)) in
+  Hashtbl.replace t.pending_writes (pack, record) (r.seq, Array.copy img)
+
+let cancel_writes t ~pack ~record =
+  let p = pack_state t pack in
+  let cancel r =
+    match r.op with
+    | Write _ when r.record = record && not r.cancelled ->
+        r.cancelled <- true;
+        t.cancelled <- t.cancelled + 1
+    | _ -> ()
+  in
+  List.iter cancel p.queue;
+  (match p.current with
+  | Some (batch, _, _) -> List.iter cancel batch
+  | None -> ());
+  Hashtbl.remove t.pending_writes (pack, record)
+
+let read_now t ~pack ~record =
+  match Hashtbl.find_opt t.pending_writes (pack, record) with
+  | Some (_, img) ->
+      (* Count the transfer the caller is paying for. *)
+      ignore (Disk.read_record t.disk ~pack ~record);
+      Array.copy img
+  | None -> Disk.read_record t.disk ~pack ~record
+
+let write_now t ~pack ~record img =
+  cancel_writes t ~pack ~record;
+  Disk.write_record t.disk ~pack ~record img
+
+let quiesce t =
+  Array.iter
+    (fun p ->
+      (match p.current with
+      | Some (batch, cost, live) when !live ->
+          live := false;
+          finish_batch t p batch cost
+      | _ -> ());
+      p.current <- None;
+      let rec drain () =
+        match take_batch t p with
+        | [] -> ()
+        | batch ->
+            let cost = batch_cost t p batch in
+            (match List.rev batch with
+            | last :: _ -> p.head_pos <- last.record + 1
+            | [] -> ());
+            finish_batch t p batch cost;
+            drain ()
+      in
+      drain ();
+      p.busy <- false)
+    t.packs
+
+let queue_depth t ~pack = List.length (pack_state t pack).queue
+
+let stats t =
+  { s_reads = t.reads; s_writes = t.writes; s_batches = t.batches;
+    s_merges = t.merges; s_max_batch = t.max_batch_seen;
+    s_queue_peak = t.queue_peak; s_busy_ns = t.busy_ns;
+    s_cancelled = t.cancelled }
+
+let mean_batch s =
+  if s.s_batches = 0 then 0.0
+  else float_of_int (s.s_reads + s.s_writes) /. float_of_int s.s_batches

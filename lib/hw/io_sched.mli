@@ -1,0 +1,110 @@
+(** Per-pack disk request queues with elevator (C-SCAN) ordering.
+
+    The seed serviced every record transfer synchronously at one flat
+    latency.  This module is the asynchronous disk subsystem: callers
+    submit read/write requests against a pack; the scheduler collects
+    them into bounded batches, orders each batch by record number in a
+    circular sweep from the current head position, merges adjacent
+    records into one chained transfer, and delivers completions through
+    the machine's event queue.
+
+    Determinism: ordering is decided only by the queue discipline —
+    the (record, submission-sequence) sort within a sweep — and by the
+    event queue's insertion-order tie-break.  No wall-clock input
+    anywhere, so runs are reproducible.
+
+    Latency model: a batch costs one seek per discontinuity plus one
+    transfer per record.  An isolated single-record request therefore
+    costs [seek_ns + transfer_ns], which equals the disk's flat
+    [io_latency_ns] — the synchronous cost model is a special case of
+    the batched one, so no path double-charges.
+
+    Coherence: the scheduler keeps a per-pack table of
+    submitted-but-unapplied writes.  Reads (queued or immediate) of a
+    record with a pending earlier write are served from that buffer, so
+    write-behind never lets a reader observe stale disk contents.  The
+    synchronous shims [read_now]/[write_now] go through the same table,
+    which is what keeps the old blocking API bit-identical to the
+    asynchronous one. *)
+
+type t
+
+type config = {
+  max_batch : int;  (** most requests dispatched in one sweep *)
+  seek_ns : int;  (** head reposition to a non-adjacent record *)
+  transfer_ns : int;  (** one record transfer *)
+}
+
+val default_config : config
+
+val config_of_disk : Disk.t -> config
+(** Splits the disk's flat record latency into seek and transfer so
+    that [seek_ns + transfer_ns = Disk.io_latency_ns]. *)
+
+val create :
+  ?config:config -> disk:Disk.t ->
+  schedule:(delay:int -> (unit -> unit) -> unit) -> unit -> t
+(** [schedule] plants dispatch and completion events; wire it to
+    [Machine.schedule]. *)
+
+val single_transfer_ns : t -> int
+(** [seek_ns + transfer_ns]: the cost of one unbatched transfer, and
+    the model every synchronous path charges. *)
+
+val submit_read :
+  t -> pack:int -> record:int -> done_:(Word.t array -> unit) -> unit
+(** Queue a read; [done_] fires from the batch-completion event with
+    the record image. *)
+
+val submit_write :
+  t -> ?done_:(unit -> unit) -> pack:int -> record:int -> Word.t array ->
+  unit
+(** Queue a write of a private copy of the image (the write-behind
+    buffer); [done_] fires when it reaches the platter. *)
+
+val read_now : t -> pack:int -> record:int -> Word.t array
+(** Synchronous shim: the image the record will hold once every write
+    submitted so far has been applied — the pending-write buffer if one
+    exists, the platter otherwise.  The caller charges
+    [single_transfer_ns] itself. *)
+
+val write_now : t -> pack:int -> record:int -> Word.t array -> unit
+(** Synchronous shim: apply immediately, superseding (cancelling) any
+    queued write to the same record so a later flush cannot clobber
+    this image with older data. *)
+
+val cancel_writes : t -> pack:int -> record:int -> unit
+(** Drop queued and buffered writes to a record.  Called when the
+    record is freed — a write-behind of a dead page must never land on
+    a reallocated record. *)
+
+val quiesce : t -> unit
+(** Apply every queued and in-flight request immediately, in elevator
+    order.  The already-scheduled completion events become no-ops.
+    Used at shutdown so a surviving disk holds every write-behind. *)
+
+val set_on_batch : t -> (pack:int -> size:int -> cost_ns:int -> unit) -> unit
+(** Hook fired once per completed batch — the owner charges the batch
+    latency to its accounting there, so the cost model lives in exactly
+    one place. *)
+
+(* Statistics *)
+
+type stats = {
+  s_reads : int;  (** read requests submitted *)
+  s_writes : int;  (** write requests submitted *)
+  s_batches : int;  (** sweeps dispatched *)
+  s_merges : int;  (** adjacent-record transfers chained without a seek *)
+  s_max_batch : int;  (** largest sweep *)
+  s_queue_peak : int;  (** deepest any pack's queue got *)
+  s_busy_ns : int;  (** summed batch latencies *)
+  s_cancelled : int;  (** writes dropped by {!cancel_writes}/supersede *)
+}
+
+val stats : t -> stats
+
+val queue_depth : t -> pack:int -> int
+(** Requests currently queued (not yet dispatched) for [pack]. *)
+
+val mean_batch : stats -> float
+(** Requests per dispatched batch; 0 when nothing was dispatched. *)

@@ -1,0 +1,249 @@
+(* The disk I/O scheduler: elevator ordering, batch bounds, the
+   write-behind coherence rules, and the read-ahead's low-water
+   discipline.  The queues are deterministic — ordering comes from the
+   sweep discipline and submission sequence, never wall-clock — so
+   every expectation here is exact. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+
+let check = Alcotest.check
+
+let page words =
+  let img = Array.make Hw.Addr.page_size 0 in
+  List.iteri (fun i w -> img.(i) <- w) words;
+  img
+
+let rig ?config () =
+  let machine =
+    Hw.Machine.create ~disk_packs:2 ~records_per_pack:64
+      Hw.Hw_config.kernel_multics
+  in
+  let disk = machine.Hw.Machine.disk in
+  let io =
+    Hw.Io_sched.create ?config ~disk ~schedule:(Hw.Machine.schedule machine) ()
+  in
+  (machine, disk, io)
+
+(* ------------------------------------------------------------------ *)
+(* Elevator ordering: a scrambled set submitted in one instant comes
+   back in one ascending sweep, deterministically. *)
+
+let test_elevator_order () =
+  let machine, disk, io = rig () in
+  List.iter
+    (fun r -> Hw.Disk.write_record disk ~pack:0 ~record:r (page [ r ]))
+    [ 5; 1; 9; 3; 7 ];
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun img ->
+          order := img.(0) :: !order))
+    [ 5; 1; 9; 3; 7 ];
+  Hw.Machine.run machine;
+  check
+    Alcotest.(list int)
+    "ascending sweep" [ 1; 3; 5; 7; 9 ] (List.rev !order);
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "one batch" 1 s.Hw.Io_sched.s_batches;
+  check Alcotest.int "five reads" 5 s.Hw.Io_sched.s_reads
+
+(* Seek-optimality of the sweep's cost: one seek per discontinuity,
+   adjacent records chain for free, and a batch that continues at the
+   arm's position pays no initial seek. *)
+
+let test_batch_cost_model () =
+  let config =
+    { Hw.Io_sched.max_batch = 8; seek_ns = 1_000; transfer_ns = 100 }
+  in
+  let machine, _disk, io = rig ~config () in
+  let costs = ref [] in
+  Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size:_ ~cost_ns ->
+      costs := cost_ns :: !costs);
+  (* Head starts at record 0: [0;1;2] is one continuation chain (no
+     seek at all), then the jump to 20 is one seek, and 21 chains. *)
+  List.iter
+    (fun r -> Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun _ -> ()))
+    [ 21; 0; 20; 2; 1 ];
+  Hw.Machine.run machine;
+  check Alcotest.(list int) "one sweep, one seek" [ 1_500 ] !costs;
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "four merges" 4 s.Hw.Io_sched.s_merges;
+  (* A second, discontiguous batch pays a fresh seek: head is at 22. *)
+  Hw.Io_sched.submit_read io ~pack:0 ~record:40 ~done_:(fun _ -> ());
+  Hw.Machine.run machine;
+  check Alcotest.(list int) "isolated request = seek + transfer"
+    [ 1_100; 1_500 ] !costs
+
+(* Batch bounds: max_batch splits the queue into full sweeps plus a
+   remainder, and the queue depth statistic sees the backlog. *)
+
+let test_batch_bounds () =
+  let config =
+    { Hw.Io_sched.max_batch = 4; seek_ns = 1_000; transfer_ns = 100 }
+  in
+  let machine, _disk, io = rig ~config () in
+  let sizes = ref [] in
+  Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size ~cost_ns:_ ->
+      sizes := size :: !sizes);
+  for r = 0 to 9 do
+    Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun _ -> ())
+  done;
+  check Alcotest.int "backlog visible" 10 (Hw.Io_sched.queue_depth io ~pack:0);
+  Hw.Machine.run machine;
+  check Alcotest.(list int) "4+4+2" [ 2; 4; 4 ] !sizes;
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "max batch bounded" 4 s.Hw.Io_sched.s_max_batch;
+  check Alcotest.int "queue peak" 10 s.Hw.Io_sched.s_queue_peak;
+  check Alcotest.int "drained" 0 (Hw.Io_sched.queue_depth io ~pack:0)
+
+(* ------------------------------------------------------------------ *)
+(* Write-behind coherence: queued writes are visible to every kind of
+   read before they land, supersession keeps the latest image, and
+   cancellation prevents a stale write from ever reaching the pack. *)
+
+let test_write_coherence () =
+  let machine, disk, io = rig () in
+  Hw.Io_sched.submit_write io ~pack:0 ~record:7 (page [ 111 ]);
+  (* The synchronous shim observes the queued image... *)
+  let img = Hw.Io_sched.read_now io ~pack:0 ~record:7 in
+  check Alcotest.int "read_now sees write-behind" 111 img.(0);
+  (* ...and so does a queued read submitted after the write. *)
+  let seen = ref 0 in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun img ->
+      seen := img.(0));
+  (* A second write supersedes the first for later readers. *)
+  Hw.Io_sched.submit_write io ~pack:0 ~record:7 (page [ 222 ]);
+  let seen_after = ref 0 in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun img ->
+      seen_after := img.(0));
+  Hw.Machine.run machine;
+  check Alcotest.int "read ordered before 2nd write" 111 !seen;
+  check Alcotest.int "read ordered after 2nd write" 222 !seen_after;
+  check Alcotest.int "disk has the final image" 222
+    (Hw.Disk.read_record disk ~pack:0 ~record:7).(0)
+
+let test_cancel_writes () =
+  let machine, disk, io = rig () in
+  Hw.Disk.write_record disk ~pack:0 ~record:3 (page [ 5 ]);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:3 (page [ 666 ]);
+  Hw.Io_sched.cancel_writes io ~pack:0 ~record:3;
+  Hw.Machine.run machine;
+  check Alcotest.int "stale write never landed" 5
+    (Hw.Disk.read_record disk ~pack:0 ~record:3).(0);
+  check Alcotest.int "cancellation counted" 1
+    (Hw.Io_sched.stats io).Hw.Io_sched.s_cancelled
+
+let test_quiesce () =
+  let machine, disk, io = rig () in
+  Hw.Io_sched.submit_write io ~pack:1 ~record:9 (page [ 42 ]);
+  (* No events have run: the write is still queued. *)
+  Hw.Io_sched.quiesce io;
+  check Alcotest.int "quiesce applied the write" 42
+    (Hw.Disk.read_record disk ~pack:1 ~record:9).(0);
+  (* The already-scheduled completion event must now be a no-op. *)
+  Hw.Machine.run machine;
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "applied exactly once" 1 s.Hw.Io_sched.s_batches
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-level: the asynchronous protocol computes bit-identical disk
+   contents to the synchronous shim, and read-ahead respects the
+   cleaner's low-water mark. *)
+
+let cramped use_io_sched read_ahead use_cleaner_daemon =
+  { K.Kernel.default_config with
+    K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 64;
+    core_frames = 24; use_io_sched; read_ahead; use_cleaner_daemon }
+
+let seq_workload k =
+  ignore
+    (K.Kernel.spawn k ~pname:"writer"
+       (K.Workload.concat
+          [ [| K.Workload.Create_file { dir = ">home"; name = "f" };
+               K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+            K.Workload.sequential_write ~seg_reg:0 ~pages:48 ]));
+  Alcotest.(check bool) "writer completed" true (K.Kernel.run_to_completion k);
+  ignore
+    (K.Kernel.spawn k ~pname:"reader"
+       (K.Workload.concat
+          [ [| K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+            K.Workload.sequential_read ~seg_reg:0 ~pages:48 ]));
+  Alcotest.(check bool) "reader completed" true (K.Kernel.run_to_completion k)
+
+let boot_home config =
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home"
+    ~acl:[ K.Acl.entry "*" K.Acl.rwe ]
+    ~label:Multics_aim.Label.system_low;
+  k
+
+(* Every allocated record of every segment, word for word. *)
+let disk_image k =
+  let d = (K.Kernel.machine k).Hw.Machine.disk in
+  let out = ref [] in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    List.iter
+      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
+        Array.iteri
+          (fun pageno handle ->
+            if handle >= 0 then
+              out :=
+                ( e.Hw.Disk.uid, index, pageno,
+                  Array.to_list
+                    (Hw.Disk.read_record d
+                       ~pack:(Hw.Disk.pack_of_handle handle)
+                       ~record:(Hw.Disk.record_of_handle handle)) )
+                :: !out)
+          e.Hw.Disk.file_map)
+      (Hw.Disk.vtoc_entries d ~pack)
+  done;
+  List.sort compare !out
+
+let test_async_equals_sync () =
+  let run cfg =
+    let k = boot_home cfg in
+    seq_workload k;
+    K.Kernel.shutdown k;
+    disk_image k
+  in
+  let sync_img = run (cramped false 0 true) in
+  let async_img = run (cramped true 0 true) in
+  let prefetch_img = run (cramped true 2 true) in
+  check Alcotest.bool "async disk image identical to sync" true
+    (sync_img = async_img);
+  check Alcotest.bool "read-ahead disk image identical to sync" true
+    (sync_img = prefetch_img)
+
+let test_read_ahead_hits () =
+  let k = boot_home (cramped true 2 true) in
+  seq_workload k;
+  let pfm = K.Kernel.page_frame k in
+  Alcotest.(check bool) "read-ahead issued" true
+    (K.Page_frame.prefetch_issued pfm > 0);
+  Alcotest.(check bool) "read-ahead hit" true
+    (K.Page_frame.prefetch_hits pfm > 0)
+
+(* With the cleaning daemon off, nothing refills the free pool, so a
+   cramped sequential sweep runs with the pool at the low-water mark —
+   and every read-ahead must be dropped rather than evict. *)
+let test_read_ahead_low_water () =
+  let k = boot_home (cramped true 2 false) in
+  seq_workload k;
+  let pfm = K.Kernel.page_frame k in
+  Alcotest.(check bool) "attempts were made" true
+    (K.Page_frame.prefetch_issued pfm + K.Page_frame.prefetch_dropped pfm > 0);
+  Alcotest.(check int) "every read-ahead dropped at the low-water mark" 0
+    (K.Page_frame.prefetch_issued pfm)
+
+let tests =
+  [ Alcotest.test_case "elevator order" `Quick test_elevator_order;
+    Alcotest.test_case "batch cost model" `Quick test_batch_cost_model;
+    Alcotest.test_case "batch bounds" `Quick test_batch_bounds;
+    Alcotest.test_case "write coherence" `Quick test_write_coherence;
+    Alcotest.test_case "cancel writes" `Quick test_cancel_writes;
+    Alcotest.test_case "quiesce" `Quick test_quiesce;
+    Alcotest.test_case "async equals sync" `Quick test_async_equals_sync;
+    Alcotest.test_case "read-ahead hits" `Quick test_read_ahead_hits;
+    Alcotest.test_case "read-ahead low water" `Quick test_read_ahead_low_water
+  ]
