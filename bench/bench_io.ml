@@ -48,32 +48,8 @@ let fingerprint k ~completed =
     K.Kernel.denials k,
     K.Segment.grows (K.Kernel.segment k) )
 
-(* Everything the run left on disk: VTOC shape, file maps, and the
-   words of every allocated record.  Computed after [shutdown], whose
-   quiesce barrier settles outstanding write-behinds — so a divergence
-   here means the scheduler lost or misdirected a transfer. *)
-let disk_checksum k =
-  let d = (K.Kernel.machine k).Hw.Machine.disk in
-  let h = ref 0 in
-  let mix v = h := (((!h * 31) + v + 1) lxor (!h lsr 17)) land max_int in
-  for pack = 0 to Hw.Disk.n_packs d - 1 do
-    List.iter
-      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
-        mix index;
-        mix e.Hw.Disk.uid;
-        mix e.Hw.Disk.len_pages;
-        Array.iter
-          (fun handle ->
-            mix handle;
-            if handle >= 0 then
-              Array.iter mix
-                (Hw.Disk.read_record d
-                   ~pack:(Hw.Disk.pack_of_handle handle)
-                   ~record:(Hw.Disk.record_of_handle handle)))
-          e.Hw.Disk.file_map)
-      (Hw.Disk.vtoc_entries d ~pack)
-  done;
-  !h
+(* Disk-content checksum shared with C3; see Bench_util.disk_checksum. *)
+let disk_checksum = Bench_util.disk_checksum
 
 let check_fingerprint what a b =
   if a <> b then

@@ -2,6 +2,7 @@
 
 module K = Multics_kernel
 module L = Multics_legacy
+module Hw = Multics_hw
 module Aim = Multics_aim
 
 let low = Aim.Label.system_low
@@ -29,6 +30,33 @@ let boot_old ?(config = L.Old_supervisor.default_config) () =
   s
 
 let us ns = float_of_int ns /. 1_000.0
+
+(* Everything the run left on disk: VTOC shape, file maps, and the
+   words of every allocated record.  Computed after [shutdown], whose
+   quiesce barrier settles outstanding write-behinds — so a divergence
+   here means a transfer was lost or misdirected. *)
+let disk_checksum k =
+  let d = (K.Kernel.machine k).Hw.Machine.disk in
+  let h = ref 0 in
+  let mix v = h := (((!h * 31) + v + 1) lxor (!h lsr 17)) land max_int in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    List.iter
+      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
+        mix index;
+        mix e.Hw.Disk.uid;
+        mix e.Hw.Disk.len_pages;
+        Array.iter
+          (fun handle ->
+            mix handle;
+            if handle >= 0 then
+              Array.iter mix
+                (Hw.Disk.read_record d
+                   ~pack:(Hw.Disk.pack_of_handle handle)
+                   ~record:(Hw.Disk.record_of_handle handle)))
+          e.Hw.Disk.file_map)
+      (Hw.Disk.vtoc_entries d ~pack)
+  done;
+  !h
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable metrics.  Sections push rows here; main writes the

@@ -1,0 +1,71 @@
+(* Trace dump: boot with full structured tracing, run a paging-heavy
+   workload, and export the kernel's event ring as Chrome trace_event
+   JSON plus the latency histograms.
+
+     dune exec examples/trace_dump.exe
+     # then open trace.json in chrome://tracing or https://ui.perfetto.dev
+
+   In the viewer, each CPU is a track of nested virtual-processor
+   dispatch spans; missing-page faults open under them; page-read
+   transits and elevator batches appear as id-matched async spans,
+   so the whole life of a fault — TLB miss, fault delivery, elevator
+   enqueue, batch dispatch, transit-eventcount wakeup — reads as one
+   nested timeline. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+module Obs = Multics_obs
+module Aim = Multics_aim
+
+let low = Aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+let pages = 48
+
+let () =
+  (* A cramped machine with full tracing: fewer pageable frames than
+     file pages, elevator and read-ahead on, so the trace has faults,
+     batches and wakeups to show. *)
+  let config =
+    { K.Kernel.default_config with
+      K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 64;
+      core_frames = 24;
+      use_io_sched = true;
+      read_ahead = 2;
+      trace = Obs.Sink.Full }
+  in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+
+  (* A writer fills a file bigger than the frame pool, then a reader
+     sweeps it back in — every touch at the head is a fresh fault. *)
+  let writer =
+    K.Workload.concat
+      [ [| K.Workload.Create_file { dir = ">home"; name = "big" };
+           K.Workload.Initiate { path = ">home>big"; reg = 0 } |];
+        K.Workload.sequential_write ~seg_reg:0 ~pages ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"writer" writer);
+  ignore (K.Kernel.run_to_completion k);
+  let reader =
+    K.Workload.concat
+      [ [| K.Workload.Initiate { path = ">home>big"; reg = 0 } |];
+        K.Workload.sequential_read ~seg_reg:0 ~pages ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"reader" reader);
+  ignore (K.Kernel.run_to_completion k);
+
+  (* Export: Chrome JSON to a file, histograms and the tail of the
+     human-readable timeline to stdout. *)
+  let path = "trace.json" in
+  let oc = open_out path in
+  output_string oc (K.Kernel.chrome_trace k);
+  close_out oc;
+
+  let ring = Obs.Sink.buf (K.Kernel.obs k) in
+  Format.printf "ran to %s; ring holds %d events (%d dropped)@."
+    (Printf.sprintf "%.1f us" (float_of_int (K.Kernel.now k) /. 1e3))
+    (Obs.Trace_buf.length ring)
+    (Obs.Trace_buf.dropped ring);
+  Format.printf "%s@." (K.Kernel.histo_report k);
+  Format.printf "wrote %s — open it in chrome://tracing or ui.perfetto.dev@."
+    path

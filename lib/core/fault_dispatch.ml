@@ -10,14 +10,15 @@ type t = {
   known : Known_segment.t;
   address_space : Address_space.t;
   gate : Gate.t;
+  obs : Multics_obs.Sink.t;
   mutable handled : int;
 }
 
 (* Fault reflection enters through the same layer as gates. *)
 let name = Registry.gate
 
-let create ~meter ~tracer ~page_frame ~known ~address_space ~gate =
-  { meter; tracer; page_frame; known; address_space; gate; handled = 0 }
+let create ~meter ~tracer ~page_frame ~known ~address_space ~gate ~obs =
+  { meter; tracer; page_frame; known; address_space; gate; obs; handled = 0 }
 
 let of_pfm = function
   | Page_frame.Wait (ec, v) -> Wait (ec, v)
@@ -26,36 +27,45 @@ let of_pfm = function
 let handle t ~proc fault =
   t.handled <- t.handled + 1;
   Meter.charge t.meter ~manager:name Cost.Pl1 Cost.fault_entry;
-  match fault with
-  | Hw.Fault.Missing_page { ptw_abs; _ } ->
-      of_pfm
-        (Page_frame.service_missing_page t.page_frame ~caller:name ~ptw_abs)
-  | Hw.Fault.Locked_descriptor { ptw_abs; _ } ->
-      of_pfm
-        (Page_frame.service_locked_descriptor t.page_frame ~caller:name
-           ~ptw_abs)
-  | Hw.Fault.Quota_fault { segno; pageno } -> (
-      let result =
-        Known_segment.handle_quota_fault t.known ~caller:name ~proc ~segno
-          ~pageno
-      in
-      (* The chain below may have queued a Segment_moved signal; deliver
-         it before the process rereferences the segment. *)
-      ignore (Gate.deliver_signals t.gate);
-      match result with `Retry -> Retry | `Error msg -> Error msg)
-  | Hw.Fault.Missing_segment { segno } -> (
-      match
-        Address_space.handle_missing_segment t.address_space ~caller:name
-          ~proc ~segno
-      with
-      | `Retry -> Retry
-      | `Error msg -> Error msg)
-  | Hw.Fault.Access_violation { segno; access; ring } ->
-      Error
-        (Printf.sprintf "access violation: seg %d %s from ring %d" segno
-           (Hw.Fault.access_to_string access)
-           ring)
-  | Hw.Fault.Bounds_fault { segno; wordno } ->
-      Error (Printf.sprintf "bounds fault: seg %d word %o" segno wordno)
+  Multics_obs.Sink.count t.obs "fault.handled";
+  let sp =
+    Multics_obs.Sink.span_begin t.obs ~cat:"fault"
+      ~name:(Hw.Fault.kind_name fault) ()
+  in
+  let outcome =
+    match fault with
+    | Hw.Fault.Missing_page { ptw_abs; _ } ->
+        of_pfm
+          (Page_frame.service_missing_page t.page_frame ~caller:name ~ptw_abs)
+    | Hw.Fault.Locked_descriptor { ptw_abs; _ } ->
+        of_pfm
+          (Page_frame.service_locked_descriptor t.page_frame ~caller:name
+             ~ptw_abs)
+    | Hw.Fault.Quota_fault { segno; pageno } -> (
+        let result =
+          Known_segment.handle_quota_fault t.known ~caller:name ~proc ~segno
+            ~pageno
+        in
+        (* The chain below may have queued a Segment_moved signal; deliver
+           it before the process rereferences the segment. *)
+        ignore (Gate.deliver_signals t.gate);
+        match result with `Retry -> Retry | `Error msg -> Error msg)
+    | Hw.Fault.Missing_segment { segno } -> (
+        match
+          Address_space.handle_missing_segment t.address_space ~caller:name
+            ~proc ~segno
+        with
+        | `Retry -> Retry
+        | `Error msg -> Error msg)
+    | Hw.Fault.Access_violation { segno; access; ring } ->
+        Error
+          (Printf.sprintf "access violation: seg %d %s from ring %d" segno
+             (Hw.Fault.access_to_string access)
+             ring)
+    | Hw.Fault.Bounds_fault { segno; wordno } ->
+        Error (Printf.sprintf "bounds fault: seg %d word %o" segno wordno)
+  in
+  Multics_obs.Sink.span_end t.obs ~histo:"fault.handle" sp;
+  outcome
 
 let faults_handled t = t.handled

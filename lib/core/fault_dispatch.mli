@@ -17,7 +17,13 @@ type t
 
 val create :
   meter:Meter.t -> tracer:Tracer.t -> page_frame:Page_frame.t ->
-  known:Known_segment.t -> address_space:Address_space.t -> gate:Gate.t -> t
+  known:Known_segment.t -> address_space:Address_space.t -> gate:Gate.t ->
+  obs:Multics_obs.Sink.t -> t
+
+(** Every handled fault opens a ["fault"] span named after the fault
+    kind and feeds the ["fault.handle"] histogram, so a fault's whole
+    service — transit joins, elevator submissions — nests under it in
+    the exported timeline. *)
 
 val handle : t -> proc:int -> Multics_hw.Fault.t -> outcome
 

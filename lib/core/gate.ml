@@ -5,6 +5,7 @@ type t = {
   tracer : Tracer.t;
   signals : Upward_signal.t;
   directory : Directory.t;
+  obs : Multics_obs.Sink.t;
   gates : (string, gate_info) Hashtbl.t;
   mutable order : string list;  (* newest first *)
   mutable total : int;
@@ -13,9 +14,9 @@ type t = {
 
 let name = Registry.gate
 
-let create ~meter ~tracer ~signals ~directory =
-  { meter; tracer; signals; directory; gates = Hashtbl.create 64; order = [];
-    total = 0; violations = 0 }
+let create ~meter ~tracer ~signals ~directory ~obs =
+  { meter; tracer; signals; directory; obs; gates = Hashtbl.create 64;
+    order = []; total = 0; violations = 0 }
 
 let define t ~name:gate_name ~max_ring =
   if Hashtbl.mem t.gates gate_name then
@@ -42,8 +43,13 @@ let call t ~name:gate_name ~caller_ring f =
         info.g_calls <- info.g_calls + 1;
         t.total <- t.total + 1;
         Meter.charge t.meter ~manager:name Cost.Pl1 Cost.gate_crossing;
+        Multics_obs.Sink.count t.obs "gate.call";
+        let sp =
+          Multics_obs.Sink.span_begin t.obs ~cat:"gate" ~name:gate_name ()
+        in
         let result = f () in
         ignore (deliver_signals t);
+        Multics_obs.Sink.span_end t.obs ~histo:"gate.call" sp;
         Ok result
       end
 

@@ -20,6 +20,7 @@ type config = {
   use_path_cache : bool;
   use_io_sched : bool;
   read_ahead : int;
+  trace : Multics_obs.Sink.mode;
 }
 
 let default_config =
@@ -28,7 +29,8 @@ let default_config =
     user_vps = 4; ast_slots = 64; pt_words = 64; max_processes = 16;
     max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
     use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
-    use_io_sched = true; read_ahead = 2 }
+    use_io_sched = true; read_ahead = 2;
+    trace = Multics_obs.Sink.Counters }
 
 let small_config =
   { default_config with
@@ -41,6 +43,7 @@ type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   core : Core_segment.t;
   vp : Vp.t;
   volume : Volume.t;
@@ -102,6 +105,15 @@ let rec boot_internal ?previous_disk cfg =
   in
   let meter = Meter.create () in
   let tracer = Tracer.create () in
+  (* The sink reads the machine clock through a thunk and never charges
+     the meter or schedules events — which is why switching [cfg.trace]
+     cannot move simulated time (bench C3 asserts exactly that). *)
+  let obs =
+    Multics_obs.Sink.create ~mode:cfg.trace
+      ~now:(fun () -> Hw.Machine.now machine)
+      ()
+  in
+  Hw.Machine.set_obs machine obs;
   let aim_audit = Aim.Audit.create () in
   let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
   let vp = Vp.create ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps in
@@ -116,6 +128,7 @@ let rec boot_internal ?previous_disk cfg =
       ~use_io_sched:cfg.use_io_sched ~read_ahead:cfg.read_ahead ()
   in
   let signals = Upward_signal.create ~meter in
+  Upward_signal.set_obs signals obs;
   (* A new incarnation resumes its uid supply above everything already
      on disk. *)
   let uid_start =
@@ -144,11 +157,11 @@ let rec boot_internal ?previous_disk cfg =
     Directory.create ~machine ~meter ~tracer ~segment ~quota ~volume ~known
       ~audit:aim_audit
   in
-  let gate = Gate.create ~meter ~tracer ~signals ~directory in
+  let gate = Gate.create ~meter ~tracer ~signals ~directory ~obs in
   List.iter (fun (g, ring) -> Gate.define gate ~name:g ~max_ring:ring)
     gate_table;
   let name_space =
-    Name_space.create ~use_cache:cfg.use_path_cache ~meter ~tracer ~gate
+    Name_space.create ~use_cache:cfg.use_path_cache ~obs ~meter ~tracer ~gate
       ~directory ()
   in
   Meter.register_cache meter ~name:"sdw_am" (fun () ->
@@ -171,7 +184,7 @@ let rec boot_internal ?previous_disk cfg =
         c_invalidations = Page_frame.prefetch_dropped page_frame });
   let fault_dispatch =
     Fault_dispatch.create ~meter ~tracer ~page_frame ~known ~address_space
-      ~gate
+      ~gate ~obs
   in
   (match previous_disk with
   | None ->
@@ -195,7 +208,7 @@ let rec boot_internal ?previous_disk cfg =
     machine.Hw.Machine.cpus;
   Core_segment.freeze core;
   let t =
-    { cfg; machine; meter; tracer; core; vp; volume; quota; page_frame;
+    { cfg; machine; meter; tracer; obs; core; vp; volume; quota; page_frame;
       signals; segment; known; address_space; user_process; directory; gate;
       name_space; fault_dispatch; aim_audit; started = false; denials = 0 }
   in
@@ -464,6 +477,7 @@ let reboot cfg ~from =
 let machine t = t.machine
 let meter t = t.meter
 let tracer t = t.tracer
+let obs t = t.obs
 let core t = t.core
 let vp t = t.vp
 let volume t = t.volume
@@ -634,6 +648,43 @@ let io_stats t =
 let dependency_audit t =
   Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
 
+let meter_snapshot t = Meter.snapshot t.meter
+
+let trace_report t =
+  Format.asprintf "%a" Multics_obs.Trace_export.pp_timeline
+    (Multics_obs.Sink.buf t.obs)
+
+let pp_histos ppf t =
+  match Multics_obs.Sink.histos t.obs with
+  | [] -> ()
+  | histos ->
+      Format.fprintf ppf "  latency histograms (simulated ns):@.";
+      List.iter
+        (fun h -> Format.fprintf ppf "    %a@." Multics_obs.Histo.pp h)
+        histos
+
+let histo_report t = Format.asprintf "%a" pp_histos t
+
+let chrome_trace t =
+  let ring = Multics_obs.Sink.buf t.obs in
+  (* Export from a copy so bridging the dependency tracer's census in
+     never pollutes the live ring. *)
+  let edges = Tracer.observed t.tracer in
+  let cevents = Tracer.cache_events t.tracer in
+  let buf =
+    Multics_obs.Trace_buf.create
+      ~capacity:
+        (max 1
+           (Multics_obs.Trace_buf.length ring
+           + List.length edges + List.length cevents))
+      ()
+  in
+  Multics_obs.Trace_buf.iter ring (Multics_obs.Trace_buf.record buf);
+  Tracer.to_trace_buf t.tracer ~now:(now t) ~buf;
+  Multics_obs.Trace_export.chrome_json
+    ~counters:(Multics_obs.Sink.counters t.obs)
+    buf
+
 let pp_report ppf t =
   Format.fprintf ppf "Kernel/Multics after %d simulated us@." (now t / 1000);
   Format.fprintf ppf "  processes: %d completed, %d failed, %d denials@."
@@ -682,6 +733,7 @@ let pp_report ppf t =
         c.Meter.c_hits c.Meter.c_misses c.Meter.c_invalidations
         (100.0 *. Meter.hit_rate c))
     (Meter.cache_stats t.meter);
+  pp_histos ppf t;
   Format.fprintf ppf "  kernel time by manager:@.";
   List.iter
     (fun (manager, ns) ->

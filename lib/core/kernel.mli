@@ -35,6 +35,11 @@ type config = {
   read_ahead : int;
       (** Records prefetched after two sequential missing-page faults on
           a segment; [0] disables read-ahead. *)
+  trace : Multics_obs.Sink.mode;
+      (** Observability: [Off] records nothing, [Counters] (the
+          default) keeps counters and latency histograms, [Full] also
+          records the event ring for timeline export.  Never affects
+          simulated time or disk contents. *)
 }
 
 val default_config : config
@@ -65,6 +70,7 @@ val reboot : config -> from:t -> t
 val machine : t -> Multics_hw.Machine.t
 val meter : t -> Meter.t
 val tracer : t -> Tracer.t
+val obs : t -> Multics_obs.Sink.t
 val core : t -> Core_segment.t
 val vp : t -> Vp.t
 val volume : t -> Volume.t
@@ -157,6 +163,25 @@ val io_stats : t -> io_report
 
 val dependency_audit : t -> Multics_depgraph.Conformance.t
 (** Observed cross-manager calls vs. the declared graph of {!Registry}. *)
+
+val meter_snapshot : t -> Meter.snapshot
+(** Freeze the cost meter for later {!Meter.diff} delta assertions. *)
+
+val trace_report : t -> string
+(** The event ring as a human-readable timeline (empty unless the
+    config asked for [Full] tracing). *)
+
+val histo_report : t -> string
+(** Every latency histogram — page-read transits, I/O batches, VP
+    steps, eventcount waits, lock holds — one line each with p50, p95
+    and max. *)
+
+val chrome_trace : t -> string
+(** The event ring as Chrome [trace_event] JSON (chrome://tracing or
+    Perfetto), with the dependency tracer's call-edge census and the
+    sink's counters appended as counter samples.  A missing-page
+    fault's life — fault span, transit async span, elevator submit,
+    batch async span, eventcount wakeup — reads as one nested group. *)
 
 val pp_report : Format.formatter -> t -> unit
 (** Human-readable statistics block. *)

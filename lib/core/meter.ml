@@ -51,6 +51,20 @@ let by_manager t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_manager []
   |> List.sort compare
 
+type snapshot = { snap_total : int; snap_managers : (string * int) list }
+
+let snapshot t = { snap_total = t.total; snap_managers = by_manager t }
+
+let diff ~before ~after =
+  let base m =
+    Option.value ~default:0 (List.assoc_opt m before.snap_managers)
+  in
+  { snap_total = after.snap_total - before.snap_total;
+    snap_managers =
+      List.filter_map
+        (fun (m, v) -> if v = base m then None else Some (m, v - base m))
+        after.snap_managers }
+
 let reset t =
   t.pending <- 0;
   t.total <- 0;

@@ -47,5 +47,17 @@ val cache_stats : t -> (string * cache_stats) list
 val hit_rate : cache_stats -> float
 (** Hits over lookups; 0 when there were no lookups. *)
 
+type snapshot = {
+  snap_total : int;
+  snap_managers : (string * int) list;  (** sorted by manager name *)
+}
+
+val snapshot : t -> snapshot
+(** Freeze the totals, for later per-manager delta assertions. *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-manager deltas between two snapshots; managers whose total did
+    not move are omitted. *)
+
 val reset : t -> unit
 (** Clears meters; registered caches stay registered. *)

@@ -3,6 +3,7 @@ module Aim = Multics_aim
 type t = {
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   gate : Gate.t;
   directory : Directory.t;
   use_cache : bool;
@@ -29,9 +30,12 @@ let clear_cache t =
   t.cache_invalidations <- t.cache_invalidations + 1;
   Tracer.note_cache t.tracer ~cache:"pathname" ~event:"invalidate"
 
-let create ?(use_cache = true) ~meter ~tracer ~gate ~directory () =
+let create ?(use_cache = true) ?obs ~meter ~tracer ~gate ~directory () =
+  let obs =
+    match obs with Some s -> s | None -> Multics_obs.Sink.disabled ()
+  in
   let t =
-    { meter; tracer; gate; directory; use_cache;
+    { meter; tracer; obs; gate; directory; use_cache;
       cache = Hashtbl.create 64; cache_hits = 0; cache_misses = 0;
       cache_invalidations = 0; search_count = 0 }
   in
@@ -54,6 +58,7 @@ let cache_key ~subject ~ring ~dir_uid ~component =
 (* One kernel search through the gate. *)
 let gated_search t ~subject ~ring ~dir_uid ~component =
   t.search_count <- t.search_count + 1;
+  Multics_obs.Sink.count t.obs "ns.search";
   (* The user-ring walker is a small, simple program. *)
   Meter.charge t.meter ~manager:name Cost.Pl1 (Cost.kernel_call / 2);
   Tracer.call t.tracer ~from:name ~to_:Registry.gate;
@@ -99,6 +104,7 @@ let resolve_parent t ~subject ~ring ~path =
       walk (Directory.root_uid t.directory) parents
 
 let initiate t ~subject ~ring ~path =
+  Multics_obs.Sink.count t.obs "ns.initiate";
   match resolve_parent t ~subject ~ring ~path with
   | Error `Bad_path -> Error `Bad_path
   | Ok (dir_uid, leaf) -> (

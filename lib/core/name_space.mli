@@ -13,7 +13,7 @@
 type t
 
 val create :
-  ?use_cache:bool ->
+  ?use_cache:bool -> ?obs:Multics_obs.Sink.t ->
   meter:Meter.t -> tracer:Tracer.t -> gate:Gate.t -> directory:Directory.t ->
   unit -> t
 (** [use_cache] (default true) enables the pathname resolution cache:

@@ -25,12 +25,19 @@ type transit = {
   expected : int;
   frame : int;
   mutable prefetch : bool;  (* no demand fault has joined yet *)
+  t_start : int;  (* sink clock at read submission *)
+  ptl : Sync.Lock.t;
+      (* The per-transit page-table lock, held for the read's whole
+         flight.  Purely accounting: its hold time is the transit
+         latency and joiners' failed try_acquires are the contention
+         the paper's page-table lock would have seen. *)
 }
 
 type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   volume : Volume.t;
   quota : Quota_cell.t;
   frames : frame_entry array;
@@ -78,7 +85,8 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon
   assert (n > 0);
   assert (read_ahead >= 0);
   let frame_region = Core_segment.alloc core ~name:"frame_table" ~words:n in
-  { machine; meter; tracer; volume; quota;
+  let obs = Hw.Machine.obs machine in
+  { machine; meter; tracer; obs; volume; quota;
     frames =
       Array.init n (fun _ ->
           { used_by = -1; record_handle = -1; quota_cell = Quota_cell.no_cell;
@@ -87,8 +95,8 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon
     free = List.init n (fun i -> i);
     free_count = n; clock_hand = 0; transits = Hashtbl.create 32;
     page_tables = Hashtbl.create 256;
-    frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ();
-    cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ();
+    frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ~obs ();
+    cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ~obs ();
     use_cleaner_daemon; use_io_sched; read_ahead;
     low_water = max 2 (n / 16);
     high_water = max 4 (n / 8);
@@ -169,12 +177,14 @@ let evict_frame t frame =
   let ptw = Hw.Ptw.read (mem t) ptw_abs in
   charge t Cost.frame_scan_zero;
   t.evictions <- t.evictions + 1;
+  Multics_obs.Sink.count t.obs "pfm.evict";
   note_prefetch_reference t e ~used:ptw.Hw.Ptw.used;
   if Hw.Phys_mem.frame_is_zero (mem t) frame then begin
     (* Zero reclamation: the page reverts to an unallocated flag in the
        file map, the record is freed and the quota cell credited — the
        accounting update the paper calls out as a confinement hazard. *)
     t.zero_reclaims <- t.zero_reclaims + 1;
+    Multics_obs.Sink.count t.obs "pfm.zero_reclaim";
     if e.record_handle >= 0 then
       Volume.free_page_record t.volume ~caller:name
         ~pack:(Hw.Disk.pack_of_handle e.record_handle)
@@ -270,6 +280,10 @@ let acquire_frame t ~inline =
 type service_outcome = Wait of Sync.Eventcount.t * int | Retry
 
 let join_transit t transit =
+  Multics_obs.Sink.count t.obs "pfm.transit_join";
+  (* A joiner finds the page-table lock held by the read in flight:
+     exactly the contention a shared page-table lock records. *)
+  ignore (Sync.Lock.try_acquire transit.ptl ~owner:name);
   if transit.prefetch then begin
     (* A demand fault arrived while the read-ahead was still in the
        air: the prefetch hid (part of) this fault's latency. *)
@@ -292,12 +306,21 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
   e.prefetched <- false;
   mirror t frame;
   let ec =
-    Sync.Eventcount.create ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs) ()
+    Sync.Eventcount.create
+      ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs)
+      ~histo:"ec.wait:pfm.transit" ~obs:t.obs ()
   in
-  let transit = { ec; expected = 1; frame; prefetch } in
+  let ptl = Sync.Lock.create ~name:"ptl" ~obs:t.obs () in
+  ignore (Sync.Lock.try_acquire ptl ~owner:name);
+  let transit =
+    { ec; expected = 1; frame; prefetch;
+      t_start = Multics_obs.Sink.now t.obs; ptl }
+  in
   Hashtbl.replace t.transits ptw_abs transit;
   charge t Cost.disk_io_setup;
   t.page_reads <- t.page_reads + 1;
+  Multics_obs.Sink.async_begin t.obs ~cat:"pfm" ~name:"page_read" ~id:ptw_abs
+    ~arg:(if prefetch then 1 else 0) ();
   let finish img =
     Hw.Phys_mem.write_frame (mem t) frame img;
     (* Unlock the descriptor and notify all waiters. *)
@@ -305,6 +328,11 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
     e.pinned <- false;
     e.prefetched <- transit.prefetch;
     Hashtbl.remove t.transits ptw_abs;
+    Multics_obs.Sink.async_end t.obs ~cat:"pfm" ~name:"page_read" ~id:ptw_abs
+      ();
+    Multics_obs.Sink.add_latency t.obs ~name:"pfm.page_read"
+      (Multics_obs.Sink.now t.obs - transit.t_start);
+    Sync.Lock.release ptl;
     Sync.Eventcount.advance ec
   in
   if t.use_io_sched then
@@ -346,6 +374,9 @@ let maybe_read_ahead t ~ptw_abs =
                        t.free_count <- t.free_count - 1;
                        charge t Cost.frame_alloc;
                        t.prefetch_issued <- t.prefetch_issued + 1;
+                       Multics_obs.Sink.count t.obs "pfm.read_ahead";
+                       Multics_obs.Sink.instant t.obs ~cat:"pfm"
+                         ~name:"read_ahead" ~arg:target ();
                        if t.use_cleaner_daemon && t.free_count <= t.low_water
                        then Sync.Eventcount.advance t.cleaner;
                        ignore
@@ -361,6 +392,7 @@ let maybe_read_ahead t ~ptw_abs =
 let service_missing_page t ~caller ~ptw_abs =
   entry t ~caller Cost.fault_entry;
   t.faults_served <- t.faults_served + 1;
+  Multics_obs.Sink.count t.obs "pfm.fault";
   match Hashtbl.find_opt t.transits ptw_abs with
   | Some transit ->
       maybe_read_ahead t ~ptw_abs;
@@ -487,6 +519,7 @@ let cleaner_ec t = t.cleaner
    and lived outside the cost model). *)
 let cleaner_step t _vp =
   ignore (Meter.take_pending t.meter);
+  Multics_obs.Sink.count t.obs "pfm.cleaner_pass";
   let cleaned = ref 0 in
   let limit = if t.use_io_sched then 8 else 4 in
   Array.iteri

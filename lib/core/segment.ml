@@ -17,6 +17,7 @@ type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   core : Core_segment.t;
   volume : Volume.t;
   quota : Quota_cell.t;
@@ -50,7 +51,8 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~page_frame ~signals
   let pt_region =
     Core_segment.alloc core ~name:"page_tables" ~words:(ast_slots * pt_words)
   in
-  { machine; meter; tracer; core; volume; quota; page_frame; signals;
+  { machine; meter; tracer; obs = Hw.Machine.obs machine; core; volume;
+    quota; page_frame; signals;
     n_slots = ast_slots; pt_words; pt_region;
     ast =
       Array.init ast_slots (fun _ ->
@@ -156,7 +158,9 @@ let deactivate_slot t slot =
     ~pt_base:(pt_base t ~slot);
   Hashtbl.remove t.active_index (Ids.to_int e.uid);
   e.live <- false;
-  t.deactivations <- t.deactivations + 1
+  t.deactivations <- t.deactivations + 1;
+  Multics_obs.Sink.count t.obs "seg.deactivate";
+  Multics_obs.Sink.instant t.obs ~cat:"seg" ~name:"deactivate" ()
 
 let deactivate t ~caller ~slot =
   entry t ~caller Cost.vtoc_write;
@@ -213,6 +217,9 @@ let activate t ~caller ~uid ~cell =
                   ~pt_base:(pt_base t ~slot) ~pt_words:t.pt_words
                   ~home_pack:pack ~home_index:index ~cell;
                 t.activations <- t.activations + 1;
+                Multics_obs.Sink.count t.obs "seg.activate";
+                Multics_obs.Sink.instant t.obs ~cat:"seg" ~name:"activate"
+                  ~arg:slot ();
                 Ok slot
               end))
 

@@ -19,8 +19,11 @@ let note_cache t ~cache ~event =
   Hashtbl.replace t.cache_events key (count + 1)
 
 let cache_events t =
+  (* Explicit key sort: Hashtbl.fold order varies with the table's
+     history, and the keys are unique, so sorting by key alone makes
+     the listing deterministic. *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cache_events []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let call t ~from ~to_ =
   if from <> to_ then begin
@@ -41,6 +44,21 @@ let audit t ~declared =
       done)
     (observed t);
   conf
+
+let to_trace_buf t ~now ~buf =
+  let record ~cat ~name ~value =
+    Multics_obs.Trace_buf.record buf
+      { Multics_obs.Trace_buf.ev_time = now;
+        ev_phase = Multics_obs.Trace_buf.Counter; ev_cat = cat;
+        ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = value }
+  in
+  List.iter
+    (fun (from, to_, count) ->
+      record ~cat:"dep" ~name:(from ^ "->" ^ to_) ~value:count)
+    (observed t);
+  List.iter
+    (fun (key, count) -> record ~cat:"cache" ~name:key ~value:count)
+    (cache_events t)
 
 let calls t = t.total
 

@@ -31,4 +31,10 @@ val note_cache : t -> cache:string -> event:string -> unit
 val cache_events : t -> (string * int) list
 (** ["cache:event" -> count], sorted. *)
 
+val to_trace_buf : t -> now:int -> buf:Multics_obs.Trace_buf.t -> unit
+(** Append the call-edge census and cache events as [Counter] samples
+    stamped [now] — the bridge that puts the dependency tracer's view
+    into an exported timeline.  Writes to the caller's [buf] (not the
+    live ring), so exporting repeatedly never pollutes the trace. *)
+
 val reset : t -> unit

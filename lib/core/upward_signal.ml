@@ -5,12 +5,18 @@ type t = {
   meter : Meter.t;
   mutable queue : payload list;  (* newest first *)
   mutable raised : int;
+  mutable obs : Multics_obs.Sink.t;
 }
 
-let create ~meter = { meter; queue = []; raised = 0 }
+let create ~meter =
+  { meter; queue = []; raised = 0; obs = Multics_obs.Sink.disabled () }
+
+let set_obs t sink = t.obs <- sink
 
 let raise_signal t ~from payload =
   Meter.charge t.meter ~manager:from Cost.Pl1 Cost.upward_signal;
+  Multics_obs.Sink.count t.obs "signal.raise";
+  Multics_obs.Sink.instant t.obs ~cat:"signal" ~name:from ();
   t.queue <- payload :: t.queue;
   t.raised <- t.raised + 1
 

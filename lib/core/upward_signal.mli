@@ -22,6 +22,10 @@ type t
 
 val create : meter:Meter.t -> t
 
+val set_obs : t -> Multics_obs.Sink.t -> unit
+(** Install the kernel's sink; each raised signal becomes a counter
+    bump and an instant named after the raising manager. *)
+
 val raise_signal : t -> from:string -> payload -> unit
 
 val drain : t -> deliver:(payload -> unit) -> int

@@ -36,6 +36,7 @@ type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   known : Known_segment.t;
   address_space : Address_space.t;
   segment : Segment.t;
@@ -66,11 +67,13 @@ let entry t ~caller ns =
 
 let create ~machine ~meter ~tracer ~known ~address_space ~segment ~vp ~policy
     ~state_pack =
-  { machine; meter; tracer; known; address_space; segment; vp;
+  let obs = Hw.Machine.obs machine in
+  { machine; meter; tracer; obs; known; address_space; segment; vp;
     sched = Scheduler.create policy;
     procs_tbl = Hashtbl.create 32; next_pid = 1;
-    work_ec = Sync.Eventcount.create ~name:"upm.work" ();
-    wake_queue = Sync.Msg_queue.create ~name:"upm.wakeups" ~capacity:64 ();
+    work_ec = Sync.Eventcount.create ~name:"upm.work" ~obs ();
+    wake_queue =
+      Sync.Msg_queue.create ~name:"upm.wakeups" ~obs ~capacity:64 ();
     user_ecs = Hashtbl.create 16; state_pack; interpreter = None;
     current = Hashtbl.create 8; loads = 0; unloads = 0; completed = 0;
     failed_count = 0 }
@@ -90,7 +93,10 @@ let user_eventcount t ec_name =
   match Hashtbl.find_opt t.user_ecs ec_name with
   | Some ec -> ec
   | None ->
-      let ec = Sync.Eventcount.create ~name:("user." ^ ec_name) () in
+      let ec =
+        Sync.Eventcount.create ~name:("user." ^ ec_name)
+          ~histo:"ec.wait:user" ~obs:t.obs ()
+      in
       Hashtbl.replace t.user_ecs ec_name ec;
       ec
 
@@ -126,6 +132,7 @@ let load t vp_id pid =
   Hw.Cpu.load_user_dbr p.vcpu (Some (Address_space.dbr_of t.address_space ~proc:pid));
   touch_state t p;
   t.loads <- t.loads + 1;
+  Multics_obs.Sink.count t.obs "upm.load";
   charge t Cost.process_load
 
 let unload t vp_id pid =
@@ -138,6 +145,7 @@ let unload t vp_id pid =
 let make_ready t pid =
   let p = proc t pid in
   p.pstate <- P_ready;
+  Multics_obs.Sink.count t.obs "upm.ready";
   Scheduler.enqueue t.sched pid;
   Sync.Eventcount.advance t.work_ec;
   Vp.kick t.vp

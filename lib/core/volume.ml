@@ -27,6 +27,10 @@ let create ~machine ~meter ~tracer =
   Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size:_ ~cost_ns ->
       Meter.charge_async meter ~manager:name cost_ns;
       Tracer.note_cache tracer ~cache:"disk_io" ~event:"batch");
+  (* The machine's sink is installed before any manager is created, so
+     capturing it here wires the elevator's batch spans to the kernel's
+     trace. *)
+  Hw.Io_sched.set_obs io (Hw.Machine.obs machine);
   { machine; meter; tracer; io; locator = Hashtbl.create 64;
     full_pack_count = 0 }
 

@@ -27,6 +27,7 @@ type t = {
   machine : Hw.Machine.t;
   meter : Meter.t;
   tracer : Tracer.t;
+  obs : Multics_obs.Sink.t;
   vps : vp array;
   step_fns : (vp -> run_result) option array;
   cpus : cpu_slot array;
@@ -44,7 +45,7 @@ let create ~machine ~meter ~tracer ~core ~n_vps =
      the fixed-number design is that these states are always in primary
      memory. *)
   let state_region = Core_segment.alloc core ~name:"vp_states" ~words:n_vps in
-  { machine; meter; tracer;
+  { machine; meter; tracer; obs = Hw.Machine.obs machine;
     vps =
       Array.init n_vps (fun vp_id ->
           { vp_id; vp_state = `Idle; bound_to = None; steps = 0; waits = 0 });
@@ -128,10 +129,12 @@ and run_cpu t cpu =
   | Some v ->
       set_state t v `Running;
       t.dispatches <- t.dispatches + 1;
+      Multics_obs.Sink.count t.obs "vp.dispatch";
       let switch_cost =
         if cpu.last_vp = v.vp_id then 0
         else begin
           t.context_switches <- t.context_switches + 1;
+          Multics_obs.Sink.count t.obs "vp.context_switch";
           Cost.scale Cost.Pl1 Cost.context_switch_vp
         end
       in
@@ -140,6 +143,13 @@ and run_cpu t cpu =
         match t.step_fns.(v.vp_id) with
         | Some f -> f
         | None -> fun _ -> Stopped 0
+      in
+      (* The span brackets the step's simulated duration: it closes in
+         the completion event, so ["vp.step"] sees the step cost the
+         dispatcher charges, not the zero width of one event handler. *)
+      let sp =
+        Multics_obs.Sink.span_begin t.obs ~tid:cpu.cpu_id ~cat:"vp"
+          ~name:(match v.bound_to with Some n -> n | None -> "vp") ()
       in
       ignore (Meter.take_pending t.meter);
       let result = step v in
@@ -152,6 +162,7 @@ and run_cpu t cpu =
       let total = max 1 (base_cost + kernel_cost + switch_cost) in
       cpu.busy_ns <- cpu.busy_ns + total;
       Hw.Machine.schedule t.machine ~delay:total (fun () ->
+          Multics_obs.Sink.span_end t.obs ~histo:"vp.step" sp;
           finish t v result;
           run_cpu t cpu)
 

@@ -13,6 +13,15 @@ let access_to_string = function
   | Write -> "write"
   | Execute -> "execute"
 
+(* Constant strings: span names must not allocate on the fault path. *)
+let kind_name = function
+  | Missing_segment _ -> "missing_segment"
+  | Missing_page _ -> "missing_page"
+  | Quota_fault _ -> "quota_fault"
+  | Locked_descriptor _ -> "locked_descriptor"
+  | Access_violation _ -> "access_violation"
+  | Bounds_fault _ -> "bounds_fault"
+
 let pp ppf = function
   | Missing_segment { segno } -> Format.fprintf ppf "missing-segment(seg %d)" segno
   | Missing_page { segno; pageno; ptw_abs } ->

@@ -27,5 +27,10 @@ type t =
   | Bounds_fault of { segno : int; wordno : int }
 
 val access_to_string : access -> string
+
+val kind_name : t -> string
+(** Constant (allocation-free) name of the fault's constructor, for
+    trace span labels: ["missing_page"], ["quota_fault"], ... *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

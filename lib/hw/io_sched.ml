@@ -25,7 +25,7 @@ type req = {
 type pack_state = {
   id : int;
   mutable queue : req list;  (* submission order *)
-  mutable current : (req list * int * bool ref) option;  (* in-flight sweep *)
+  mutable current : (req list * int * bool ref * int) option;  (* in-flight sweep: batch, cost, live, span id *)
   mutable head_pos : int;
   mutable busy : bool;
 }
@@ -59,6 +59,8 @@ type t = {
   mutable busy_ns : int;
   mutable cancelled : int;
   mutable on_batch : pack:int -> size:int -> cost_ns:int -> unit;
+  mutable obs : Multics_obs.Sink.t;
+  mutable batch_seq : int;  (* async-span pairing ids for the exporter *)
 }
 
 let create ?config ~disk ~schedule () =
@@ -73,9 +75,11 @@ let create ?config ~disk ~schedule () =
     pending_writes = Hashtbl.create 64;
     seq = 0; reads = 0; writes = 0; batches = 0; merges = 0;
     max_batch_seen = 0; queue_peak = 0; busy_ns = 0; cancelled = 0;
-    on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ()) }
+    on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ());
+    obs = Multics_obs.Sink.disabled (); batch_seq = 0 }
 
 let set_on_batch t f = t.on_batch <- f
+let set_obs t sink = t.obs <- sink
 let single_transfer_ns t = t.config.seek_ns + t.config.transfer_ns
 
 let pack_state t pack =
@@ -150,6 +154,8 @@ let finish_batch t p batch cost =
   let size = List.length batch in
   if size > t.max_batch_seen then t.max_batch_seen <- size;
   List.iter (execute_req t p.id) batch;
+  Multics_obs.Sink.count t.obs "io.batch";
+  Multics_obs.Sink.add_latency t.obs ~name:"io.batch" cost;
   t.on_batch ~pack:p.id ~size ~cost_ns:cost
 
 let rec dispatch t p =
@@ -163,13 +169,19 @@ let rec dispatch t p =
       | last :: _ -> p.head_pos <- last.record + 1
       | [] -> ());
       let live = ref true in
-      p.current <- Some (batch, cost, live);
+      let id = t.batch_seq in
+      t.batch_seq <- t.batch_seq + 1;
+      p.current <- Some (batch, cost, live, id);
+      Multics_obs.Sink.async_begin t.obs ~tid:p.id ~arg:(List.length batch)
+        ~cat:"io" ~name:"batch" ~id ();
       t.schedule ~delay:cost (fun () ->
           (* [live] goes false when quiesce already applied the sweep;
              the stale completion event must then be a no-op. *)
           if !live then begin
             live := false;
             p.current <- None;
+            Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io"
+              ~name:"batch" ~id ();
             finish_batch t p batch cost;
             dispatch t p
           end)
@@ -179,6 +191,9 @@ let submit t ~pack ~record op =
   assert (record >= 0 && record < Disk.records_per_pack t.disk);
   let r = { seq = t.seq; record; op; cancelled = false } in
   t.seq <- t.seq + 1;
+  Multics_obs.Sink.count t.obs "io.submit";
+  Multics_obs.Sink.instant t.obs ~tid:p.id ~arg:record ~cat:"io"
+    ~name:"submit" ();
   p.queue <- p.queue @ [ r ];
   let depth = List.length p.queue in
   if depth > t.queue_peak then t.queue_peak <- depth;
@@ -210,7 +225,7 @@ let cancel_writes t ~pack ~record =
   in
   List.iter cancel p.queue;
   (match p.current with
-  | Some (batch, _, _) -> List.iter cancel batch
+  | Some (batch, _, _, _) -> List.iter cancel batch
   | None -> ());
   Hashtbl.remove t.pending_writes (pack, record)
 
@@ -230,8 +245,10 @@ let quiesce t =
   Array.iter
     (fun p ->
       (match p.current with
-      | Some (batch, cost, live) when !live ->
+      | Some (batch, cost, live, id) when !live ->
           live := false;
+          Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io" ~name:"batch"
+            ~id ();
           finish_batch t p batch cost
       | _ -> ());
       p.current <- None;

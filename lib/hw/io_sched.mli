@@ -88,6 +88,12 @@ val set_on_batch : t -> (pack:int -> size:int -> cost_ns:int -> unit) -> unit
     latency to its accounting there, so the cost model lives in exactly
     one place. *)
 
+val set_obs : t -> Multics_obs.Sink.t -> unit
+(** Install the kernel's observability sink.  Each dispatched sweep
+    becomes an async ["io"/"batch"] span (tid = pack) paired by a batch
+    id, submissions become instants, and batch service cost feeds the
+    ["io.batch"] histogram.  Purely observational. *)
+
 (* Statistics *)
 
 type stats = {

@@ -6,6 +6,7 @@ type t = {
   events : Event_queue.t;
   mutable now : int;
   mutable extra_cpus : Cpu.t list;
+  mutable obs : Multics_obs.Sink.t;
 }
 
 let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
@@ -21,9 +22,13 @@ let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
             ~read_latency_ns:2_000_000);
     events = Event_queue.create ();
     now = 0;
-    extra_cpus = [] }
+    extra_cpus = [];
+    obs = Multics_obs.Sink.disabled () }
 
 let now t = t.now
+
+let obs t = t.obs
+let set_obs t sink = t.obs <- sink
 
 let register_cpu t cpu = t.extra_cpus <- cpu :: t.extra_cpus
 
@@ -48,6 +53,7 @@ let step t =
   | None -> false
   | Some (time, handler) ->
       t.now <- max t.now time;
+      Multics_obs.Sink.count t.obs "hw.event_pop";
       handler ();
       true
 

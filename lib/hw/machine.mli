@@ -16,6 +16,9 @@ type t = {
   mutable extra_cpus : Cpu.t list;
       (** Virtual CPUs registered by the kernel so descriptor changes
           can broadcast associative-memory clears to all of them. *)
+  mutable obs : Multics_obs.Sink.t;
+      (** Observability sink; starts life {!Multics_obs.Sink.disabled}
+          until the kernel installs its own with [set_obs]. *)
 }
 
 val create :
@@ -25,6 +28,13 @@ val create :
     incarnation. *)
 
 val now : t -> int
+
+val obs : t -> Multics_obs.Sink.t
+
+val set_obs : t -> Multics_obs.Sink.t -> unit
+(** Install the kernel's sink.  Purely observational: the sink never
+    charges the meter or schedules events, so installing one cannot
+    change simulated behaviour. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** Run a handler [delay] simulated nanoseconds from now. *)

@@ -1,0 +1,91 @@
+type mode = Off | Counters | Full
+
+type span = { sp_cat : string; sp_name : string; sp_tid : int; sp_t0 : int }
+
+let null_span = { sp_cat = ""; sp_name = ""; sp_tid = 0; sp_t0 = -1 }
+
+type t = {
+  mutable md : mode;
+  clock : unit -> int;
+  ring : Trace_buf.t;
+  histo_tbl : (string, Histo.t) Hashtbl.t;
+  mutable histo_order : string list;  (* newest first *)
+  counter_tbl : (string, int ref) Hashtbl.t;
+  mutable counter_order : string list;  (* newest first *)
+}
+
+let create ?(mode = Counters) ?(capacity = 16384) ~now () =
+  { md = mode; clock = now; ring = Trace_buf.create ~capacity ();
+    histo_tbl = Hashtbl.create 32; histo_order = [];
+    counter_tbl = Hashtbl.create 32; counter_order = [] }
+
+let disabled () = create ~mode:Off ~capacity:1 ~now:(fun () -> 0) ()
+
+let mode t = t.md
+let set_mode t m = t.md <- m
+let counting t = t.md <> Off
+let recording t = t.md = Full
+let now t = t.clock ()
+let buf t = t.ring
+
+let count t name =
+  if t.md <> Off then
+    match Hashtbl.find_opt t.counter_tbl name with
+    | Some r -> incr r
+    | None ->
+        Hashtbl.replace t.counter_tbl name (ref 1);
+        t.counter_order <- name :: t.counter_order
+
+let counters t =
+  List.rev_map
+    (fun name -> (name, !(Hashtbl.find t.counter_tbl name)))
+    t.counter_order
+
+let histo t ~name =
+  match Hashtbl.find_opt t.histo_tbl name with
+  | Some h -> h
+  | None ->
+      let h = Histo.create ~name in
+      Hashtbl.replace t.histo_tbl name h;
+      t.histo_order <- name :: t.histo_order;
+      h
+
+let add_latency t ~name ns = if t.md <> Off then Histo.add (histo t ~name) ns
+
+let histos t = List.rev_map (fun name -> Hashtbl.find t.histo_tbl name) t.histo_order
+
+let emit t ~phase ~cat ~name ~tid ~id ~arg =
+  Trace_buf.record t.ring
+    { Trace_buf.ev_time = t.clock (); ev_phase = phase; ev_cat = cat;
+      ev_name = name; ev_tid = tid; ev_id = id; ev_arg = arg }
+
+let span_begin t ?(tid = 0) ~cat ~name () =
+  if t.md = Off then null_span
+  else begin
+    if t.md = Full then
+      emit t ~phase:Trace_buf.Span_begin ~cat ~name ~tid ~id:0 ~arg:0;
+    { sp_cat = cat; sp_name = name; sp_tid = tid; sp_t0 = t.clock () }
+  end
+
+let span_end t ?histo:hname sp =
+  if t.md <> Off && sp.sp_t0 >= 0 then begin
+    if t.md = Full then
+      emit t ~phase:Trace_buf.Span_end ~cat:sp.sp_cat ~name:sp.sp_name
+        ~tid:sp.sp_tid ~id:0 ~arg:0;
+    match hname with
+    | Some name -> add_latency t ~name (t.clock () - sp.sp_t0)
+    | None -> ()
+  end
+
+let instant t ?(tid = 0) ?(arg = 0) ~cat ~name () =
+  if t.md = Full then emit t ~phase:Trace_buf.Instant ~cat ~name ~tid ~id:0 ~arg
+
+let async_begin t ?(tid = 0) ?(arg = 0) ~cat ~name ~id () =
+  if t.md = Full then emit t ~phase:Trace_buf.Async_begin ~cat ~name ~tid ~id ~arg
+
+let async_end t ?(tid = 0) ?(arg = 0) ~cat ~name ~id () =
+  if t.md = Full then emit t ~phase:Trace_buf.Async_end ~cat ~name ~tid ~id ~arg
+
+let counter_event t ~cat ~name value =
+  if t.md = Full then
+    emit t ~phase:Trace_buf.Counter ~cat ~name ~tid:0 ~id:0 ~arg:value

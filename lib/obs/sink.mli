@@ -1,0 +1,91 @@
+(** The kernel-wide observability sink.
+
+    One sink per system instance collects three kinds of telemetry,
+    gated by a single mode knob:
+
+    - {b counters} — named monotonic counts ([Counters] and [Full]);
+    - {b latency histograms} — log2 {!Histo}s keyed by name
+      ([Counters] and [Full]);
+    - {b the event ring} — a bounded {!Trace_buf} of timestamped
+      span/instant/async events ([Full] only).
+
+    Everything is a no-op in [Off] mode: [span_begin] returns a shared
+    dead span, nothing allocates, nothing is written.  The sink NEVER
+    touches the cost meter or the event queue, so enabling tracing
+    cannot perturb simulated time — the property bench C3 asserts. *)
+
+type mode =
+  | Off  (** record nothing *)
+  | Counters  (** counters and histograms, no event ring *)
+  | Full  (** everything, including the event ring *)
+
+type t
+
+type span
+(** An open synchronous span.  Opaque; close it with {!span_end}. *)
+
+val create : ?mode:mode -> ?capacity:int -> now:(unit -> int) -> unit -> t
+(** [now] supplies simulated-time timestamps (wire it to the machine
+    clock).  Default mode [Counters], default ring capacity 16384. *)
+
+val disabled : unit -> t
+(** A permanently-[Off] sink for components built without one. *)
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+
+val counting : t -> bool
+(** [mode <> Off]. *)
+
+val recording : t -> bool
+(** [mode = Full]. *)
+
+val now : t -> int
+
+(* Counters *)
+
+val count : t -> string -> unit
+(** Bump the named counter by one.  Pass a literal — the name is the
+    key, so hot paths pay no string building. *)
+
+val counters : t -> (string * int) list
+(** In first-use order. *)
+
+(* Spans and events (ring; [Full] only except for span timing) *)
+
+val null_span : span
+
+val span_begin : t -> ?tid:int -> cat:string -> name:string -> unit -> span
+(** Open a span.  Returns {!null_span} when [Off]; otherwise the span
+    carries its start time even in [Counters] mode so [span_end] can
+    feed a histogram. *)
+
+val span_end : t -> ?histo:string -> span -> unit
+(** Close a span: records the [Span_end] event when [Full], and adds
+    the duration to histogram [histo] when given and counting. *)
+
+val instant : t -> ?tid:int -> ?arg:int -> cat:string -> name:string -> unit -> unit
+
+val async_begin : t -> ?tid:int -> ?arg:int -> cat:string -> name:string ->
+  id:int -> unit -> unit
+(** Open an asynchronous span matched by [(cat, name, id)] — a disk
+    batch in flight, a page read in transit. *)
+
+val async_end : t -> ?tid:int -> ?arg:int -> cat:string -> name:string ->
+  id:int -> unit -> unit
+
+val counter_event : t -> cat:string -> name:string -> int -> unit
+(** Record a sampled counter value in the ring ([Full] only). *)
+
+(* Histograms *)
+
+val histo : t -> name:string -> Histo.t
+(** The named histogram, created on first use. *)
+
+val add_latency : t -> name:string -> int -> unit
+(** [Histo.add (histo t ~name) ns] when counting; no-op when [Off]. *)
+
+val histos : t -> Histo.t list
+(** In first-use order. *)
+
+val buf : t -> Trace_buf.t

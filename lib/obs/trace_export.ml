@@ -1,0 +1,101 @@
+open Trace_buf
+
+let phase_mark = function
+  | Span_begin -> ">"
+  | Span_end -> "<"
+  | Async_begin -> "~>"
+  | Async_end -> "<~"
+  | Instant -> "."
+  | Counter -> "#"
+
+let pp_timeline ppf buf =
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let get_depth tid = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+  Format.fprintf ppf "%d events (%d dropped):@." (Trace_buf.length buf)
+    (Trace_buf.dropped buf);
+  Trace_buf.iter buf (fun ev ->
+      let d =
+        match ev.ev_phase with
+        | Span_begin ->
+            let d = get_depth ev.ev_tid in
+            Hashtbl.replace depth ev.ev_tid (d + 1);
+            d
+        | Span_end ->
+            let d = max 0 (get_depth ev.ev_tid - 1) in
+            Hashtbl.replace depth ev.ev_tid d;
+            d
+        | _ -> get_depth ev.ev_tid
+      in
+      let pad = String.make (2 * min d 12) ' ' in
+      Format.fprintf ppf "%12d t%-2d %s%-2s %s:%s" ev.ev_time ev.ev_tid pad
+        (phase_mark ev.ev_phase) ev.ev_cat ev.ev_name;
+      (match ev.ev_phase with
+      | Async_begin | Async_end -> Format.fprintf ppf " id=%d" ev.ev_id
+      | _ -> ());
+      if ev.ev_arg <> 0 then Format.fprintf ppf " arg=%d" ev.ev_arg;
+      Format.fprintf ppf "@.")
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ph = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Async_begin -> "b"
+  | Async_end -> "e"
+  | Instant -> "i"
+  | Counter -> "C"
+
+(* Chrome wants microseconds; the simulated clock is nanoseconds. *)
+let ts ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let chrome_json ?(counters = []) buf =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n"
+  in
+  let last_time = ref 0 in
+  Trace_buf.iter buf (fun ev ->
+      last_time := max !last_time ev.ev_time;
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":0,\"tid\":%d"
+           (escape ev.ev_name) (escape ev.ev_cat) (ph ev.ev_phase)
+           (ts ev.ev_time) ev.ev_tid);
+      (match ev.ev_phase with
+      | Async_begin | Async_end ->
+          Buffer.add_string b (Printf.sprintf ",\"id\":%d" ev.ev_id)
+      | Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | _ -> ());
+      (match ev.ev_phase with
+      | Counter ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"args\":{\"value\":%d}" ev.ev_arg)
+      | _ ->
+          if ev.ev_arg <> 0 then
+            Buffer.add_string b
+              (Printf.sprintf ",\"args\":{\"arg\":%d}" ev.ev_arg));
+      Buffer.add_string b "}");
+  List.iter
+    (fun (name, value) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":%s,\"pid\":0,\"tid\":0,\"args\":{\"value\":%d}}"
+           (escape name) (ts !last_time) value))
+    counters;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

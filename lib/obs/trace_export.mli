@@ -1,0 +1,17 @@
+(** Render a {!Trace_buf} as a human-readable timeline or as Chrome
+    [trace_event] JSON (load it at chrome://tracing or with Perfetto).
+
+    The exporters are pure readers: they never mutate the buffer, so a
+    trace can be dumped repeatedly as a run progresses. *)
+
+val pp_timeline : Format.formatter -> Trace_buf.t -> unit
+(** Chronological listing; synchronous spans indent by nesting depth on
+    their track, async spans print with their pairing id. *)
+
+val chrome_json :
+  ?counters:(string * int) list -> Trace_buf.t -> string
+(** The whole buffer as a Chrome [trace_event] JSON object.  Span
+    begin/end map to ["B"]/["E"], async pairs to ["b"]/["e"] matched by
+    id, instants to ["i"], counter samples to ["C"].  Timestamps are
+    microseconds (fractional — simulated ns / 1000).  [counters], when
+    given, are appended as one final ["C"] sample per counter. *)

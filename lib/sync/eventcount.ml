@@ -1,14 +1,23 @@
-type waiter = { threshold : int; notify : unit -> unit }
+type waiter = { threshold : int; notify : unit -> unit; since : int }
 
 type t = {
   ec_name : string;
+  ec_obs : Multics_obs.Sink.t;
+  ec_histo : string;  (* wait-time histogram key, built once at create *)
   mutable value : int;
   mutable pending : waiter list;  (* newest first *)
   mutable advance_count : int;
 }
 
-let create ?(name = "ec") () =
-  { ec_name = name; value = 0; pending = []; advance_count = 0 }
+let create ?(name = "ec") ?histo ?obs () =
+  let ec_obs =
+    match obs with Some s -> s | None -> Multics_obs.Sink.disabled ()
+  in
+  let ec_histo =
+    match histo with Some h -> h | None -> "ec.wait:" ^ name
+  in
+  { ec_name = name; ec_obs; ec_histo; value = 0; pending = [];
+    advance_count = 0 }
 
 let name t = t.ec_name
 let read t = t.value
@@ -16,17 +25,29 @@ let read t = t.value
 let advance t =
   t.value <- t.value + 1;
   t.advance_count <- t.advance_count + 1;
+  Multics_obs.Sink.count t.ec_obs "ec.advance";
   let ready, still =
     List.partition (fun w -> w.threshold <= t.value) t.pending
   in
   t.pending <- still;
   (* Fire in registration order. *)
-  List.iter (fun w -> w.notify ()) (List.rev ready)
+  List.iter
+    (fun w ->
+      if Multics_obs.Sink.counting t.ec_obs then begin
+        Multics_obs.Sink.add_latency t.ec_obs ~name:t.ec_histo
+          (Multics_obs.Sink.now t.ec_obs - w.since);
+        Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wakeup" ()
+      end;
+      w.notify ())
+    (List.rev ready)
 
 let await t ~value ~notify =
   if t.value >= value then true
   else begin
-    t.pending <- { threshold = value; notify } :: t.pending;
+    Multics_obs.Sink.count t.ec_obs "ec.wait";
+    t.pending <-
+      { threshold = value; notify; since = Multics_obs.Sink.now t.ec_obs }
+      :: t.pending;
     false
   end
 

@@ -11,7 +11,14 @@
 
 type t
 
-val create : ?name:string -> unit -> t
+val create :
+  ?name:string -> ?histo:string -> ?obs:Multics_obs.Sink.t -> unit -> t
+(** [obs], when given, receives per-wakeup wait-time samples in the
+    histogram named [histo] (default ["ec.wait:" ^ name]) — the time
+    between a waiter's registration and the advance that fired it.
+    Pass [histo] explicitly for short-lived eventcounts (page-transit
+    counts) so samples pool instead of spawning a histogram each. *)
+
 val name : t -> string
 
 val read : t -> int

@@ -1,45 +1,65 @@
 type t = {
   lock_name : string;
+  lk_obs : Multics_obs.Sink.t;
+  lk_hold : string;  (* hold-time histogram key, built once at create *)
+  lk_wait : string;  (* handoff-wait histogram key *)
   mutable owner : string option;
-  mutable queue : (string * (unit -> unit)) list;  (* newest first *)
+  mutable held_since : int;
+  mutable queue : (string * (unit -> unit) * int) list;  (* newest first *)
   mutable acquisitions : int;
   mutable contentions : int;
 }
 
-let create ?(name = "lock") () =
-  { lock_name = name; owner = None; queue = []; acquisitions = 0;
-    contentions = 0 }
+let create ?(name = "lock") ?obs () =
+  let lk_obs =
+    match obs with Some s -> s | None -> Multics_obs.Sink.disabled ()
+  in
+  { lock_name = name; lk_obs; lk_hold = "lock.hold:" ^ name;
+    lk_wait = "lock.wait:" ^ name; owner = None; held_since = 0; queue = [];
+    acquisitions = 0; contentions = 0 }
 
 let name t = t.lock_name
 
 let try_acquire t ~owner =
   match t.owner with
-  | Some _ -> false
+  | Some _ ->
+      t.contentions <- t.contentions + 1;
+      Multics_obs.Sink.count t.lk_obs "lock.contention";
+      false
   | None ->
       t.owner <- Some owner;
+      t.held_since <- Multics_obs.Sink.now t.lk_obs;
       t.acquisitions <- t.acquisitions + 1;
+      Multics_obs.Sink.count t.lk_obs "lock.acquire";
       true
 
 let acquire_or_wait t ~owner ~notify =
   if try_acquire t ~owner then true
   else begin
-    t.contentions <- t.contentions + 1;
-    t.queue <- (owner, notify) :: t.queue;
+    (* try_acquire already counted the contention. *)
+    t.queue <- (owner, notify, Multics_obs.Sink.now t.lk_obs) :: t.queue;
     false
   end
 
 let release t =
   match t.owner with
   | None -> invalid_arg (Printf.sprintf "Lock.release: %s not held" t.lock_name)
-  | Some _ -> (
-      match List.rev t.queue with
+  | Some _ ->
+      let now = Multics_obs.Sink.now t.lk_obs in
+      Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_hold
+        (now - t.held_since);
+      (match List.rev t.queue with
       | [] -> t.owner <- None
-      | (next_owner, notify) :: rest ->
+      | (next_owner, notify, since) :: rest ->
           t.queue <- List.rev rest;
           t.owner <- Some next_owner;
+          t.held_since <- now;
           t.acquisitions <- t.acquisitions + 1;
+          Multics_obs.Sink.count t.lk_obs "lock.acquire";
+          Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_wait (now - since);
           notify ())
 
 let holder t = t.owner
+let held_since t = t.held_since
 let acquisitions t = t.acquisitions
 let contentions t = t.contentions

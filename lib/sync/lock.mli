@@ -8,11 +8,16 @@
 
 type t
 
-val create : ?name:string -> unit -> t
+val create : ?name:string -> ?obs:Multics_obs.Sink.t -> unit -> t
+(** [obs], when given, receives a ["lock.hold:" ^ name] histogram
+    sample on every release (simulated time held) and a
+    ["lock.wait:" ^ name] sample on every queued handoff (time the
+    next owner spent waiting). *)
+
 val name : t -> string
 
 val try_acquire : t -> owner:string -> bool
-(** Take the lock if free. *)
+(** Take the lock if free.  A refusal counts as a contention. *)
 
 val acquire_or_wait : t -> owner:string -> notify:(unit -> unit) -> bool
 (** [true] when acquired immediately; otherwise queues [notify], which
@@ -24,5 +29,10 @@ val release : t -> unit
     queued contender, if any, and fires its callback. *)
 
 val holder : t -> string option
+
+val held_since : t -> int
+(** Simulated time of the current holder's acquisition (meaningful only
+    while held, and only when an [obs] clock was supplied). *)
+
 val acquisitions : t -> int
 val contentions : t -> int

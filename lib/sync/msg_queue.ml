@@ -7,10 +7,10 @@ type 'a t = {
   mutable drops : int;
 }
 
-let create ?(name = "msgq") ~capacity () =
+let create ?(name = "msgq") ?obs ~capacity () =
   assert (capacity > 0);
   { q_name = name; capacity; queue = Queue.create ();
-    items_ec = Eventcount.create ~name:(name ^ ".items") ();
+    items_ec = Eventcount.create ~name:(name ^ ".items") ?obs ();
     consumed = 0; drops = 0 }
 
 let name t = t.q_name

@@ -14,7 +14,8 @@
 
 type 'a t
 
-val create : ?name:string -> capacity:int -> unit -> 'a t
+val create :
+  ?name:string -> ?obs:Multics_obs.Sink.t -> capacity:int -> unit -> 'a t
 val name : 'a t -> string
 val capacity : 'a t -> int
 val length : 'a t -> int

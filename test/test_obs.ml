@@ -1,0 +1,298 @@
+(* The observability layer: the ring buffer, the log2 histograms, the
+   sink's three modes, the lock/eventcount latency plumbing, meter
+   snapshots, tracer determinism — and the property everything else
+   rests on: tracing never moves the simulated clock. *)
+
+module K = Multics_kernel
+module Hw = Multics_hw
+module Obs = Multics_obs
+module Sync = Multics_sync
+module Aim = Multics_aim
+
+let check = Alcotest.check
+
+(* A sink over a hand-cranked clock, so latencies are exact. *)
+let rig ?(mode = Obs.Sink.Full) () =
+  let clock = ref 0 in
+  let sink = Obs.Sink.create ~mode ~now:(fun () -> !clock) () in
+  (clock, sink)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer: bounded, oldest-first iteration, overwrite accounting. *)
+
+let ev t name =
+  { Obs.Trace_buf.ev_time = t; ev_phase = Obs.Trace_buf.Instant;
+    ev_cat = "t"; ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = 0 }
+
+let test_ring_wraparound () =
+  let buf = Obs.Trace_buf.create ~capacity:4 () in
+  check Alcotest.int "empty" 0 (Obs.Trace_buf.length buf);
+  List.iteri
+    (fun i name -> Obs.Trace_buf.record buf (ev i name))
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  check Alcotest.int "bounded" 4 (Obs.Trace_buf.length buf);
+  check Alcotest.int "two overwritten" 2 (Obs.Trace_buf.dropped buf);
+  check
+    Alcotest.(list string)
+    "oldest first, oldest gone"
+    [ "c"; "d"; "e"; "f" ]
+    (List.map
+       (fun e -> e.Obs.Trace_buf.ev_name)
+       (Obs.Trace_buf.events buf));
+  Obs.Trace_buf.clear buf;
+  check Alcotest.int "cleared" 0 (Obs.Trace_buf.length buf)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms: log2 bucket edges, percentiles, max. *)
+
+let test_histo_buckets () =
+  let h = Obs.Histo.create ~name:"t" in
+  (* 0 and 1 share bucket 0; 2..3 bucket 1; 1024..2047 bucket 10. *)
+  List.iter (Obs.Histo.add h) [ 0; 1; 2; 3; 1024; 2047 ];
+  check Alcotest.int "samples" 6 (Obs.Histo.count h);
+  check Alcotest.int "max" 2047 (Obs.Histo.max_value h);
+  check
+    Alcotest.(list (triple int int int))
+    "bucket edges"
+    [ (0, 1, 2); (2, 3, 2); (1024, 2047, 2) ]
+    (Obs.Histo.buckets h)
+
+let test_histo_percentiles () =
+  let h = Obs.Histo.create ~name:"t" in
+  (* 90 samples in [0,1], 10 at exactly 5000 (bucket 4096..8191). *)
+  for _ = 1 to 90 do Obs.Histo.add h 1 done;
+  for _ = 1 to 10 do Obs.Histo.add h 5000 done;
+  check Alcotest.int "p50 in low bucket" 1 (Obs.Histo.percentile h ~pct:50);
+  check Alcotest.int "p90 in low bucket" 1 (Obs.Histo.percentile h ~pct:90);
+  (* p95 lands among the 5000s; reported as bucket-high clamped to max. *)
+  check Alcotest.int "p95 in high bucket" 5000
+    (Obs.Histo.percentile h ~pct:95);
+  check Alcotest.int "p100 = max" 5000 (Obs.Histo.percentile h ~pct:100);
+  check Alcotest.int "empty histo p50" 0
+    (Obs.Histo.percentile (Obs.Histo.create ~name:"e") ~pct:50)
+
+(* ------------------------------------------------------------------ *)
+(* Sink modes.  Off records nothing at all; Counters counts and times
+   but keeps the ring empty; Full records the ring too. *)
+
+let test_sink_off () =
+  let clock, sink = rig ~mode:Obs.Sink.Off () in
+  Obs.Sink.count sink "x";
+  let sp = Obs.Sink.span_begin sink ~cat:"c" ~name:"n" () in
+  clock := 500;
+  Obs.Sink.span_end sink ~histo:"h" sp;
+  Obs.Sink.instant sink ~cat:"c" ~name:"i" ();
+  Obs.Sink.add_latency sink ~name:"h" 99;
+  check Alcotest.bool "not counting" false (Obs.Sink.counting sink);
+  check Alcotest.(list (pair string int)) "no counters" []
+    (Obs.Sink.counters sink);
+  check Alcotest.int "no histos" 0 (List.length (Obs.Sink.histos sink));
+  check Alcotest.int "empty ring" 0
+    (Obs.Trace_buf.length (Obs.Sink.buf sink))
+
+let test_sink_counters_mode () =
+  let clock, sink = rig ~mode:Obs.Sink.Counters () in
+  Obs.Sink.count sink "x";
+  Obs.Sink.count sink "x";
+  let sp = Obs.Sink.span_begin sink ~cat:"c" ~name:"n" () in
+  clock := 700;
+  Obs.Sink.span_end sink ~histo:"h" sp;
+  check
+    Alcotest.(list (pair string int))
+    "counter bumped" [ ("x", 2) ] (Obs.Sink.counters sink);
+  let h = Obs.Sink.histo sink ~name:"h" in
+  check Alcotest.int "span timed" 700 (Obs.Histo.max_value h);
+  check Alcotest.int "ring stays empty" 0
+    (Obs.Trace_buf.length (Obs.Sink.buf sink))
+
+let test_sink_full_nesting () =
+  let clock, sink = rig () in
+  let outer = Obs.Sink.span_begin sink ~cat:"a" ~name:"outer" () in
+  clock := 10;
+  let inner = Obs.Sink.span_begin sink ~cat:"a" ~name:"inner" () in
+  clock := 20;
+  Obs.Sink.span_end sink inner;
+  clock := 30;
+  Obs.Sink.span_end sink outer;
+  let phases =
+    List.map
+      (fun e -> (e.Obs.Trace_buf.ev_phase, e.Obs.Trace_buf.ev_time))
+      (Obs.Trace_buf.events (Obs.Sink.buf sink))
+  in
+  check Alcotest.int "four events" 4 (List.length phases);
+  check Alcotest.bool "B B E E" true
+    (phases
+    = [ (Obs.Trace_buf.Span_begin, 0); (Obs.Trace_buf.Span_begin, 10);
+        (Obs.Trace_buf.Span_end, 20); (Obs.Trace_buf.Span_end, 30) ]);
+  (* The timeline export indents the inner span under the outer. *)
+  let text =
+    Format.asprintf "%a" Obs.Trace_export.pp_timeline (Obs.Sink.buf sink)
+  in
+  let has sub =
+    Astring.String.find_sub ~sub text <> None
+  in
+  check Alcotest.bool "outer at margin" true (has "t0  >  a:outer");
+  check Alcotest.bool "inner indented" true (has "t0    >  a:inner")
+
+let test_chrome_json_pairs () =
+  let clock, sink = rig () in
+  Obs.Sink.async_begin sink ~cat:"io" ~name:"batch" ~id:7 ();
+  clock := 1500;
+  Obs.Sink.async_end sink ~cat:"io" ~name:"batch" ~id:7 ();
+  Obs.Sink.count sink "c";
+  let json =
+    Obs.Trace_export.chrome_json
+      ~counters:(Obs.Sink.counters sink)
+      (Obs.Sink.buf sink)
+  in
+  let has sub = Astring.String.find_sub ~sub json <> None in
+  check Alcotest.bool "async begin" true (has "\"ph\":\"b\"");
+  check Alcotest.bool "async end" true (has "\"ph\":\"e\"");
+  check Alcotest.bool "id paired" true (has "\"id\":7");
+  check Alcotest.bool "microsecond ts" true (has "\"ts\":1.500")
+
+(* ------------------------------------------------------------------ *)
+(* Lock hold / wait plumbing over the fake clock. *)
+
+let test_lock_hold_time () =
+  let clock, sink = rig ~mode:Obs.Sink.Counters () in
+  let lk = Sync.Lock.create ~name:"ptl" ~obs:sink () in
+  check Alcotest.bool "acquired" true (Sync.Lock.try_acquire lk ~owner:"a");
+  check Alcotest.bool "contended" false (Sync.Lock.try_acquire lk ~owner:"b");
+  let woke = ref false in
+  check Alcotest.bool "queued" false
+    (Sync.Lock.acquire_or_wait lk ~owner:"c" ~notify:(fun () ->
+         woke := true));
+  clock := 4_000;
+  Sync.Lock.release lk;
+  check Alcotest.bool "handed off" true !woke;
+  clock := 5_000;
+  Sync.Lock.release lk;
+  let hold = Obs.Sink.histo sink ~name:"lock.hold:ptl" in
+  let wait = Obs.Sink.histo sink ~name:"lock.wait:ptl" in
+  check Alcotest.int "two holds" 2 (Obs.Histo.count hold);
+  check Alcotest.int "first hold 4000" 4_000 (Obs.Histo.max_value hold);
+  check Alcotest.int "c waited 4000" 4_000 (Obs.Histo.max_value wait);
+  check
+    Alcotest.(list (pair string int))
+    "counters"
+    [ ("lock.acquire", 2); ("lock.contention", 2) ]
+    (Obs.Sink.counters sink)
+
+let test_ec_wait_time () =
+  let clock, sink = rig ~mode:Obs.Sink.Counters () in
+  let ec = Sync.Eventcount.create ~name:"work" ~obs:sink () in
+  let woke = ref 0 in
+  check Alcotest.bool "waits" false
+    (Sync.Eventcount.await ec ~value:1 ~notify:(fun () -> incr woke));
+  clock := 2_500;
+  Sync.Eventcount.advance ec;
+  check Alcotest.int "woken" 1 !woke;
+  let h = Obs.Sink.histo sink ~name:"ec.wait:work" in
+  check Alcotest.int "one wait sample" 1 (Obs.Histo.count h);
+  check Alcotest.int "waited 2500" 2_500 (Obs.Histo.max_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Meter snapshots. *)
+
+let test_meter_snapshot_diff () =
+  let m = K.Meter.create () in
+  K.Meter.charge_raw m ~manager:"pfm" 100;
+  K.Meter.charge_raw m ~manager:"gate" 40;
+  let before = K.Meter.snapshot m in
+  K.Meter.charge_raw m ~manager:"pfm" 60;
+  let after = K.Meter.snapshot m in
+  let d = K.Meter.diff ~before ~after in
+  check Alcotest.int "delta total" 60 d.K.Meter.snap_total;
+  check
+    Alcotest.(list (pair string int))
+    "only moved managers" [ ("pfm", 60) ] d.K.Meter.snap_managers
+
+(* ------------------------------------------------------------------ *)
+(* Tracer: deterministic output order, and the trace-buffer bridge. *)
+
+let test_tracer_deterministic () =
+  let tr = K.Tracer.create () in
+  K.Tracer.note_cache tr ~cache:"sdw" ~event:"hit";
+  K.Tracer.note_cache tr ~cache:"path" ~event:"miss";
+  K.Tracer.note_cache tr ~cache:"sdw" ~event:"hit";
+  check
+    Alcotest.(list (pair string int))
+    "cache events sorted"
+    [ ("path:miss", 1); ("sdw:hit", 2) ]
+    (K.Tracer.cache_events tr);
+  K.Tracer.call tr ~from:"gate" ~to_:"pfm";
+  K.Tracer.call tr ~from:"gate" ~to_:"pfm";
+  K.Tracer.call tr ~from:"dir" ~to_:"seg";
+  let buf = Obs.Trace_buf.create ~capacity:64 () in
+  K.Tracer.to_trace_buf tr ~now:99 ~buf;
+  let names =
+    List.filter_map
+      (fun e ->
+        if e.Obs.Trace_buf.ev_cat = "dep" then
+          Some (e.Obs.Trace_buf.ev_name, e.Obs.Trace_buf.ev_arg)
+        else None)
+      (Obs.Trace_buf.events buf)
+  in
+  check
+    Alcotest.(list (pair string int))
+    "edges bridged in order"
+    [ ("dir->seg", 1); ("gate->pfm", 2) ]
+    names
+
+(* ------------------------------------------------------------------ *)
+(* The tentpole invariant: booting with tracing Off and Full runs the
+   same workload to the same simulated nanosecond. *)
+
+let low = Aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let run_small mode =
+  let config = { K.Kernel.small_config with K.Kernel.trace = mode } in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  let writer =
+    K.Workload.concat
+      [ [| K.Workload.Create_file { dir = ">home"; name = "f" };
+           K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+        K.Workload.sequential_write ~seg_reg:0 ~pages:12 ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"w" writer);
+  check Alcotest.bool "completes" true (K.Kernel.run_to_completion k);
+  let t = K.Kernel.now k in
+  K.Kernel.shutdown k;
+  (t, k)
+
+let test_trace_clock_neutral () =
+  let t_off, _ = run_small Obs.Sink.Off in
+  let t_full, k = run_small Obs.Sink.Full in
+  check Alcotest.int "identical clocks" t_off t_full;
+  check Alcotest.bool "ring saw events" true
+    (Obs.Trace_buf.length (Obs.Sink.buf (K.Kernel.obs k)) > 0);
+  check Alcotest.bool "histos populated" true
+    (Obs.Sink.histos (K.Kernel.obs k) <> []);
+  (* The reports render without blowing up. *)
+  check Alcotest.bool "histo report" true
+    (String.length (K.Kernel.histo_report k) > 0);
+  check Alcotest.bool "timeline" true
+    (String.length (K.Kernel.trace_report k) > 0);
+  check Alcotest.bool "chrome trace" true
+    (String.length (K.Kernel.chrome_trace k) > 0)
+
+let tests =
+  [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "histo bucket edges" `Quick test_histo_buckets;
+    Alcotest.test_case "histo percentiles" `Quick test_histo_percentiles;
+    Alcotest.test_case "sink off is inert" `Quick test_sink_off;
+    Alcotest.test_case "counters mode" `Quick test_sink_counters_mode;
+    Alcotest.test_case "span nesting + timeline" `Quick
+      test_sink_full_nesting;
+    Alcotest.test_case "chrome json pairs" `Quick test_chrome_json_pairs;
+    Alcotest.test_case "lock hold/wait histograms" `Quick
+      test_lock_hold_time;
+    Alcotest.test_case "eventcount wait histogram" `Quick test_ec_wait_time;
+    Alcotest.test_case "meter snapshot diff" `Quick test_meter_snapshot_diff;
+    Alcotest.test_case "tracer deterministic + bridge" `Quick
+      test_tracer_deterministic;
+    Alcotest.test_case "trace off/on clock equality" `Quick
+      test_trace_clock_neutral ]
