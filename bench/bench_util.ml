@@ -115,6 +115,12 @@ let write_metrics ~path =
   close_out oc;
   Format.printf "@.%d metrics -> %s@." n path
 
+let write_section_metrics ~section ~path =
+  let saved = !metrics in
+  metrics := List.filter (fun m -> m.m_section = section) saved;
+  write_metrics ~path;
+  metrics := saved
+
 let pct_delta a b =
   (* how much slower b is than a, in percent *)
   100.0 *. (float_of_int b -. float_of_int a) /. float_of_int a

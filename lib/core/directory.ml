@@ -64,6 +64,7 @@ type t = {
   owner_of : (int, int) Hashtbl.t;  (* entry uid -> owning dir uid *)
   mutable root : Ids.uid option;
   mutable mythical_count : int;
+  offline : (int, unit) Hashtbl.t;  (* packs reported offline *)
   (* Run after any naming- or access-relevant mutation (delete, ACL
      change) so resolution caches above the gate can invalidate. *)
   mutable change_hooks : (unit -> unit) list;
@@ -81,7 +82,7 @@ let entry_charge t ~caller ns =
 let create ~machine ~meter ~tracer ~segment ~quota ~volume ~known ~audit =
   { machine; meter; tracer; segment; quota; quota_volume = volume; known; audit;
     dirs = Hashtbl.create 32; owner_of = Hashtbl.create 64; root = None;
-    mythical_count = 0; change_hooks = [] }
+    mythical_count = 0; offline = Hashtbl.create 4; change_hooks = [] }
 
 let on_change t hook = t.change_hooks <- hook :: t.change_hooks
 let notify_change t = List.iter (fun hook -> hook ()) t.change_hooks
@@ -133,7 +134,7 @@ let create_root t ~caller ~quota_limit =
   let label = Aim.Label.system_low in
   let uid, index =
     Segment.create_segment t.segment ~caller:name ~pack:0 ~is_directory:true
-      ~label:(Aim.Label.encode label)
+      ~label:(Aim.Label.encode label) ()
   in
   let cell =
     Quota_cell.register t.quota ~caller:name ~pack:0 ~vtoc_index:index
@@ -248,7 +249,7 @@ let create_entry t ~caller ~subject ~dir_uid ~name:entry_name ~kind ~acl ~label
           let uid, index =
             Segment.create_segment t.segment ~caller:name ~pack
               ~is_directory:(kind = K_directory)
-              ~label:(Aim.Label.encode label)
+              ~label:(Aim.Label.encode label) ()
           in
           let de =
             { de_name = entry_name; de_uid = uid; de_kind = kind;
@@ -424,6 +425,20 @@ let handle_segment_moved t ~caller ~uid ~new_pack ~new_index =
               end)
             dir.d_entries)
 
+(* The Pack_offline upward signal lands here: remember the pack so
+   name-space operations can refuse segments homed on it, and let the
+   resolution caches above drop entries that point there. *)
+let note_pack_offline t ~caller ~pack =
+  entry_charge t ~caller Cost.directory_entry_op;
+  if not (Hashtbl.mem t.offline pack) then begin
+    Hashtbl.replace t.offline pack ();
+    notify_change t
+  end
+
+let offline_packs t = Hashtbl.length t.offline
+
+let pack_is_offline t ~pack = Hashtbl.mem t.offline pack
+
 let quota_usage t ~caller ~dir_uid ~name:entry_name =
   entry_charge t ~caller Cost.quota_check;
   match find_dir t dir_uid with
@@ -536,6 +551,11 @@ let read_bytes t slot =
     | Error _ -> failwith "Directory.restore: unreadable directory segment"
   in
   let len = get 0 in
+  (* A crash before the first persist leaves garbage here; bound the
+     claimed length by what the backing segment could actually hold. *)
+  let max_len = Segment.pt_words t.segment * Hw.Addr.page_size * 4 in
+  if len < 0 || len > max_len then
+    failwith "Directory.restore: implausible payload length";
   let bytes = Bytes.create len in
   for k = 0 to len - 1 do
     let w = get (1 + (k / 4)) in
@@ -607,7 +627,13 @@ let restore t ~caller =
       | Error _ -> failwith "Directory.restore: cannot activate"
     in
     let payload : persisted_dir =
-      Marshal.from_string (Bytes.to_string (read_bytes t slot)) 0
+      (* A crash may have left this directory's payload unwritten,
+         torn, or stale.  An unreadable payload restores as an empty
+         directory — its segments survive as VTOC entries, and the
+         salvager reports them as orphans rather than losing the whole
+         hierarchy below this point. *)
+      try Marshal.from_string (Bytes.to_string (read_bytes t slot)) 0
+      with _ -> { pd_acl = acl_to_wire fallback_acl; pd_entries = [] }
     in
     dir.d_acl <- acl_of_wire payload.pd_acl;
     let child_cell = cell_for_children dir in

@@ -122,6 +122,14 @@ val quota_usage :
 (** (used, limit) of the quota cell of entry [name], if it is a quota
     directory. *)
 
+val note_pack_offline : t -> caller:string -> pack:int -> unit
+(** Upward-signal delivery ([Pack_offline]): remember the pack and run
+    the change hooks so resolution caches above the gate drop entries
+    homed there. *)
+
+val offline_packs : t -> int
+val pack_is_offline : t -> pack:int -> bool
+
 val persist : t -> caller:string -> unit
 (** Serialise every directory's entries, ACL and labels into its
     backing segment, so the hierarchy survives a shutdown.  The encoded

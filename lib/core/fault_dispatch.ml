@@ -23,6 +23,7 @@ let create ~meter ~tracer ~page_frame ~known ~address_space ~gate ~obs =
 let of_pfm = function
   | Page_frame.Wait (ec, v) -> Wait (ec, v)
   | Page_frame.Retry -> Retry
+  | Page_frame.Damaged msg -> Error msg
 
 let handle t ~proc fault =
   t.handled <- t.handled + 1;

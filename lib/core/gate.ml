@@ -29,7 +29,9 @@ let deliver_signals t =
       match payload with
       | Upward_signal.Segment_moved { uid; new_pack; new_index } ->
           Directory.handle_segment_moved t.directory ~caller:name ~uid
-            ~new_pack ~new_index)
+            ~new_pack ~new_index
+      | Upward_signal.Pack_offline { pack } ->
+          Directory.note_pack_offline t.directory ~caller:name ~pack)
 
 let call t ~name:gate_name ~caller_ring f =
   match Hashtbl.find_opt t.gates gate_name with

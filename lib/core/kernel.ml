@@ -21,6 +21,7 @@ type config = {
   use_io_sched : bool;
   read_ahead : int;
   trace : Multics_obs.Sink.mode;
+  faults : Hw.Fault_inject.t;
 }
 
 let default_config =
@@ -30,7 +31,8 @@ let default_config =
     max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
     use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
     use_io_sched = true; read_ahead = 2;
-    trace = Multics_obs.Sink.Counters }
+    trace = Multics_obs.Sink.Counters;
+    faults = Hw.Fault_inject.none }
 
 let small_config =
   { default_config with
@@ -117,7 +119,19 @@ let rec boot_internal ?previous_disk cfg =
   let aim_audit = Aim.Audit.create () in
   let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
   let vp = Vp.create ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps in
-  let volume = Volume.create ~machine ~meter ~tracer in
+  let volume =
+    Volume.create ~faults:cfg.faults ~machine ~meter ~tracer ()
+  in
+  (* A scheduled power failure freezes the machine at its instant: the
+     write-behind buffer tears and no further event runs.  Planted only
+     when the plan carries one, so the empty plan leaves the event
+     queue bit-identical. *)
+  (match Hw.Fault_inject.crash_schedule cfg.faults with
+  | Some (at_ns, surviving_writes) ->
+      Hw.Machine.schedule_at machine ~time:at_ns (fun () ->
+          ignore (Volume.crash volume ~surviving_writes);
+          Hw.Machine.halt machine)
+  | None -> ());
   let quota =
     Quota_cell.create ~machine ~meter ~tracer ~core ~volume
       ~max_cells:cfg.max_quota_cells
@@ -129,6 +143,7 @@ let rec boot_internal ?previous_disk cfg =
   in
   let signals = Upward_signal.create ~meter in
   Upward_signal.set_obs signals obs;
+  Volume.set_signals volume signals;
   (* A new incarnation resumes its uid supply above everything already
      on disk. *)
   let uid_start =
@@ -466,10 +481,21 @@ let shutdown t =
      intact. *)
   Volume.quiesce t.volume
 
+(* Make the current hierarchy durable without shutting down: persist
+   every directory's payload and settle the write-behinds.  The chaos
+   bench's analogue of Multics' periodic "hierarchy dumper" — a crash
+   after a checkpoint loses at most the work since it. *)
+let checkpoint t =
+  Directory.persist t.directory ~caller:Registry.gate;
+  Volume.quiesce t.volume
+
+let halted t = Hw.Machine.halted t.machine
+
 let reboot cfg ~from =
   (* Defensive: a caller that skipped shutdown still gets settled
-     packs. *)
-  Volume.quiesce from.volume;
+     packs.  After a power failure nothing more may land — the torn
+     buffer is the whole point — so a halted machine is left alone. *)
+  if not (Hw.Machine.halted from.machine) then Volume.quiesce from.volume;
   boot_internal ~previous_disk:from.machine.Hw.Machine.disk cfg
 
 (* ------------------------------------------------------------------ *)
@@ -629,6 +655,11 @@ type io_report = {
   prefetch_issued : int;
   prefetch_hits : int;
   prefetch_dropped : int;
+  io_retries : int;
+  io_dead_records : int;
+  io_spared : int;
+  io_damaged : int;
+  io_offline : int;
 }
 
 let io_stats t =
@@ -643,7 +674,12 @@ let io_stats t =
     io_busy_ns = s.Hw.Io_sched.s_busy_ns;
     prefetch_issued = Page_frame.prefetch_issued t.page_frame;
     prefetch_hits = Page_frame.prefetch_hits t.page_frame;
-    prefetch_dropped = Page_frame.prefetch_dropped t.page_frame }
+    prefetch_dropped = Page_frame.prefetch_dropped t.page_frame;
+    io_retries = s.Hw.Io_sched.s_retries;
+    io_dead_records = s.Hw.Io_sched.s_gave_up;
+    io_spared = Volume.spared_records t.volume;
+    io_damaged = Volume.damaged_pages t.volume;
+    io_offline = Volume.offline_signals t.volume }
 
 let dependency_audit t =
   Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
@@ -718,6 +754,16 @@ let pp_report ppf t =
   Format.fprintf ppf
     "  read-ahead: %d issued, %d hits, %d dropped at low water@."
     io.prefetch_issued io.prefetch_hits io.prefetch_dropped;
+  if
+    io.io_retries + io.io_dead_records + io.io_spared + io.io_damaged
+    + io.io_offline
+    > 0
+  then
+    Format.fprintf ppf
+      "  fault handling: %d retries, %d records died, %d spared, %d pages \
+       damaged, %d packs offline@."
+      io.io_retries io.io_dead_records io.io_spared io.io_damaged
+      io.io_offline;
   Format.fprintf ppf
     "  vps: %d dispatches, %d switches, %d wakeup-waiting saves@."
     (Vp.dispatches t.vp) (Vp.context_switches t.vp)

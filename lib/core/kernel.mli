@@ -40,6 +40,12 @@ type config = {
           default) keeps counters and latency histograms, [Full] also
           records the event ring for timeline export.  Never affects
           simulated time or disk contents. *)
+  faults : Multics_hw.Fault_inject.t;
+      (** Deterministic fault plan for the disk subsystem (the default
+          is the empty plan, which leaves every run bit-identical to a
+          fault-free kernel).  A plan with a scheduled power failure
+          freezes the machine at that instant — see {!reboot} and the
+          salvager. *)
 }
 
 val default_config : config
@@ -59,12 +65,24 @@ val shutdown : t -> unit
     entries.  Requires every process to have finished.  The disk then
     contains the complete system state. *)
 
+val checkpoint : t -> unit
+(** Make the hierarchy durable mid-run without shutting down: persist
+    every directory's payload and settle the write-behinds.  A crash
+    after a checkpoint loses at most the work since it — the salvager
+    repairs the rest. *)
+
+val halted : t -> bool
+(** The machine froze at a scheduled power failure; the only useful
+    next step is {!reboot} over the surviving disk, then a salvage. *)
+
 val reboot : config -> from:t -> t
 (** Boot a fresh incarnation over the previous system's disk packs:
     rebuild the segment locator from the VTOCs, resume the uid supply
     above everything on disk, and read the directory hierarchy back.
     Files, ACLs, labels and quota survive; [from] should have been
-    {!shutdown} first. *)
+    {!shutdown} first.  After a crash ([halted from]) nothing more is
+    flushed — the new incarnation sees exactly what the power failure
+    left, and the salvager makes it consistent. *)
 
 (* Component accessors. *)
 val machine : t -> Multics_hw.Machine.t
@@ -155,6 +173,11 @@ type io_report = {
   prefetch_issued : int;
   prefetch_hits : int;
   prefetch_dropped : int;  (** suppressed at the free-pool low-water mark *)
+  io_retries : int;  (** failed attempts retried with backoff *)
+  io_dead_records : int;  (** records retired after the retry budget *)
+  io_spared : int;  (** pages re-homed to a fresh record on write error *)
+  io_damaged : int;  (** pages lost — the VTOC damaged switch was set *)
+  io_offline : int;  (** packs that stopped answering *)
 }
 
 val io_stats : t -> io_report

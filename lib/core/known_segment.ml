@@ -103,7 +103,8 @@ let handle_quota_fault t ~caller ~proc ~segno ~pageno =
       match Segment.grow t.segment ~caller:name ~slot ~pageno with
       | Ok () -> `Retry
       | Error `Over_quota -> `Error "record quota overflow"
-      | Error `No_space -> `Error "no space on any pack")
+      | Error `No_space -> `Error "no space on any pack"
+      | Error `Damaged -> `Error "segment page damaged")
 
 let known_count t ~proc =
   match Hashtbl.find_opt t.ksts proc with

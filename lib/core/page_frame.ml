@@ -157,6 +157,77 @@ let release_frame t frame =
   mirror t frame;
   Sync.Eventcount.advance t.frees_ec
 
+(* ------------------------------------------------------------------ *)
+(* Media-error recovery.  A read that fails terminally loses the page:
+   the descriptor becomes a damaged PTW and the VTOC entry's damaged
+   switch is set — the touching process gets a connection failure, not
+   garbage.  A write that fails still has the image in hand, so the
+   disk pack manager spares the record; only a full pack damages. *)
+
+let mark_page_damaged t ~ptw_abs ~record_handle err =
+  (match err with
+  | Hw.Io_sched.Pack_offline ->
+      Volume.note_offline t.volume
+        ~pack:(Hw.Disk.pack_of_handle record_handle)
+  | Hw.Io_sched.Dead_record -> ());
+  Multics_obs.Sink.count t.obs "pfm.damaged";
+  Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.damaged_ptw ~record:record_handle);
+  match lookup_pt t ptw_abs with
+  | Some pt ->
+      Volume.mark_damaged t.volume ~caller:name ~pack:pt.home_pack
+        ~index:pt.home_index
+  | None -> ()
+
+(* A write-behind failed after its retries.  [img] is the image that
+   was being flushed; repoint whatever still names the old record — an
+   in-core frame, an on-disk descriptor, the file map — at the spare.
+   The descriptor may have moved on (refaulted, deactivated) by the
+   time an asynchronous failure arrives; every fixup is conditional. *)
+let handle_write_failure t ~ptw_abs ~old_handle img err =
+  let repoint new_handle =
+    let ptw = Hw.Ptw.read (mem t) ptw_abs in
+    if ptw.Hw.Ptw.valid && not ptw.Hw.Ptw.unallocated then
+      if ptw.Hw.Ptw.present then begin
+        let e = t.frames.(ptw.Hw.Ptw.arg) in
+        if e.record_handle = old_handle then e.record_handle <- new_handle
+      end
+      else if (not ptw.Hw.Ptw.damaged) && ptw.Hw.Ptw.arg = old_handle then
+        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:new_handle);
+    match lookup_pt t ptw_abs with
+    | Some pt ->
+        Volume.set_file_map_entry t.volume ~caller:name ~pack:pt.home_pack
+          ~index:pt.home_index
+          ~pageno:(ptw_abs - pt.pt_base)
+          new_handle
+    | None -> ()
+  in
+  let damage () =
+    Multics_obs.Sink.count t.obs "pfm.damaged";
+    let ptw = Hw.Ptw.read (mem t) ptw_abs in
+    if
+      ptw.Hw.Ptw.valid
+      && (not ptw.Hw.Ptw.present)
+      && (not ptw.Hw.Ptw.unallocated)
+      && (not ptw.Hw.Ptw.damaged)
+      && ptw.Hw.Ptw.arg = old_handle
+    then Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.damaged_ptw ~record:old_handle);
+    match lookup_pt t ptw_abs with
+    | Some pt ->
+        Volume.mark_damaged t.volume ~caller:name ~pack:pt.home_pack
+          ~index:pt.home_index
+    | None -> ()
+  in
+  match err with
+  | Hw.Io_sched.Pack_offline ->
+      Volume.note_offline t.volume ~pack:(Hw.Disk.pack_of_handle old_handle);
+      damage ()
+  | Hw.Io_sched.Dead_record -> (
+      match Volume.spare_record t.volume ~caller:name ~old_handle img with
+      | Ok new_handle ->
+          Multics_obs.Sink.count t.obs "pfm.spared";
+          repoint new_handle
+      | Error `No_space -> damage ())
+
 (* A prefetched page counts as a hit once a reference is observed: a
    demand fault joining its transit, or its used bit found set when the
    frame is next scanned. *)
@@ -204,14 +275,23 @@ let evict_frame t frame =
     if ptw.Hw.Ptw.modified then begin
       t.page_writes <- t.page_writes + 1;
       let img = Hw.Phys_mem.read_frame (mem t) frame in
+      let old_handle = e.record_handle in
       (* Write-behind: queue the flush on the pack's elevator and free
          the frame now.  The scheduler's write buffer keeps any reader
-         of the record coherent until the sweep lands. *)
+         of the record coherent until the sweep lands.  A terminal
+         write failure spares the record (or damages the page). *)
       if t.use_io_sched then
-        Volume.write_record_async t.volume ~caller:name
-          ~handle:e.record_handle img
-      else
-        Volume.write_page t.volume ~caller:name ~handle:e.record_handle img
+        Volume.write_record_async t.volume ~caller:name ~handle:old_handle
+          ~done_:(function
+            | Ok () -> ()
+            | Error err ->
+                handle_write_failure t ~ptw_abs ~old_handle img err)
+          img
+      else begin
+        match Volume.write_page t.volume ~caller:name ~handle:old_handle img with
+        | Ok () -> ()
+        | Error err -> handle_write_failure t ~ptw_abs ~old_handle img err
+      end
     end;
     Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:e.record_handle)
   end;
@@ -277,7 +357,10 @@ let acquire_frame t ~inline =
     Sync.Eventcount.advance t.cleaner;
   result
 
-type service_outcome = Wait of Sync.Eventcount.t * int | Retry
+type service_outcome =
+  | Wait of Sync.Eventcount.t * int
+  | Retry
+  | Damaged of string
 
 let join_transit t transit =
   Multics_obs.Sink.count t.obs "pfm.transit_join";
@@ -321,18 +404,27 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
   t.page_reads <- t.page_reads + 1;
   Multics_obs.Sink.async_begin t.obs ~cat:"pfm" ~name:"page_read" ~id:ptw_abs
     ~arg:(if prefetch then 1 else 0) ();
-  let finish img =
-    Hw.Phys_mem.write_frame (mem t) frame img;
-    (* Unlock the descriptor and notify all waiters. *)
-    Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
-    e.pinned <- false;
-    e.prefetched <- transit.prefetch;
+  let finish result =
+    (match result with
+    | Ok img ->
+        Hw.Phys_mem.write_frame (mem t) frame img;
+        (* Unlock the descriptor and notify all waiters. *)
+        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+        e.pinned <- false;
+        e.prefetched <- transit.prefetch
+    | Error err ->
+        (* The read failed terminally: the page is lost.  Damage the
+           descriptor and give the frame back; woken waiters re-fault
+           and the damaged descriptor routes them to the error path. *)
+        mark_page_damaged t ~ptw_abs ~record_handle err;
+        e.pinned <- false);
     Hashtbl.remove t.transits ptw_abs;
     Multics_obs.Sink.async_end t.obs ~cat:"pfm" ~name:"page_read" ~id:ptw_abs
       ();
     Multics_obs.Sink.add_latency t.obs ~name:"pfm.page_read"
       (Multics_obs.Sink.now t.obs - transit.t_start);
     Sync.Lock.release ptl;
+    (match result with Error _ -> release_frame t frame | Ok _ -> ());
     Sync.Eventcount.advance ec
   in
   if t.use_io_sched then
@@ -400,6 +492,14 @@ let service_missing_page t ~caller ~ptw_abs =
   | None ->
       let ptw = Hw.Ptw.read (mem t) ptw_abs in
       if ptw.Hw.Ptw.present then Retry
+      else if ptw.Hw.Ptw.damaged then begin
+        (* The paper's damaged-segment switch at page granularity: the
+           touching process gets a fault, never the lost data. *)
+        Multics_obs.Sink.count t.obs "pfm.damaged_ref";
+        Damaged
+          (Printf.sprintf "page damaged (record %o lost to media error)"
+             ptw.Hw.Ptw.arg)
+      end
       else begin
         match acquire_frame t ~inline:true with
         | None ->
@@ -448,6 +548,10 @@ let fault_in_sync t ~caller ~ptw_abs =
     charge t (Cost.ptw_update / 4);
     `Unallocated
   end
+  else if ptw.Hw.Ptw.damaged then begin
+    charge t (Cost.ptw_update / 4);
+    `Damaged
+  end
   else if ptw.Hw.Ptw.present then begin
     charge t (Cost.ptw_update / 4);
     `Ok
@@ -469,18 +573,26 @@ let fault_in_sync t ~caller ~ptw_abs =
           | Some pt -> pt.cell
           | None -> Quota_cell.no_cell
         in
-        let img = Volume.read_page t.volume ~caller:name ~handle:record_handle in
-        Hw.Phys_mem.write_frame (mem t) frame img;
-        let e = t.frames.(frame) in
-        e.used_by <- ptw_abs;
-        e.record_handle <- record_handle;
-        e.quota_cell <- cell;
-        e.pinned <- false;
-        mirror t frame;
-        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
-        t.page_reads <- t.page_reads + 1;
-        Meter.charge_raw t.meter ~manager:name (Volume.io_latency_ns t.volume);
-        `Ok
+        match Volume.read_page t.volume ~caller:name ~handle:record_handle with
+        | Error err ->
+            mark_page_damaged t ~ptw_abs ~record_handle err;
+            release_frame t frame;
+            Meter.charge_raw t.meter ~manager:name
+              (Volume.io_latency_ns t.volume);
+            `Damaged
+        | Ok img ->
+            Hw.Phys_mem.write_frame (mem t) frame img;
+            let e = t.frames.(frame) in
+            e.used_by <- ptw_abs;
+            e.record_handle <- record_handle;
+            e.quota_cell <- cell;
+            e.pinned <- false;
+            mirror t frame;
+            Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
+            t.page_reads <- t.page_reads + 1;
+            Meter.charge_raw t.meter ~manager:name
+              (Volume.io_latency_ns t.volume);
+            `Ok
   end
 
 let flush_page t ~caller ~ptw_abs =
@@ -531,12 +643,21 @@ let cleaner_step t _vp =
         let ptw = Hw.Ptw.read (mem t) e.used_by in
         if ptw.Hw.Ptw.modified && not ptw.Hw.Ptw.used then begin
           let img = Hw.Phys_mem.read_frame (mem t) frame in
+          let old_handle = e.record_handle in
+          let ptw_abs = e.used_by in
           if t.use_io_sched then
-            Volume.write_record_async t.volume ~caller:name
-              ~handle:e.record_handle img
+            Volume.write_record_async t.volume ~caller:name ~handle:old_handle
+              ~done_:(function
+                | Ok () -> ()
+                | Error err ->
+                    handle_write_failure t ~ptw_abs ~old_handle img err)
+              img
           else begin
-            Volume.write_page t.volume ~caller:name ~handle:e.record_handle
-              img;
+            (match
+               Volume.write_page t.volume ~caller:name ~handle:old_handle img
+             with
+            | Ok () -> ()
+            | Error err -> handle_write_failure t ~ptw_abs ~old_handle img err);
             (* The daemon's own low-priority time, metered separately
                so fault-path accounting stays clean. *)
             Meter.charge_raw t.meter ~manager:"page_cleaner_daemon"

@@ -52,6 +52,9 @@ type service_outcome =
   | Wait of Multics_sync.Eventcount.t * int
       (** the faulting virtual processor must await this eventcount *)
   | Retry  (** condition already resolved; re-execute the reference *)
+  | Damaged of string
+      (** the page's record is gone (media error or torn crash write);
+          the touching process is signalled, never handed garbage *)
 
 val service_missing_page :
   t -> caller:string -> ptw_abs:Multics_hw.Addr.abs -> service_outcome
@@ -72,12 +75,13 @@ val add_zero_page :
 
 val fault_in_sync :
   t -> caller:string -> ptw_abs:Multics_hw.Addr.abs ->
-  [ `Ok | `Unallocated ]
+  [ `Ok | `Unallocated | `Damaged ]
 (** Bring a page in synchronously, charging the full I/O latency to the
     caller's step.  Used for kernel-resident objects (directory
     segments) that kernel code must read while executing on a bound
     virtual processor; user pages always go through the asynchronous
-    {!service_missing_page} path. *)
+    {!service_missing_page} path.  [`Damaged]: the record is dead and
+    the page was marked damaged rather than read. *)
 
 val evict_one : t -> caller:string -> bool
 (** Run the clock algorithm once; [false] when nothing is evictable. *)

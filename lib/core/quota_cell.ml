@@ -83,6 +83,18 @@ let register t ~caller ~pack ~vtoc_index ~limit ~used =
       c.live <- true;
       t.n_live <- t.n_live + 1;
       mirror t h;
+      (* Write through to the VTOC at registration: the cell lives in
+         the VTOC entry, core is only a cache.  A crash before the
+         first sync must still find the cell on disk (the salvager
+         recounts [used]; without this the next incarnation cannot
+         even tell the directory had a quota). *)
+      (match
+         Volume.vtoc t.volume ~caller:name ~pack ~index:vtoc_index
+       with
+      | vtoc ->
+          if vtoc.Hw.Disk.quota = None then
+            vtoc.Hw.Disk.quota <- Some { Hw.Disk.limit; used }
+      | exception Not_found -> ());
       h
 
 let lookup t ~pack ~vtoc_index =

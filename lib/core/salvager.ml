@@ -1,6 +1,12 @@
 module Hw = Multics_hw
 
-type kind = Stale_entry | Quota_mismatch | Orphan_vtoc | Leaked_record
+type kind =
+  | Stale_entry
+  | Quota_mismatch
+  | Orphan_vtoc
+  | Leaked_record
+  | Damaged_page
+  | Torn_write
 
 type finding = { f_kind : kind; f_detail : string; f_repairable : bool }
 
@@ -9,6 +15,8 @@ let kind_to_string = function
   | Quota_mismatch -> "quota-mismatch"
   | Orphan_vtoc -> "orphan-vtoc"
   | Leaked_record -> "leaked-record"
+  | Damaged_page -> "damaged-page"
+  | Torn_write -> "torn-write"
 
 let pp_finding ppf f =
   Format.fprintf ppf "%-16s %s%s" (kind_to_string f.f_kind) f.f_detail
@@ -40,7 +48,34 @@ let scan kernel =
               (Ids.to_int uid) pack index real_pack real_index)
     (Directory.entries_index dm);
 
-  (* 2. Quota cells vs. recomputation. *)
+  (* 2. Damaged pages and torn writes: records lost to media errors, or
+     caught mid-flush by a power failure, still named by file maps. *)
+  for pack = 0 to Hw.Disk.n_packs disk - 1 do
+    List.iter
+      (fun (index, (vtoc : Hw.Disk.vtoc_entry)) ->
+        Array.iteri
+          (fun pageno handle ->
+            if handle >= 0 then begin
+              let hp = Hw.Disk.pack_of_handle handle in
+              let hr = Hw.Disk.record_of_handle handle in
+              if Hw.Disk.record_is_dead disk ~pack:hp ~record:hr then
+                note Damaged_page true
+                  "uid %d page %d at (%d,%d): record %d of pack %d is dead"
+                  vtoc.Hw.Disk.uid pageno pack index hr hp
+              else if Hw.Disk.record_is_torn disk ~pack:hp ~record:hr then
+                note Torn_write true
+                  "uid %d page %d at (%d,%d): record %d of pack %d tore at \
+                   the crash"
+                  vtoc.Hw.Disk.uid pageno pack index hr hp
+            end)
+          vtoc.Hw.Disk.file_map;
+        if vtoc.Hw.Disk.damaged then
+          note Damaged_page true "uid %d at (%d,%d): damaged switch set"
+            vtoc.Hw.Disk.uid pack index)
+      (Hw.Disk.vtoc_entries disk ~pack)
+  done;
+
+  (* 3. Quota cells vs. recomputation. *)
   let expected = Invariants.expected_quota kernel in
   List.iter
     (fun (cell, used, _limit) ->
@@ -51,7 +86,7 @@ let scan kernel =
       | _ -> ())
     (Quota_cell.registered (Kernel.quota kernel));
 
-  (* 3. Orphan VTOC entries: on disk but in no directory (and not a
+  (* 4. Orphan VTOC entries: on disk but in no directory (and not a
      live process-state segment or the root). *)
   let named = Hashtbl.create 64 in
   List.iter
@@ -70,15 +105,28 @@ let scan kernel =
             if handle >= 0 then Hashtbl.replace referenced_records handle ())
           vtoc.Hw.Disk.file_map;
         if not (Hashtbl.mem named vtoc.Hw.Disk.uid) then
-          note Orphan_vtoc false "uid %d at (%d,%d): %d pages, named nowhere"
-            vtoc.Hw.Disk.uid pack index vtoc.Hw.Disk.len_pages)
+          if vtoc.Hw.Disk.is_process_state then
+            (* A dead incarnation's process state: reclaimable without
+               an operator, as Multics reclaimed [>pdd] at bootload. *)
+            note Orphan_vtoc true
+              "uid %d at (%d,%d): process state of a dead incarnation"
+              vtoc.Hw.Disk.uid pack index
+          else
+            note Orphan_vtoc false
+              "uid %d at (%d,%d): %d pages, named nowhere" vtoc.Hw.Disk.uid
+              pack index vtoc.Hw.Disk.len_pages)
       (Hw.Disk.vtoc_entries disk ~pack)
   done;
 
-  (* 4. Leaked records: allocated but referenced by no file map. *)
+  (* 5. Leaked records: allocated but referenced by no file map.  Dead
+     records are retired, not leaked — they never return to the
+     allocator. *)
   for pack = 0 to Hw.Disk.n_packs disk - 1 do
     for record = 0 to Hw.Disk.records_per_pack disk - 1 do
-      if not (Hw.Disk.record_is_free disk ~pack ~record) then begin
+      if
+        (not (Hw.Disk.record_is_free disk ~pack ~record))
+        && not (Hw.Disk.record_is_dead disk ~pack ~record)
+      then begin
         let handle = Hw.Disk.handle ~pack ~record in
         if not (Hashtbl.mem referenced_records handle) then
           note Leaked_record true "record %d of pack %d allocated but \
@@ -106,6 +154,38 @@ let repair kernel =
           incr repaired
       | _ -> ())
     (Directory.entries_index dm);
+  (* Damaged pages: the content is gone, so the page becomes a page of
+     zeros — keeping the quota charge stable — and the damaged switch
+     clears.  Torn writes: records are write-atomic, so a torn record
+     still holds its last complete (pre-crash) image; accepting it just
+     clears the mark.  Both run before the quota recount. *)
+  for pack = 0 to Hw.Disk.n_packs disk - 1 do
+    List.iter
+      (fun (index, (vtoc : Hw.Disk.vtoc_entry)) ->
+        Array.iteri
+          (fun pageno handle ->
+            if
+              handle >= 0
+              && Hw.Disk.record_is_dead disk
+                   ~pack:(Hw.Disk.pack_of_handle handle)
+                   ~record:(Hw.Disk.record_of_handle handle)
+            then begin
+              Volume.set_file_map_entry volume ~caller:"salvager" ~pack ~index
+                ~pageno Hw.Disk.zero_page;
+              incr repaired
+            end)
+          vtoc.Hw.Disk.file_map;
+        if vtoc.Hw.Disk.damaged then begin
+          vtoc.Hw.Disk.damaged <- false;
+          incr repaired
+        end)
+      (Hw.Disk.vtoc_entries disk ~pack);
+    List.iter
+      (fun record ->
+        Hw.Disk.clear_torn disk ~pack ~record;
+        incr repaired)
+      (Hw.Disk.torn_records disk ~pack)
+  done;
   (* Quota recount. *)
   let expected = Invariants.expected_quota kernel in
   List.iter
@@ -119,7 +199,31 @@ let repair kernel =
           incr repaired
       | _ -> ())
     (Quota_cell.registered quota);
-  (* Leaked records. *)
+  (* Orphan process-state segments of the dead incarnation. *)
+  let named = Hashtbl.create 64 in
+  List.iter
+    (fun (uid, _, _) -> Hashtbl.replace named (Ids.to_int uid) ())
+    (Directory.entries_index dm);
+  Hashtbl.replace named (Ids.to_int (Directory.root_uid dm)) ();
+  List.iter
+    (fun uid -> Hashtbl.replace named (Ids.to_int uid) ())
+    (User_process.state_uids (Kernel.user_process kernel));
+  let orphans = ref [] in
+  for pack = 0 to Hw.Disk.n_packs disk - 1 do
+    List.iter
+      (fun (index, (vtoc : Hw.Disk.vtoc_entry)) ->
+        if
+          vtoc.Hw.Disk.is_process_state
+          && not (Hashtbl.mem named vtoc.Hw.Disk.uid)
+        then orphans := (pack, index) :: !orphans)
+      (Hw.Disk.vtoc_entries disk ~pack)
+  done;
+  List.iter
+    (fun (pack, index) ->
+      Volume.delete_segment volume ~caller:"salvager" ~pack ~index;
+      incr repaired)
+    !orphans;
+  (* Leaked records.  Dead records are retired, not leaked. *)
   let referenced = Hashtbl.create 128 in
   for pack = 0 to Hw.Disk.n_packs disk - 1 do
     List.iter
@@ -134,6 +238,7 @@ let repair kernel =
     for record = 0 to Hw.Disk.records_per_pack disk - 1 do
       if
         (not (Hw.Disk.record_is_free disk ~pack ~record))
+        && (not (Hw.Disk.record_is_dead disk ~pack ~record))
         && not (Hashtbl.mem referenced (Hw.Disk.handle ~pack ~record))
       then begin
         Hw.Disk.free_record disk ~pack ~record;

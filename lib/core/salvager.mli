@@ -13,11 +13,25 @@
     - {e quota mismatches}: a cell whose count disagrees with the
       allocated pages it controls — repaired by recomputing;
     - {e orphan VTOC entries}: segments on disk that no directory names
-      (process-state segments of live processes are exempt) — reported;
+      (process-state segments of live processes are exempt) — reported,
+      except a dead incarnation's process-state segments, which are
+      reclaimed as Multics reclaimed [>pdd] at bootload;
     - {e leaked records}: allocated records no file map references —
-      repaired by freeing. *)
+      repaired by freeing (dead records are retired, not leaked);
+    - {e damaged pages}: a file map naming a dead record (media error)
+      — repaired by substituting a page of zeros, which keeps the quota
+      charge, and clearing the VTOC damaged switch;
+    - {e torn writes}: records a power failure caught mid-flush.
+      Records are write-atomic, so a torn record still holds its last
+      complete image; repair accepts it and clears the mark. *)
 
-type kind = Stale_entry | Quota_mismatch | Orphan_vtoc | Leaked_record
+type kind =
+  | Stale_entry
+  | Quota_mismatch
+  | Orphan_vtoc
+  | Leaked_record
+  | Damaged_page
+  | Torn_write
 
 type finding = { f_kind : kind; f_detail : string; f_repairable : bool }
 

@@ -11,7 +11,7 @@ type ast_entry = {
   mutable live : bool;
 }
 
-type grow_error = [ `Over_quota | `No_space ]
+type grow_error = [ `Over_quota | `No_space | `Damaged ]
 
 type t = {
   machine : Hw.Machine.t;
@@ -80,12 +80,12 @@ let ptw_abs t ~slot ~pageno =
     invalid_arg "Segment.ptw_abs: page beyond table";
   pt_base t ~slot + pageno
 
-let create_segment t ~caller ~pack ~is_directory ~label =
+let create_segment t ~caller ?process_state ~pack ~is_directory ~label () =
   entry t ~caller Cost.vtoc_write;
   let uid = t.uid_supply () in
   let index =
-    Volume.create_segment t.volume ~caller:name ~uid ~pack ~is_directory
-      ~label
+    Volume.create_segment t.volume ~caller:name ?process_state ~uid ~pack
+      ~is_directory ~label ()
   in
   (uid, index)
 
@@ -115,7 +115,19 @@ let build_page_table t slot (vtoc : Hw.Disk.vtoc_entry) =
   for pageno = 0 to t.pt_words - 1 do
     let handle = vtoc.Hw.Disk.file_map.(pageno) in
     let ptw =
-      if handle >= 0 then Hw.Ptw.on_disk ~record:handle
+      if handle >= 0 then
+        (* A record that died (media error) or tore (crash) builds a
+           damaged descriptor: the touch faults into the damage path
+           instead of reading garbage. *)
+        if
+          Hw.Disk.record_is_dead t.machine.Hw.Machine.disk
+            ~pack:(Hw.Disk.pack_of_handle handle)
+            ~record:(Hw.Disk.record_of_handle handle)
+          || Hw.Disk.record_is_torn t.machine.Hw.Machine.disk
+               ~pack:(Hw.Disk.pack_of_handle handle)
+               ~record:(Hw.Disk.record_of_handle handle)
+        then Hw.Ptw.damaged_ptw ~record:handle
+        else Hw.Ptw.on_disk ~record:handle
       else Hw.Ptw.unallocated_ptw
     in
     Hw.Ptw.write (mem t) (ptw_abs t ~slot ~pageno) ptw;
@@ -138,7 +150,10 @@ let sync_file_map t slot e =
   in
   for pageno = 0 to t.pt_words - 1 do
     let ptw = Hw.Ptw.read (mem t) (ptw_abs t ~slot ~pageno) in
-    if ptw.Hw.Ptw.valid then begin
+    (* Damaged descriptors are skipped: the file map keeps its handle
+       (possibly already repaired by the salvager) rather than being
+       overwritten from a descriptor that names a lost record. *)
+    if ptw.Hw.Ptw.valid && not ptw.Hw.Ptw.damaged then begin
       let value =
         if ptw.Hw.Ptw.unallocated then Hw.Disk.unallocated else ptw.Hw.Ptw.arg
       in
@@ -325,6 +340,7 @@ let kernel_touch t ~caller ~slot ~pageno ~write =
   let pa = ptw_abs t ~slot ~pageno in
   match Page_frame.fault_in_sync t.page_frame ~caller:name ~ptw_abs:pa with
   | `Ok -> Ok ()
+  | `Damaged -> Error `Damaged
   | `Unallocated -> (
       match grow t ~caller:name ~slot ~pageno with
       | Ok () -> Ok ()

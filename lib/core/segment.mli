@@ -19,7 +19,9 @@
 
 type t
 
-type grow_error = [ `Over_quota | `No_space ]
+type grow_error = [ `Over_quota | `No_space | `Damaged ]
+(** [`Damaged]: the page's record was lost to a media error or a torn
+    crash write; the salvager repairs the segment at the next boot. *)
 
 val create :
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t ->
@@ -34,9 +36,11 @@ val pt_words : t -> int
 val fresh_uid : t -> Ids.uid
 
 val create_segment :
-  t -> caller:string -> pack:int -> is_directory:bool -> label:int ->
-  Ids.uid * int
-(** Make a new empty segment on [pack]; returns (uid, VTOC index). *)
+  t -> caller:string -> ?process_state:bool -> pack:int ->
+  is_directory:bool -> label:int -> unit -> Ids.uid * int
+(** Make a new empty segment on [pack]; returns (uid, VTOC index).
+    [process_state] marks per-process kernel segments for post-crash
+    reclamation (see {!Volume.create_segment}). *)
 
 val delete_segment :
   t -> caller:string -> pack:int -> index:int -> cell:Quota_cell.handle -> unit

@@ -1,5 +1,6 @@
 type payload =
   | Segment_moved of { uid : Ids.uid; new_pack : int; new_index : int }
+  | Pack_offline of { pack : int }
 
 type t = {
   meter : Meter.t;

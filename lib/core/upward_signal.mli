@@ -17,6 +17,10 @@ type payload =
   | Segment_moved of { uid : Ids.uid; new_pack : int; new_index : int }
       (** A full pack forced the segment to another pack; the directory
           manager must update the corresponding directory entry. *)
+  | Pack_offline of { pack : int }
+      (** The pack stopped answering; the directory manager notes it so
+          name-space operations can refuse segments homed there.  Raised
+          once per pack, by the disk pack manager. *)
 
 type t
 

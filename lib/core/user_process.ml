@@ -283,9 +283,12 @@ let create_process t ~caller ~pname ~principal ~label ~trusted ~ring ~program =
   Address_space.create_space t.address_space ~caller:name ~proc:pid;
   (* The process state segment: a real segment, so that storing process
      states uses the virtual memory as the two-level design intends. *)
+  (* [process_state]: tagged in the VTOC so a post-crash salvage can
+     reclaim orphaned state segments of the dead incarnation. *)
   let state_uid, _index =
-    Segment.create_segment t.segment ~caller:name ~pack:t.state_pack
-      ~is_directory:false ~label:(Aim.Label.encode label)
+    Segment.create_segment t.segment ~caller:name ~process_state:true
+      ~pack:t.state_pack ~is_directory:false ~label:(Aim.Label.encode label)
+      ()
   in
   let vcpu = Hw.Cpu.create ~id:(1000 + pid) in
   vcpu.Hw.Cpu.ring <- ring;

@@ -7,6 +7,10 @@ type t = {
   io : Hw.Io_sched.t;
   locator : (int, int * int) Hashtbl.t;  (* uid -> (pack, vtoc index) *)
   mutable full_pack_count : int;
+  mutable signals : Upward_signal.t option;
+  offline_signalled : (int, unit) Hashtbl.t;
+  mutable spared : int;
+  mutable damaged : int;
 }
 
 let name = Registry.disk_pack_manager
@@ -16,9 +20,10 @@ let entry t ~caller base_cost =
   Meter.charge t.meter ~manager:name (Registry.language name)
     (Cost.kernel_call + base_cost)
 
-let create ~machine ~meter ~tracer =
+let create ?(faults = Hw.Fault_inject.none) ~machine ~meter ~tracer () =
   let io =
-    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk
+    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk ~faults
+      ~now:(fun () -> Hw.Machine.now machine)
       ~schedule:(Hw.Machine.schedule machine) ()
   in
   (* The arm's busy time is hardware time, not any virtual processor's
@@ -32,7 +37,10 @@ let create ~machine ~meter ~tracer =
      trace. *)
   Hw.Io_sched.set_obs io (Hw.Machine.obs machine);
   { machine; meter; tracer; io; locator = Hashtbl.create 64;
-    full_pack_count = 0 }
+    full_pack_count = 0; signals = None;
+    offline_signalled = Hashtbl.create 4; spared = 0; damaged = 0 }
+
+let set_signals t signals = t.signals <- Some signals
 
 let locate t ~uid = Hashtbl.find_opt t.locator (Ids.to_int uid)
 
@@ -54,13 +62,15 @@ let rebuild_locator t =
   !max_uid
 let free_records t ~pack = Hw.Disk.free_records (disk t) ~pack
 
-let create_segment t ~caller ~uid ~pack ~is_directory ~label =
+let create_segment t ~caller ?(process_state = false) ~uid ~pack ~is_directory
+    ~label () =
   entry t ~caller Cost.vtoc_write;
   let map = Array.make Hw.Addr.max_pages_per_segment Hw.Disk.unallocated in
   let index =
     Hw.Disk.create_vtoc_entry (disk t) ~pack
       { Hw.Disk.uid = Ids.to_int uid; file_map = map; len_pages = 0;
-        is_directory; quota = None; aim_label = label }
+        is_directory; quota = None; aim_label = label; damaged = false;
+        is_process_state = process_state }
   in
   Hashtbl.replace t.locator (Ids.to_int uid) (pack, index);
   index
@@ -135,9 +145,66 @@ let write_record_async t ~caller ?done_ ~handle img =
     img
 
 let quiesce t = Hw.Io_sched.quiesce t.io
+let crash t ~surviving_writes = Hw.Io_sched.crash t.io ~surviving_writes
+let set_on_apply t f = Hw.Io_sched.set_on_apply t.io f
 let io_stats t = Hw.Io_sched.stats t.io
 let io_queue_depth t ~pack = Hw.Io_sched.queue_depth t.io ~pack
 let io_latency_ns t = Hw.Io_sched.single_transfer_ns t.io
+
+(* ------------------------------------------------------------------ *)
+(* Error handling: sparing, damage, offline signalling. *)
+
+let note_offline t ~pack =
+  if not (Hashtbl.mem t.offline_signalled pack) then begin
+    Hashtbl.replace t.offline_signalled pack ();
+    match t.signals with
+    | Some signals ->
+        Upward_signal.raise_signal signals ~from:name
+          (Upward_signal.Pack_offline { pack })
+    | None -> ()
+  end
+
+let offline_signals t = Hashtbl.length t.offline_signalled
+
+let spare_record t ~caller ~old_handle img =
+  entry t ~caller (Cost.frame_alloc + Cost.disk_io_setup);
+  let d = disk t in
+  let pack = Hw.Disk.pack_of_handle old_handle in
+  let old_record = Hw.Disk.record_of_handle old_handle in
+  (* The dying record: drop any buffered flush, then retire it (it is
+     already marked dead, so free never re-lists it). *)
+  Hw.Io_sched.cancel_writes t.io ~pack ~record:old_record;
+  Hw.Disk.free_record d ~pack ~record:old_record;
+  (* The spare stays on the same pack — all pages of a segment live on
+     one pack.  A freshly allocated record can itself be bad, so bound
+     the alloc-and-write attempts. *)
+  let rec alloc_and_write tries =
+    if tries = 0 then Error `No_space
+    else
+      match Hw.Disk.alloc_record d ~pack with
+      | exception Hw.Disk.Pack_full _ ->
+          t.full_pack_count <- t.full_pack_count + 1;
+          Error `No_space
+      | record -> (
+          match Hw.Io_sched.write_now t.io ~pack ~record img with
+          | Ok () ->
+              t.spared <- t.spared + 1;
+              Meter.charge_raw t.meter ~manager:name (io_latency_ns t);
+              Ok (Hw.Disk.handle ~pack ~record)
+          | Error _ -> alloc_and_write (tries - 1))
+  in
+  alloc_and_write 4
+
+let spared_records t = t.spared
+
+let mark_damaged t ~caller ~pack ~index =
+  entry t ~caller Cost.vtoc_write;
+  t.damaged <- t.damaged + 1;
+  match Hw.Disk.vtoc_entry (disk t) ~pack ~index with
+  | e -> e.Hw.Disk.damaged <- true
+  | exception Not_found -> ()
+
+let damaged_pages t = t.damaged
 
 let pick_emptier_pack t ~except = Hw.Disk.emptiest_pack (disk t) ~except
 
@@ -162,14 +229,32 @@ let move_segment t ~caller ~pack ~index ~to_pack =
             let old_record = Hw.Disk.record_of_handle handle in
             (* Through the scheduler shims so the copy observes any
                write-behind still queued for the old record. *)
-            let img =
+            match
               Hw.Io_sched.read_now t.io ~pack:old_pack ~record:old_record
-            in
-            let new_record = Hw.Disk.alloc_record d ~pack:to_pack in
-            Hw.Io_sched.write_now t.io ~pack:to_pack ~record:new_record img;
-            Hw.Io_sched.cancel_writes t.io ~pack:old_pack ~record:old_record;
-            Hw.Disk.free_record d ~pack:old_pack ~record:old_record;
-            Hw.Disk.handle ~pack:to_pack ~record:new_record
+            with
+            | Error _ ->
+                (* The page is gone; keep the dead handle in the map so
+                   the salvager finds and repairs the damage. *)
+                t.damaged <- t.damaged + 1;
+                old_entry.Hw.Disk.damaged <- true;
+                handle
+            | Ok img -> (
+                let new_record = Hw.Disk.alloc_record d ~pack:to_pack in
+                match
+                  Hw.Io_sched.write_now t.io ~pack:to_pack ~record:new_record
+                    img
+                with
+                | Ok () ->
+                    Hw.Io_sched.cancel_writes t.io ~pack:old_pack
+                      ~record:old_record;
+                    Hw.Disk.free_record d ~pack:old_pack ~record:old_record;
+                    Hw.Disk.handle ~pack:to_pack ~record:new_record
+                | Error _ ->
+                    (* The fresh record went dead under us; keep the
+                       original, still-good copy where it is.  Mixed
+                       packs are a relocation transient the file map
+                       tolerates (handles name their own pack). *)
+                    handle)
           end)
         old_entry.Hw.Disk.file_map
     in

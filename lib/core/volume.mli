@@ -5,23 +5,41 @@
     the full-pack exception, and whole-segment relocation to an emptier
     pack ("all pages of a segment are kept on the same pack", paper
     p.15).  Quota cells are persisted inside VTOC entries on behalf of
-    the quota cell manager. *)
+    the quota cell manager.
+
+    Media errors surface here as [result]s from the I/O scheduler.
+    The manager's recovery verbs: {!spare_record} re-homes a page whose
+    record went dead while its image is still in core; {!mark_damaged}
+    sets the VTOC damaged switch when the image is lost; a pack passing
+    its offline instant raises {!Upward_signal.Pack_offline} once, the
+    same no-return path the full-pack exception uses. *)
 
 type t
 
 val create :
-  machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t -> t
+  ?faults:Multics_hw.Fault_inject.t ->
+  machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t -> unit -> t
+(** [faults] is handed to the I/O scheduler; the empty plan (the
+    default) makes every error path unreachable. *)
+
+val set_signals : t -> Upward_signal.t -> unit
+(** Wire the upward-signal queue; until then offline events are only
+    counted. *)
 
 val n_packs : t -> int
 val free_records : t -> pack:int -> int
 
 val create_segment :
-  t -> caller:string -> uid:Ids.uid -> pack:int -> is_directory:bool ->
-  label:int -> int
-(** Make a VTOC entry; returns its index on [pack]. *)
+  t -> caller:string -> ?process_state:bool -> uid:Ids.uid -> pack:int ->
+  is_directory:bool -> label:int -> unit -> int
+(** Make a VTOC entry; returns its index on [pack].  [process_state]
+    tags per-process kernel segments so a post-crash salvage can
+    reclaim the orphans. *)
 
 val delete_segment : t -> caller:string -> pack:int -> index:int -> unit
-(** Frees the segment's records and its VTOC entry. *)
+(** Frees the segment's records and its VTOC entry.  Each record's
+    pending write-behind is cancelled {e before} the free — the
+    ordering contract of [Io_sched.cancel_writes]. *)
 
 val rebuild_locator : t -> int
 (** Scan every pack's VTOC and rebuild the uid locator — the first step
@@ -42,34 +60,79 @@ val alloc_page_record :
   t -> caller:string -> pack:int -> (int, [ `Pack_full ]) result
 
 val free_page_record : t -> caller:string -> pack:int -> record:int -> unit
+(** Cancels the record's pending write-behind, then frees it — never
+    the other way round (see [Io_sched.cancel_writes]). *)
 
-val read_page : t -> caller:string -> handle:int -> Multics_hw.Word.t array
+val read_page :
+  t -> caller:string -> handle:int ->
+  (Multics_hw.Word.t array, Multics_hw.Io_sched.io_error) result
 (** Read the record named by an 18-bit handle.  The caller accounts for
     the I/O latency (the page frame manager overlaps it with waiting).
     A synchronous shim over the I/O scheduler: observes the
     write-behind buffer, so results are bit-identical to the
-    asynchronous path. *)
+    asynchronous path.  Transient faults retry inline; [Error] means
+    the record is dead or its pack offline. *)
 
 val write_page :
-  t -> caller:string -> handle:int -> Multics_hw.Word.t array -> unit
+  t -> caller:string -> handle:int -> Multics_hw.Word.t array ->
+  (unit, Multics_hw.Io_sched.io_error) result
 (** Synchronous shim; supersedes any queued write-behind of the same
     record. *)
 
 val read_record_async :
   t -> caller:string -> handle:int ->
-  done_:(Multics_hw.Word.t array -> unit) -> unit
+  done_:((Multics_hw.Word.t array, Multics_hw.Io_sched.io_error) result ->
+         unit) ->
+  unit
 (** Queue the read on the record's pack; [done_] fires from the batch
-    completion event.  The transfer latency is modelled by the
-    scheduler's elevator sweep, not charged here. *)
+    completion event — or from the final failed retry.  The transfer
+    latency is modelled by the scheduler's elevator sweep, not charged
+    here. *)
 
 val write_record_async :
-  t -> caller:string -> ?done_:(unit -> unit) -> handle:int ->
-  Multics_hw.Word.t array -> unit
+  t -> caller:string ->
+  ?done_:((unit, Multics_hw.Io_sched.io_error) result -> unit) ->
+  handle:int -> Multics_hw.Word.t array -> unit
 (** Queue a write-behind of a private copy of the image. *)
 
 val quiesce : t -> unit
 (** Apply every queued transfer immediately — shutdown's barrier, so a
     surviving disk holds all write-behinds before a reboot reads it. *)
+
+val crash : t -> surviving_writes:int -> int
+(** Power failure: a prefix of the buffered writes lands unacked, the
+    rest tear (see [Io_sched.crash]).  Returns the buffered-write count
+    at the instant of the crash. *)
+
+val set_on_apply :
+  t ->
+  (pack:int -> record:int -> acked:bool -> Multics_hw.Word.t array -> unit) ->
+  unit
+(** Forwarded to [Io_sched.set_on_apply]; the chaos bench's shadow-disk
+    hook. *)
+
+val note_offline : t -> pack:int -> unit
+(** Record that [pack] was seen offline; raises
+    {!Upward_signal.Pack_offline} the first time (once per pack). *)
+
+val offline_signals : t -> int
+
+val spare_record :
+  t -> caller:string -> old_handle:int -> Multics_hw.Word.t array ->
+  (int, [ `No_space ]) result
+(** Record sparing: the record behind [old_handle] went dead but the
+    page image is still in core.  Retire the old record, allocate a
+    fresh one on the same pack, write the image, return the new handle.
+    [`No_space] when the pack is full or fresh records keep failing. *)
+
+val spared_records : t -> int
+
+val mark_damaged : t -> caller:string -> pack:int -> index:int -> unit
+(** Set the VTOC entry's damaged switch: a page of the segment was lost
+    to a media error and could not be spared.  Counted even when the
+    VTOC address has gone stale. *)
+
+val damaged_pages : t -> int
 
 val io_stats : t -> Multics_hw.Io_sched.stats
 val io_queue_depth : t -> pack:int -> int
@@ -87,7 +150,9 @@ val move_segment :
     frees the old records and VTOC entry.  Returns (new pack, new VTOC
     index, records moved).  The old VTOC entry disappears — addresses
     held by directories above become stale until the upward signal
-    updates them. *)
+    updates them.  A record that cannot be read keeps its dead handle
+    in the map (and sets the damaged switch) for the salvager; one that
+    cannot be written keeps the still-good original in place. *)
 
 val set_file_map_entry :
   t -> caller:string -> pack:int -> index:int -> pageno:int -> int -> unit

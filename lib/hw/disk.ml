@@ -12,6 +12,8 @@ type vtoc_entry = {
   mutable is_directory : bool;
   mutable quota : quota_cell option;
   mutable aim_label : int;
+  mutable damaged : bool;
+  is_process_state : bool;
 }
 
 type pack = {
@@ -23,6 +25,11 @@ type pack = {
   mutable n_free : int;
   vtoc : (int, vtoc_entry) Hashtbl.t;
   mutable next_vtoc : int;
+  (* Records retired after repeated I/O failures: never free, never
+     allocatable again.  Torn records lost a buffered write-behind to a
+     power failure; the mark survives reboot for the salvager. *)
+  dead : (int, unit) Hashtbl.t;
+  torn : (int, unit) Hashtbl.t;
 }
 
 type t = {
@@ -43,7 +50,9 @@ let create ~packs ~records_per_pack ~read_latency_ns =
       free_map = Array.make records_per_pack true;
       n_free = records_per_pack;
       vtoc = Hashtbl.create 16;
-      next_vtoc = 0 }
+      next_vtoc = 0;
+      dead = Hashtbl.create 4;
+      torn = Hashtbl.create 4 }
   in
   { packs = Array.init packs make_pack; records_per_pack; read_latency_ns;
     io_count = 0 }
@@ -78,13 +87,46 @@ let alloc_record t ~pack =
 let free_record t ~pack ~record =
   let p = get_pack t pack in
   Hashtbl.remove p.records record;
-  p.free <- record :: p.free;
-  p.free_map.(record) <- true;
-  p.n_free <- p.n_free + 1
+  (* A dead record is retired, not recycled: its contents drop but it
+     never rejoins the free list, so allocation can't reissue it. *)
+  if not (Hashtbl.mem p.dead record) then begin
+    p.free <- record :: p.free;
+    p.free_map.(record) <- true;
+    p.n_free <- p.n_free + 1
+  end
 
 let record_is_free t ~pack ~record =
   let p = get_pack t pack in
   record >= 0 && record < Array.length p.free_map && p.free_map.(record)
+
+let mark_dead t ~pack ~record =
+  let p = get_pack t pack in
+  if not (Hashtbl.mem p.dead record) then begin
+    Hashtbl.replace p.dead record ();
+    (* If it was free, pull it out of the allocator's reach. *)
+    if p.free_map.(record) then begin
+      p.free <- List.filter (fun r -> r <> record) p.free;
+      p.free_map.(record) <- false;
+      p.n_free <- p.n_free - 1
+    end
+  end
+
+let record_is_dead t ~pack ~record = Hashtbl.mem (get_pack t pack).dead record
+
+let dead_records t ~pack =
+  Hashtbl.fold (fun r () acc -> r :: acc) (get_pack t pack).dead []
+  |> List.sort compare
+
+let mark_torn t ~pack ~record =
+  Hashtbl.replace (get_pack t pack).torn record ()
+
+let clear_torn t ~pack ~record = Hashtbl.remove (get_pack t pack).torn record
+
+let record_is_torn t ~pack ~record = Hashtbl.mem (get_pack t pack).torn record
+
+let torn_records t ~pack =
+  Hashtbl.fold (fun r () acc -> r :: acc) (get_pack t pack).torn []
+  |> List.sort compare
 
 let read_record t ~pack ~record =
   let p = get_pack t pack in

@@ -28,6 +28,13 @@ type vtoc_entry = {
   mutable is_directory : bool;
   mutable quota : quota_cell option;  (** quota cell for quota directories *)
   mutable aim_label : int;  (** opaque AIM label encoding *)
+  mutable damaged : bool;
+      (** the Multics "damaged segment" switch: some page was lost to a
+          media error; cleared when the salvager repairs the file map *)
+  is_process_state : bool;
+      (** per-process kernel state segment; orphaned entries are
+          reclaimed by the salvager after a crash, like Multics
+          reclaiming [>pdd] at bootload *)
 }
 
 type t
@@ -48,7 +55,35 @@ val alloc_record : t -> pack:int -> int
 (** Returns a record id; raises {!Pack_full}. *)
 
 val free_record : t -> pack:int -> record:int -> unit
+(** Dead records (see {!mark_dead}) are retired rather than recycled:
+    their contents drop but they never rejoin the free list.
+
+    Callers that buffer write-behind (see [Io_sched]) must cancel any
+    pending write to the record {e before} freeing it — otherwise the
+    record could be reallocated and the stale buffered image would
+    land on the new owner's data. *)
+
 val record_is_free : t -> pack:int -> record:int -> bool
+
+val mark_dead : t -> pack:int -> record:int -> unit
+(** Retire a record after repeated I/O failures: it is pulled from the
+    free list (if free) and {!free_record} will never re-list it. *)
+
+val record_is_dead : t -> pack:int -> record:int -> bool
+
+val dead_records : t -> pack:int -> int list
+(** Retired records on the pack, sorted. *)
+
+val mark_torn : t -> pack:int -> record:int -> unit
+(** Flag a record whose buffered write-behind was lost to a power
+    failure.  The mark survives reboot; the salvager clears it. *)
+
+val clear_torn : t -> pack:int -> record:int -> unit
+val record_is_torn : t -> pack:int -> record:int -> bool
+
+val torn_records : t -> pack:int -> int list
+(** Torn records on the pack, sorted. *)
+
 val read_record : t -> pack:int -> record:int -> Word.t array
 val write_record : t -> pack:int -> record:int -> Word.t array -> unit
 

@@ -1,0 +1,86 @@
+type t = {
+  transients : (int * int, int ref) Hashtbl.t;  (* remaining read failures *)
+  bad : (int * int, unit) Hashtbl.t;
+  offline : (int, int) Hashtbl.t;  (* pack -> offline instant *)
+  mutable crash : (int * int) option;  (* at_ns, surviving writes *)
+  mutable armed : int;  (* faults added to the plan *)
+  mutable injected : int;  (* attempts actually failed *)
+}
+
+let create () =
+  { transients = Hashtbl.create 8; bad = Hashtbl.create 8;
+    offline = Hashtbl.create 4; crash = None; armed = 0; injected = 0 }
+
+let none = create ()
+
+let is_empty t = t.armed = 0
+
+let fail_reads t ~pack ~record ~times =
+  assert (times > 0);
+  t.armed <- t.armed + 1;
+  Hashtbl.replace t.transients (pack, record) (ref times)
+
+let bad_record t ~pack ~record =
+  t.armed <- t.armed + 1;
+  Hashtbl.replace t.bad (pack, record) ()
+
+let pack_offline t ~pack ~at_ns =
+  assert (at_ns >= 0);
+  t.armed <- t.armed + 1;
+  Hashtbl.replace t.offline pack at_ns
+
+let power_fail t ~at_ns ~surviving_writes =
+  assert (at_ns > 0 && surviving_writes >= 0);
+  t.armed <- t.armed + 1;
+  t.crash <- Some (at_ns, surviving_writes)
+
+let fail t =
+  t.injected <- t.injected + 1;
+  true
+
+let read_attempt_fails t ~pack ~record =
+  if Hashtbl.mem t.bad (pack, record) then fail t
+  else
+    match Hashtbl.find_opt t.transients (pack, record) with
+    | Some n when !n > 0 ->
+        decr n;
+        fail t
+    | _ -> false
+
+let write_attempt_fails t ~pack ~record =
+  if Hashtbl.mem t.bad (pack, record) then fail t else false
+
+let offline_at t ~pack = Hashtbl.find_opt t.offline pack
+let crash_schedule t = t.crash
+let injected t = t.injected
+
+let random ~seed ~packs ~records_per_pack ~horizon_ns =
+  assert (packs > 0 && records_per_pack > 0 && horizon_ns > 1);
+  let st = Random.State.make [| 0x5eed; seed |] in
+  let t = create () in
+  let pick_pack () = Random.State.int st packs in
+  let pick_record () = Random.State.int st records_per_pack in
+  for _ = 1 to 1 + Random.State.int st 4 do
+    fail_reads t ~pack:(pick_pack ()) ~record:(pick_record ())
+      ~times:(1 + Random.State.int st 3)
+  done;
+  for _ = 1 to Random.State.int st 3 do
+    bad_record t ~pack:(pick_pack ()) ~record:(pick_record ())
+  done;
+  if Random.State.bool st then
+    power_fail t
+      ~at_ns:((horizon_ns / 4) + Random.State.int st (max 1 (horizon_ns / 2)))
+      ~surviving_writes:(Random.State.int st 6);
+  if Random.State.int st 4 = 0 then
+    pack_offline t ~pack:(pick_pack ())
+      ~at_ns:(Random.State.int st horizon_ns);
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "plan{%d transient, %d bad, %d offline%s, %d injected}"
+    (Hashtbl.length t.transients) (Hashtbl.length t.bad)
+    (Hashtbl.length t.offline)
+    (match t.crash with
+    | Some (at, n) -> Printf.sprintf ", crash@%dns keep %d" at n
+    | None -> "")
+    t.injected

@@ -2,30 +2,44 @@ type config = {
   max_batch : int;
   seek_ns : int;
   transfer_ns : int;
+  retry_limit : int;
+  retry_backoff_ns : int;
 }
 
-let default_config = { max_batch = 8; seek_ns = 1_200_000; transfer_ns = 800_000 }
+let default_config =
+  { max_batch = 8; seek_ns = 1_200_000; transfer_ns = 800_000;
+    retry_limit = 4; retry_backoff_ns = 400_000 }
 
 let config_of_disk disk =
   { max_batch = 8;
     seek_ns = Disk.seek_latency_ns disk;
-    transfer_ns = Disk.transfer_latency_ns disk }
+    transfer_ns = Disk.transfer_latency_ns disk;
+    retry_limit = 4;
+    retry_backoff_ns = Disk.transfer_latency_ns disk }
+
+type io_error = Dead_record | Pack_offline
+
+let pp_io_error ppf = function
+  | Dead_record -> Format.fprintf ppf "dead-record"
+  | Pack_offline -> Format.fprintf ppf "pack-offline"
 
 type op =
-  | Read of (Word.t array -> unit)
-  | Write of Word.t array * (unit -> unit) option
+  | Read of ((Word.t array, io_error) result -> unit)
+  | Write of Word.t array * ((unit, io_error) result -> unit) option
 
 type req = {
   seq : int;
   record : int;
   op : op;
   mutable cancelled : bool;
+  mutable attempts : int;  (* consecutive failed attempts *)
 }
 
 type pack_state = {
   id : int;
   mutable queue : req list;  (* submission order *)
   mutable current : (req list * int * bool ref * int) option;  (* in-flight sweep: batch, cost, live, span id *)
+  mutable retrying : req list;  (* failed once, waiting out a backoff *)
   mutable head_pos : int;
   mutable busy : bool;
 }
@@ -39,16 +53,24 @@ type stats = {
   s_queue_peak : int;
   s_busy_ns : int;
   s_cancelled : int;
+  s_retries : int;
+  s_gave_up : int;
 }
 
 type t = {
   disk : Disk.t;
   config : config;
   schedule : delay:int -> (unit -> unit) -> unit;
+  faults : Fault_inject.t;
+  now : unit -> int;
   packs : pack_state array;
   (* (pack, record) -> (seq, image) of the latest unapplied write, so
      any read — queued or immediate — observes write-behind data. *)
   pending_writes : (int * int, int * Word.t array) Hashtbl.t;
+  (* (pack, record) -> highest write seq applied to the platter.  A
+     backoff-delayed retry can land after a newer same-record write;
+     the stale image must be skipped, not applied. *)
+  applied_seq : (int * int, int) Hashtbl.t;
   mutable seq : int;
   mutable reads : int;
   mutable writes : int;
@@ -58,33 +80,49 @@ type t = {
   mutable queue_peak : int;
   mutable busy_ns : int;
   mutable cancelled : int;
+  mutable retries : int;
+  mutable gave_up : int;
   mutable on_batch : pack:int -> size:int -> cost_ns:int -> unit;
+  mutable on_apply :
+    pack:int -> record:int -> acked:bool -> Word.t array -> unit;
   mutable obs : Multics_obs.Sink.t;
   mutable batch_seq : int;  (* async-span pairing ids for the exporter *)
 }
 
-let create ?config ~disk ~schedule () =
+let create ?config ?(faults = Fault_inject.none) ?(now = fun () -> 0) ~disk
+    ~schedule () =
   let config =
     match config with Some c -> c | None -> config_of_disk disk
   in
   assert (config.max_batch > 0 && config.seek_ns >= 0 && config.transfer_ns > 0);
-  { disk; config; schedule;
+  assert (config.retry_limit > 0 && config.retry_backoff_ns > 0);
+  { disk; config; schedule; faults; now;
     packs =
       Array.init (Disk.n_packs disk) (fun id ->
-          { id; queue = []; current = None; head_pos = 0; busy = false });
+          { id; queue = []; current = None; retrying = []; head_pos = 0;
+            busy = false });
     pending_writes = Hashtbl.create 64;
+    applied_seq = Hashtbl.create 64;
     seq = 0; reads = 0; writes = 0; batches = 0; merges = 0;
     max_batch_seen = 0; queue_peak = 0; busy_ns = 0; cancelled = 0;
+    retries = 0; gave_up = 0;
     on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ());
+    on_apply = (fun ~pack:_ ~record:_ ~acked:_ _ -> ());
     obs = Multics_obs.Sink.disabled (); batch_seq = 0 }
 
 let set_on_batch t f = t.on_batch <- f
+let set_on_apply t f = t.on_apply <- f
 let set_obs t sink = t.obs <- sink
 let single_transfer_ns t = t.config.seek_ns + t.config.transfer_ns
 
 let pack_state t pack =
   assert (pack >= 0 && pack < Array.length t.packs);
   t.packs.(pack)
+
+let pack_is_offline t pack =
+  match Fault_inject.offline_at t.faults ~pack with
+  | Some at -> t.now () >= at
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* The elevator: one circular sweep (C-SCAN) from the head position.
@@ -130,30 +168,100 @@ let batch_cost t p batch =
     batch;
   !cost
 
-let execute_req t pack (r : req) =
-  if not r.cancelled then
-    match r.op with
-    | Read done_ ->
-        let img =
-          match Hashtbl.find_opt t.pending_writes (pack, r.record) with
-          | Some (wseq, img) when wseq < r.seq -> Array.copy img
-          | _ -> Disk.read_record t.disk ~pack ~record:r.record
-        in
-        done_ img
-    | Write (img, done_) ->
-        Disk.write_record t.disk ~pack ~record:r.record img;
-        (match Hashtbl.find_opt t.pending_writes (pack, r.record) with
-        | Some (wseq, _) when wseq = r.seq ->
-            Hashtbl.remove t.pending_writes (pack, r.record)
-        | _ -> ());
-        (match done_ with Some f -> f () | None -> ())
+let deliver_error (r : req) err =
+  match r.op with
+  | Read done_ -> done_ (Error err)
+  | Write (_, done_) -> ( match done_ with Some f -> f (Error err) | None -> ())
 
-let finish_batch t p batch cost =
+let drop_pending_write t pack (r : req) =
+  match Hashtbl.find_opt t.pending_writes (pack, r.record) with
+  | Some (wseq, _) when wseq = r.seq ->
+      Hashtbl.remove t.pending_writes (pack, r.record)
+  | _ -> ()
+
+let apply_write t pack (r : req) img ~acked =
+  (* Skip a stale retried image a newer same-record write already
+     superseded on the platter; the caller is still acknowledged —
+     the record holds data at least as new as this image. *)
+  let stale =
+    match Hashtbl.find_opt t.applied_seq (pack, r.record) with
+    | Some s -> s > r.seq
+    | None -> false
+  in
+  if not stale then begin
+    Disk.write_record t.disk ~pack ~record:r.record img;
+    Hashtbl.replace t.applied_seq (pack, r.record) r.seq;
+    t.on_apply ~pack ~record:r.record ~acked img
+  end
+
+(* One service attempt of a request; [sync] retries inline (for the
+   blocking shims and quiesce), otherwise failed attempts reschedule
+   themselves with exponential backoff charged to the simulated clock. *)
+let rec execute_req ?(sync = false) t pack (r : req) =
+  if not r.cancelled then begin
+    if pack_is_offline t pack then begin
+      if (match r.op with Write _ -> true | Read _ -> false) then
+        drop_pending_write t pack r;
+      Multics_obs.Sink.count t.obs "io.offline_fail";
+      deliver_error r Pack_offline
+    end
+    else if Disk.record_is_dead t.disk ~pack ~record:r.record then begin
+      (match r.op with Write _ -> drop_pending_write t pack r | Read _ -> ());
+      deliver_error r Dead_record
+    end
+    else
+      match r.op with
+      | Read done_ ->
+          if Fault_inject.read_attempt_fails t.faults ~pack ~record:r.record
+          then attempt_failed t pack r ~sync
+          else
+            let img =
+              match Hashtbl.find_opt t.pending_writes (pack, r.record) with
+              | Some (wseq, img) when wseq < r.seq -> Array.copy img
+              | _ -> Disk.read_record t.disk ~pack ~record:r.record
+            in
+            done_ (Ok img)
+      | Write (img, done_) ->
+          if Fault_inject.write_attempt_fails t.faults ~pack ~record:r.record
+          then attempt_failed t pack r ~sync
+          else begin
+            apply_write t pack r img ~acked:true;
+            drop_pending_write t pack r;
+            (match done_ with Some f -> f (Ok ()) | None -> ())
+          end
+  end
+
+and attempt_failed t pack (r : req) ~sync =
+  r.attempts <- r.attempts + 1;
+  if r.attempts >= t.config.retry_limit then begin
+    (* N consecutive failures: the record is declared dead and retired
+       so nothing ever allocates or touches it again. *)
+    t.gave_up <- t.gave_up + 1;
+    Multics_obs.Sink.count t.obs "io.gave_up";
+    Disk.mark_dead t.disk ~pack ~record:r.record;
+    (match r.op with Write _ -> drop_pending_write t pack r | Read _ -> ());
+    deliver_error r Dead_record
+  end
+  else begin
+    t.retries <- t.retries + 1;
+    Multics_obs.Sink.count t.obs "io.retry";
+    if sync then execute_req ~sync t pack r
+    else begin
+      let p = pack_state t pack in
+      p.retrying <- r :: p.retrying;
+      let backoff = t.config.retry_backoff_ns * (1 lsl (r.attempts - 1)) in
+      t.schedule ~delay:backoff (fun () ->
+          p.retrying <- List.filter (fun x -> x != r) p.retrying;
+          execute_req t pack r)
+    end
+  end
+
+let finish_batch ?(sync = false) t p batch cost =
   t.batches <- t.batches + 1;
   t.busy_ns <- t.busy_ns + cost;
   let size = List.length batch in
   if size > t.max_batch_seen then t.max_batch_seen <- size;
-  List.iter (execute_req t p.id) batch;
+  List.iter (execute_req ~sync t p.id) batch;
   Multics_obs.Sink.count t.obs "io.batch";
   Multics_obs.Sink.add_latency t.obs ~name:"io.batch" cost;
   t.on_batch ~pack:p.id ~size ~cost_ns:cost
@@ -189,7 +297,7 @@ let rec dispatch t p =
 let submit t ~pack ~record op =
   let p = pack_state t pack in
   assert (record >= 0 && record < Disk.records_per_pack t.disk);
-  let r = { seq = t.seq; record; op; cancelled = false } in
+  let r = { seq = t.seq; record; op; cancelled = false; attempts = 0 } in
   t.seq <- t.seq + 1;
   Multics_obs.Sink.count t.obs "io.submit";
   Multics_obs.Sink.instant t.obs ~tid:p.id ~arg:record ~cat:"io"
@@ -227,19 +335,63 @@ let cancel_writes t ~pack ~record =
   (match p.current with
   | Some (batch, _, _, _) -> List.iter cancel batch
   | None -> ());
+  List.iter cancel p.retrying;
   Hashtbl.remove t.pending_writes (pack, record)
 
 let read_now t ~pack ~record =
-  match Hashtbl.find_opt t.pending_writes (pack, record) with
-  | Some (_, img) ->
-      (* Count the transfer the caller is paying for. *)
-      ignore (Disk.read_record t.disk ~pack ~record);
-      Array.copy img
-  | None -> Disk.read_record t.disk ~pack ~record
+  if pack_is_offline t pack then Error Pack_offline
+  else if Disk.record_is_dead t.disk ~pack ~record then Error Dead_record
+  else
+    match Hashtbl.find_opt t.pending_writes (pack, record) with
+    | Some (_, img) ->
+        (* Count the transfer the caller is paying for. *)
+        ignore (Disk.read_record t.disk ~pack ~record);
+        Ok (Array.copy img)
+    | None ->
+        (* Inline bounded retry: the blocking shim cannot wait out a
+           backoff, so it burns its attempts back to back. *)
+        let rec go attempts =
+          if Fault_inject.read_attempt_fails t.faults ~pack ~record then begin
+            if attempts + 1 >= t.config.retry_limit then begin
+              t.gave_up <- t.gave_up + 1;
+              Disk.mark_dead t.disk ~pack ~record;
+              Error Dead_record
+            end
+            else begin
+              t.retries <- t.retries + 1;
+              go (attempts + 1)
+            end
+          end
+          else Ok (Disk.read_record t.disk ~pack ~record)
+        in
+        go 0
 
 let write_now t ~pack ~record img =
-  cancel_writes t ~pack ~record;
-  Disk.write_record t.disk ~pack ~record img
+  if pack_is_offline t pack then Error Pack_offline
+  else if Disk.record_is_dead t.disk ~pack ~record then Error Dead_record
+  else begin
+    cancel_writes t ~pack ~record;
+    let rec go attempts =
+      if Fault_inject.write_attempt_fails t.faults ~pack ~record then begin
+        if attempts + 1 >= t.config.retry_limit then begin
+          t.gave_up <- t.gave_up + 1;
+          Disk.mark_dead t.disk ~pack ~record;
+          Error Dead_record
+        end
+        else begin
+          t.retries <- t.retries + 1;
+          go (attempts + 1)
+        end
+      end
+      else begin
+        Disk.write_record t.disk ~pack ~record img;
+        Hashtbl.replace t.applied_seq (pack, record) t.seq;
+        t.on_apply ~pack ~record ~acked:true img;
+        Ok ()
+      end
+    in
+    go 0
+  end
 
 let quiesce t =
   Array.iter
@@ -249,9 +401,20 @@ let quiesce t =
           live := false;
           Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io" ~name:"batch"
             ~id ();
-          finish_batch t p batch cost
+          finish_batch ~sync:true t p batch cost
       | _ -> ());
       p.current <- None;
+      (* Backoff-parked requests can't wait out their delay either;
+         finish them inline with the bounded sync retry. *)
+      let parked = p.retrying in
+      p.retrying <- [];
+      List.iter
+        (fun r ->
+          execute_req ~sync:true t p.id r;
+          (* The backoff event is still planted; flag the request so
+             that stale firing cannot deliver a second completion. *)
+          r.cancelled <- true)
+        parked;
       let rec drain () =
         match take_batch t p with
         | [] -> ()
@@ -260,12 +423,60 @@ let quiesce t =
             (match List.rev batch with
             | last :: _ -> p.head_pos <- last.record + 1
             | [] -> ());
-            finish_batch t p batch cost;
+            finish_batch ~sync:true t p batch cost;
             drain ()
       in
       drain ();
       p.busy <- false)
     t.packs
+
+let crash t ~surviving_writes =
+  assert (surviving_writes >= 0);
+  (* Collect every buffered, uncancelled write — queued, in-flight, or
+     parked on a retry backoff — in submission order. *)
+  let pending = ref [] in
+  let collect pack (r : req) =
+    match r.op with
+    | Write (img, _) when not r.cancelled -> pending := (pack, r, img) :: !pending
+    | _ -> ()
+  in
+  Array.iter
+    (fun p ->
+      List.iter (collect p.id) p.queue;
+      (match p.current with
+      | Some (batch, _, live, _) when !live -> List.iter (collect p.id) batch
+      | _ -> ());
+      List.iter (collect p.id) p.retrying)
+    t.packs;
+  let ordered =
+    List.sort
+      (fun (_, (a : req), _) (_, (b : req), _) -> compare a.seq b.seq)
+      !pending
+  in
+  List.iteri
+    (fun i (pack, r, img) ->
+      if i < surviving_writes then
+        (* Reached the platter before the power died, but the
+           completion never fires: a durable, unacknowledged write. *)
+        apply_write t pack r img ~acked:false
+      else
+        (* Dropped on the floor.  Records are write-atomic, so the old
+           complete image survives; the torn mark tells the salvager
+           the buffered image was lost. *)
+        Disk.mark_torn t.disk ~pack ~record:r.record)
+    ordered;
+  Array.iter
+    (fun p ->
+      p.queue <- [];
+      (match p.current with
+      | Some (_, _, live, _) -> live := false
+      | None -> ());
+      p.current <- None;
+      p.retrying <- [];
+      p.busy <- false)
+    t.packs;
+  Hashtbl.reset t.pending_writes;
+  List.length ordered
 
 let queue_depth t ~pack = List.length (pack_state t pack).queue
 
@@ -273,7 +484,7 @@ let stats t =
   { s_reads = t.reads; s_writes = t.writes; s_batches = t.batches;
     s_merges = t.merges; s_max_batch = t.max_batch_seen;
     s_queue_peak = t.queue_peak; s_busy_ns = t.busy_ns;
-    s_cancelled = t.cancelled }
+    s_cancelled = t.cancelled; s_retries = t.retries; s_gave_up = t.gave_up }
 
 let mean_batch s =
   if s.s_batches = 0 then 0.0

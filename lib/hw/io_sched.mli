@@ -25,7 +25,16 @@
     write-behind never lets a reader observe stale disk contents.  The
     synchronous shims [read_now]/[write_now] go through the same table,
     which is what keeps the old blocking API bit-identical to the
-    asynchronous one. *)
+    asynchronous one.
+
+    Errors: every completion is a [result].  Transient faults from the
+    machine's {!Fault_inject} plan are retried in place with bounded
+    exponential backoff charged to the simulated clock; after
+    [retry_limit] consecutive failures the record is declared dead
+    ({!Disk.mark_dead}) and the caller sees [Dead_record].  A pack past
+    its scheduled offline instant fails everything with [Pack_offline].
+    With the empty fault plan no error path is ever entered, so
+    behaviour is bit-identical to a scheduler without one. *)
 
 type t
 
@@ -33,60 +42,105 @@ type config = {
   max_batch : int;  (** most requests dispatched in one sweep *)
   seek_ns : int;  (** head reposition to a non-adjacent record *)
   transfer_ns : int;  (** one record transfer *)
+  retry_limit : int;
+      (** consecutive failed attempts before a record is declared dead *)
+  retry_backoff_ns : int;
+      (** first retry delay; doubles on each further failure *)
 }
 
 val default_config : config
 
 val config_of_disk : Disk.t -> config
 (** Splits the disk's flat record latency into seek and transfer so
-    that [seek_ns + transfer_ns = Disk.io_latency_ns]. *)
+    that [seek_ns + transfer_ns = Disk.io_latency_ns]; retries back off
+    starting at one transfer time. *)
+
+type io_error =
+  | Dead_record
+      (** the record exhausted its retry budget (now retired), or was
+          already dead when the request was serviced *)
+  | Pack_offline  (** the pack passed its scheduled offline instant *)
+
+val pp_io_error : Format.formatter -> io_error -> unit
 
 val create :
-  ?config:config -> disk:Disk.t ->
-  schedule:(delay:int -> (unit -> unit) -> unit) -> unit -> t
+  ?config:config -> ?faults:Fault_inject.t -> ?now:(unit -> int) ->
+  disk:Disk.t -> schedule:(delay:int -> (unit -> unit) -> unit) -> unit -> t
 (** [schedule] plants dispatch and completion events; wire it to
-    [Machine.schedule]. *)
+    [Machine.schedule].  [faults] is the fault plan consulted on every
+    service attempt (default {!Fault_inject.none}); [now] reads the
+    simulated clock for pack-offline decisions (default always 0,
+    which is only safe with no offline events planned). *)
 
 val single_transfer_ns : t -> int
 (** [seek_ns + transfer_ns]: the cost of one unbatched transfer, and
     the model every synchronous path charges. *)
 
 val submit_read :
-  t -> pack:int -> record:int -> done_:(Word.t array -> unit) -> unit
+  t -> pack:int -> record:int ->
+  done_:((Word.t array, io_error) result -> unit) -> unit
 (** Queue a read; [done_] fires from the batch-completion event with
-    the record image. *)
+    the record image, or from the final failed retry with the error. *)
 
 val submit_write :
-  t -> ?done_:(unit -> unit) -> pack:int -> record:int -> Word.t array ->
-  unit
+  t -> ?done_:((unit, io_error) result -> unit) -> pack:int -> record:int ->
+  Word.t array -> unit
 (** Queue a write of a private copy of the image (the write-behind
-    buffer); [done_] fires when it reaches the platter. *)
+    buffer); [done_ (Ok ())] fires when it reaches the platter — that
+    acknowledgement is the durability promise the crash bench checks. *)
 
-val read_now : t -> pack:int -> record:int -> Word.t array
+val read_now : t -> pack:int -> record:int -> (Word.t array, io_error) result
 (** Synchronous shim: the image the record will hold once every write
     submitted so far has been applied — the pending-write buffer if one
-    exists, the platter otherwise.  The caller charges
-    [single_transfer_ns] itself. *)
+    exists, the platter otherwise.  Transient faults are retried back
+    to back (the blocking caller cannot wait out a backoff).  The
+    caller charges [single_transfer_ns] itself. *)
 
-val write_now : t -> pack:int -> record:int -> Word.t array -> unit
+val write_now :
+  t -> pack:int -> record:int -> Word.t array -> (unit, io_error) result
 (** Synchronous shim: apply immediately, superseding (cancelling) any
     queued write to the same record so a later flush cannot clobber
     this image with older data. *)
 
 val cancel_writes : t -> pack:int -> record:int -> unit
-(** Drop queued and buffered writes to a record.  Called when the
-    record is freed — a write-behind of a dead page must never land on
-    a reallocated record. *)
+(** Drop queued, in-flight, and backoff-parked writes to a record.
+
+    {b Ordering contract with [Disk.free_record]}: callers must cancel
+    {e before} freeing the record.  Freeing first opens a window where
+    the record is reallocated, the new owner writes it, and the stale
+    buffered image of the old page lands on top — silent corruption of
+    an unrelated segment.  [Core.Volume] honours this in its free and
+    delete paths; [test/test_io.ml] pins the ordering. *)
 
 val quiesce : t -> unit
-(** Apply every queued and in-flight request immediately, in elevator
-    order.  The already-scheduled completion events become no-ops.
-    Used at shutdown so a surviving disk holds every write-behind. *)
+(** Apply every queued, in-flight, and backoff-parked request
+    immediately, in elevator order; retries run inline.  The
+    already-scheduled completion events become no-ops.  Used at
+    shutdown so a surviving disk holds every write-behind. *)
+
+val crash : t -> surviving_writes:int -> int
+(** Power failure: of the buffered, unacknowledged writes (in
+    submission order), the first [surviving_writes] reach the platter
+    {e without} their completions firing; the rest are dropped and
+    their records marked torn ({!Disk.mark_torn}) for the salvager.
+    All queues empty, completion events become no-ops.  Returns how
+    many writes were buffered at the instant of the crash.
+
+    Writes already acknowledged are on the platter by definition —
+    the acknowledgement only ever fires after {!Disk.write_record} —
+    which is the structural guarantee behind "every acked write
+    survives reboot". *)
 
 val set_on_batch : t -> (pack:int -> size:int -> cost_ns:int -> unit) -> unit
 (** Hook fired once per completed batch — the owner charges the batch
     latency to its accounting there, so the cost model lives in exactly
     one place. *)
+
+val set_on_apply :
+  t -> (pack:int -> record:int -> acked:bool -> Word.t array -> unit) -> unit
+(** Hook fired on every image actually applied to a platter, with
+    [acked = false] for writes a crash applied without completing.
+    The chaos bench builds its shadow disk here. *)
 
 val set_obs : t -> Multics_obs.Sink.t -> unit
 (** Install the kernel's observability sink.  Each dispatched sweep
@@ -105,6 +159,8 @@ type stats = {
   s_queue_peak : int;  (** deepest any pack's queue got *)
   s_busy_ns : int;  (** summed batch latencies *)
   s_cancelled : int;  (** writes dropped by {!cancel_writes}/supersede *)
+  s_retries : int;  (** failed attempts that were retried *)
+  s_gave_up : int;  (** requests that exhausted the retry budget *)
 }
 
 val stats : t -> stats

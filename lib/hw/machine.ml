@@ -7,6 +7,7 @@ type t = {
   mutable now : int;
   mutable extra_cpus : Cpu.t list;
   mutable obs : Multics_obs.Sink.t;
+  mutable halted : bool;
 }
 
 let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
@@ -23,9 +24,12 @@ let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
     events = Event_queue.create ();
     now = 0;
     extra_cpus = [];
-    obs = Multics_obs.Sink.disabled () }
+    obs = Multics_obs.Sink.disabled ();
+    halted = false }
 
 let now t = t.now
+let halt t = t.halted <- true
+let halted t = t.halted
 
 let obs t = t.obs
 let set_obs t sink = t.obs <- sink
@@ -49,6 +53,8 @@ let schedule_at t ~time handler =
   Event_queue.add t.events ~time handler
 
 let step t =
+  if t.halted then false
+  else
   match Event_queue.pop t.events with
   | None -> false
   | Some (time, handler) ->

@@ -19,6 +19,8 @@ type t = {
   mutable obs : Multics_obs.Sink.t;
       (** Observability sink; starts life {!Multics_obs.Sink.disabled}
           until the kernel installs its own with [set_obs]. *)
+  mutable halted : bool;
+      (** Power failed: no further events run; see {!halt}. *)
 }
 
 val create :
@@ -28,6 +30,13 @@ val create :
     incarnation. *)
 
 val now : t -> int
+
+val halt : t -> unit
+(** Freeze the machine, as a power failure would: {!step} and {!run}
+    refuse to pop further events.  The clock and disks survive — a new
+    incarnation can be booted over the disk image. *)
+
+val halted : t -> bool
 
 val obs : t -> Multics_obs.Sink.t
 

@@ -6,15 +6,22 @@ type t = {
   locked : bool;
   unallocated : bool;
   valid : bool;
+  damaged : bool;
 }
 
 let invalid =
   { arg = 0; present = false; modified = false; used = false; locked = false;
-    unallocated = false; valid = false }
+    unallocated = false; valid = false; damaged = false }
 
 let unallocated_ptw = { invalid with unallocated = true; valid = true }
 let in_core ~frame = { invalid with arg = frame; present = true; valid = true }
 let on_disk ~record = { invalid with arg = record; valid = true }
+
+(* A damaged page is absent, so touching it raises a missing-page
+   fault; the fault handler sees the bit and signals the process
+   instead of starting a read. *)
+let damaged_ptw ~record =
+  { invalid with arg = record; valid = true; damaged = true }
 
 let encode t =
   let w = Word.insert Word.zero ~pos:0 ~len:18 t.arg in
@@ -23,7 +30,8 @@ let encode t =
   let w = Word.set_bit w 20 t.used in
   let w = Word.set_bit w 21 t.locked in
   let w = Word.set_bit w 22 t.unallocated in
-  Word.set_bit w 23 t.valid
+  let w = Word.set_bit w 23 t.valid in
+  Word.set_bit w 24 t.damaged
 
 let decode w =
   { arg = Word.extract w ~pos:0 ~len:18;
@@ -32,16 +40,18 @@ let decode w =
     used = Word.bit w 20;
     locked = Word.bit w 21;
     unallocated = Word.bit w 22;
-    valid = Word.bit w 23 }
+    valid = Word.bit w 23;
+    damaged = Word.bit w 24 }
 
 let read mem a = decode (Phys_mem.read mem a)
 let write mem a t = Phys_mem.write mem a (encode t)
 
 let pp ppf t =
-  Format.fprintf ppf "ptw{arg=%d%s%s%s%s%s%s}" t.arg
+  Format.fprintf ppf "ptw{arg=%d%s%s%s%s%s%s%s}" t.arg
     (if t.valid then " valid" else "")
     (if t.present then " present" else "")
     (if t.modified then " mod" else "")
     (if t.used then " used" else "")
     (if t.locked then " locked" else "")
     (if t.unallocated then " unalloc" else "")
+    (if t.damaged then " damaged" else "")

@@ -17,6 +17,7 @@
       21    locked   descriptor lock bit (new hardware)
       22    unallocated  quota-fault bit (new hardware / software set)
       23    valid    PTW describes a page of the segment
+      24    damaged  page lost to a media error (software set)
     v} *)
 
 type t = {
@@ -27,6 +28,7 @@ type t = {
   locked : bool;
   unallocated : bool;
   valid : bool;
+  damaged : bool;
 }
 
 val invalid : t
@@ -40,6 +42,11 @@ val in_core : frame:int -> t
 
 val on_disk : record:int -> t
 (** Valid, absent PTW whose page image is disk record [record]. *)
+
+val damaged_ptw : record:int -> t
+(** Valid, absent, damaged PTW (the "damaged segment" switch at page
+    granularity).  Touching it raises a missing-page fault; the fault
+    handler signals the process instead of reading. *)
 
 val encode : t -> Word.t
 val decode : Word.t -> t

@@ -35,7 +35,8 @@ let rec create_segment t ~dir_uid ~name ~is_dir ~acl =
         let vtoc =
           Hw.Disk.create_vtoc_entry (disk t) ~pack
             { Hw.Disk.uid; file_map = map; len_pages = 0;
-              is_directory = is_dir; quota = None; aim_label = 0 }
+              is_directory = is_dir; quota = None; aim_label = 0;
+              damaged = false; is_process_state = false }
         in
         let de =
           { od_name = name; od_uid = uid; od_is_dir = is_dir; od_pack = pack;

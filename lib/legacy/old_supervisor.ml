@@ -104,7 +104,7 @@ let boot cfg =
       { Hw.Disk.uid = root_uid; file_map = map; len_pages = 0;
         is_directory = true;
         quota = Some { Hw.Disk.limit = cfg.root_quota; used = 0 };
-        aim_label = 0 }
+        aim_label = 0; damaged = false; is_process_state = false }
   in
   Hashtbl.replace st.dirs root_uid
     { odir_uid = root_uid; odir_parent = -1; odir_is_quota = true;

@@ -445,7 +445,8 @@ let test_transit_join () =
   check Alcotest.bool "unlocked after io" false ptw.Hw.Ptw.locked;
   (match K.Page_frame.service_locked_descriptor pfm ~caller:"test" ~ptw_abs with
   | K.Page_frame.Retry -> ()
-  | K.Page_frame.Wait _ -> Alcotest.fail "stale lock should retry");
+  | K.Page_frame.Wait _ -> Alcotest.fail "stale lock should retry"
+  | K.Page_frame.Damaged _ -> Alcotest.fail "page should not be damaged");
   (* The word survived the round trip. *)
   match K.Segment.read_word sm ~caller:"test" ~slot ~pageno:0 ~offset:0 with
   | Ok w -> check Alcotest.int "data intact" 77 w

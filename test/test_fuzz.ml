@@ -178,10 +178,100 @@ let prop_fuzz_deterministic =
       in
       run () = run ())
 
+(* ------------------------------------------------------------------ *)
+(* Fault-plan fuzz: seeded random fault plans (transient errors, bad
+   records, pack-offline, power failure) thrown at a fixed workload.
+   Whatever the plan does, repair restores the global invariants, and
+   the whole run — faults, crash, salvage — is a pure function of the
+   seed. *)
+
+let chaos_programs () =
+  [ K.Workload.concat
+      [ [| K.Workload.Create_file { dir = ">home"; name = "f" };
+           K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+        K.Workload.sequential_write ~seg_reg:0 ~pages:12 ];
+    K.Workload.file_churn ~dir:">home" ~files:3 ~pages_each:2 ~seed:7 ]
+
+(* The simulated duration of a fault-free run, so random power failures
+   land inside the workload rather than after it. *)
+let chaos_horizon =
+  lazy
+    (let k = K.Kernel.boot K.Kernel.small_config in
+     K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+     List.iteri
+       (fun i prog ->
+         ignore (K.Kernel.spawn k ~pname:(Printf.sprintf "cz%d" i) prog))
+       (chaos_programs ());
+     K.Kernel.run ~max_events:500_000 k;
+     max 1 (K.Kernel.now k))
+
+let chaos_run seed =
+  let config =
+    { K.Kernel.small_config with
+      K.Kernel.faults =
+        Hw.Fault_inject.random ~seed ~packs:3 ~records_per_pack:64
+          ~horizon_ns:(Lazy.force chaos_horizon) }
+  in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  List.iteri
+    (fun i prog ->
+      ignore (K.Kernel.spawn k ~pname:(Printf.sprintf "cz%d" i) prog))
+    (chaos_programs ());
+  K.Kernel.run ~max_events:500_000 k;
+  let k =
+    if K.Kernel.halted k then
+      (* Power failure: boot a fresh incarnation over the surviving
+         disk.  The new machine runs fault-free. *)
+      K.Kernel.reboot
+        { config with K.Kernel.faults = Hw.Fault_inject.none }
+        ~from:k
+    else begin
+      K.Kernel.shutdown k;
+      k
+    end
+  in
+  ignore (K.Salvager.repair k);
+  k
+
+let disk_checksum k =
+  let d = (K.Kernel.machine k).Hw.Machine.disk in
+  let acc = ref 0 in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    for record = 0 to Hw.Disk.records_per_pack d - 1 do
+      if not (Hw.Disk.record_is_free d ~pack ~record) then
+        acc :=
+          Hashtbl.hash
+            (!acc, pack, record,
+             Array.to_list (Hw.Disk.read_record d ~pack ~record))
+    done
+  done;
+  !acc
+
+let prop_fuzz_fault_plans =
+  QCheck.Test.make
+    ~name:"fuzz: invariants hold after any fault plan is salvaged" ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let k = chaos_run seed in
+      match K.Invariants.check k with
+      | [] -> true
+      | problems ->
+          List.iter (fun p -> Printf.printf "invariant: %s\n" p) problems;
+          false)
+
+let prop_fuzz_fault_plans_deterministic =
+  QCheck.Test.make
+    ~name:"fuzz: identical seeds give identical salvaged disks" ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed -> disk_checksum (chaos_run seed) = disk_checksum (chaos_run seed))
+
 let tests =
   [ qcheck prop_fuzz_new_kernel;
     qcheck prop_fuzz_invariants;
     qcheck prop_fuzz_quota_bounded;
     qcheck prop_fuzz_legacy_kernel;
     qcheck prop_fuzz_cramped;
-    qcheck prop_fuzz_deterministic ]
+    qcheck prop_fuzz_deterministic;
+    qcheck prop_fuzz_fault_plans;
+    qcheck prop_fuzz_fault_plans_deterministic ]

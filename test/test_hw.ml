@@ -52,7 +52,7 @@ let prop_addr_of_page =
 let ptw_gen =
   QCheck.Gen.(
     let* arg = int_bound ((1 lsl 18) - 1) in
-    let* bits = int_bound 63 in
+    let* bits = int_bound 127 in
     return
       { Hw.Ptw.arg;
         present = bits land 1 = 1;
@@ -60,7 +60,8 @@ let ptw_gen =
         used = bits land 4 = 4;
         locked = bits land 8 = 8;
         unallocated = bits land 16 = 16;
-        valid = bits land 32 = 32 })
+        valid = bits land 32 = 32;
+        damaged = bits land 64 = 64 })
 
 let prop_ptw_roundtrip =
   QCheck.Test.make ~name:"ptw encode/decode roundtrip" ~count:500
@@ -298,7 +299,8 @@ let test_vtoc () =
   let disk = Hw.Disk.create ~packs:1 ~records_per_pack:4 ~read_latency_ns:10 in
   let entry =
     { Hw.Disk.uid = 99; file_map = Array.make 4 Hw.Disk.unallocated;
-      len_pages = 0; is_directory = false; quota = None; aim_label = 0 }
+      len_pages = 0; is_directory = false; quota = None; aim_label = 0;
+      damaged = false; is_process_state = false }
   in
   let idx = Hw.Disk.create_vtoc_entry disk ~pack:0 entry in
   let back = Hw.Disk.vtoc_entry disk ~pack:0 ~index:idx in

@@ -14,16 +14,23 @@ let page words =
   List.iteri (fun i w -> img.(i) <- w) words;
   img
 
-let rig ?config () =
+let rig ?config ?faults () =
   let machine =
     Hw.Machine.create ~disk_packs:2 ~records_per_pack:64
       Hw.Hw_config.kernel_multics
   in
   let disk = machine.Hw.Machine.disk in
   let io =
-    Hw.Io_sched.create ?config ~disk ~schedule:(Hw.Machine.schedule machine) ()
+    Hw.Io_sched.create ?config ?faults
+      ~now:(fun () -> Hw.Machine.now machine)
+      ~disk ~schedule:(Hw.Machine.schedule machine) ()
   in
   (machine, disk, io)
+
+(* Reads in the fault-free tests must never error. *)
+let expect = function
+  | Ok img -> img
+  | Error e -> Alcotest.failf "unexpected io error: %a" Hw.Io_sched.pp_io_error e
 
 (* ------------------------------------------------------------------ *)
 (* Elevator ordering: a scrambled set submitted in one instant comes
@@ -37,8 +44,8 @@ let test_elevator_order () =
   let order = ref [] in
   List.iter
     (fun r ->
-      Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun img ->
-          order := img.(0) :: !order))
+      Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun r ->
+          order := (expect r).(0) :: !order))
     [ 5; 1; 9; 3; 7 ];
   Hw.Machine.run machine;
   check
@@ -54,7 +61,8 @@ let test_elevator_order () =
 
 let test_batch_cost_model () =
   let config =
-    { Hw.Io_sched.max_batch = 8; seek_ns = 1_000; transfer_ns = 100 }
+    { Hw.Io_sched.max_batch = 8; seek_ns = 1_000; transfer_ns = 100;
+      retry_limit = 3; retry_backoff_ns = 100 }
   in
   let machine, _disk, io = rig ~config () in
   let costs = ref [] in
@@ -80,7 +88,8 @@ let test_batch_cost_model () =
 
 let test_batch_bounds () =
   let config =
-    { Hw.Io_sched.max_batch = 4; seek_ns = 1_000; transfer_ns = 100 }
+    { Hw.Io_sched.max_batch = 4; seek_ns = 1_000; transfer_ns = 100;
+      retry_limit = 3; retry_backoff_ns = 100 }
   in
   let machine, _disk, io = rig ~config () in
   let sizes = ref [] in
@@ -106,17 +115,17 @@ let test_write_coherence () =
   let machine, disk, io = rig () in
   Hw.Io_sched.submit_write io ~pack:0 ~record:7 (page [ 111 ]);
   (* The synchronous shim observes the queued image... *)
-  let img = Hw.Io_sched.read_now io ~pack:0 ~record:7 in
+  let img = expect (Hw.Io_sched.read_now io ~pack:0 ~record:7) in
   check Alcotest.int "read_now sees write-behind" 111 img.(0);
   (* ...and so does a queued read submitted after the write. *)
   let seen = ref 0 in
-  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun img ->
-      seen := img.(0));
+  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun r ->
+      seen := (expect r).(0));
   (* A second write supersedes the first for later readers. *)
   Hw.Io_sched.submit_write io ~pack:0 ~record:7 (page [ 222 ]);
   let seen_after = ref 0 in
-  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun img ->
-      seen_after := img.(0));
+  Hw.Io_sched.submit_read io ~pack:0 ~record:7 ~done_:(fun r ->
+      seen_after := (expect r).(0));
   Hw.Machine.run machine;
   check Alcotest.int "read ordered before 2nd write" 111 !seen;
   check Alcotest.int "read ordered after 2nd write" 222 !seen_after;
@@ -134,6 +143,26 @@ let test_cancel_writes () =
   check Alcotest.int "cancellation counted" 1
     (Hw.Io_sched.stats io).Hw.Io_sched.s_cancelled
 
+(* The ordering contract pinned in the .mli: cancel_writes BEFORE
+   free_record.  With that order, a buffered image of a dying page can
+   never land on the record's next owner. *)
+let test_cancel_before_free_ordering () =
+  let machine, disk, io = rig () in
+  let r = Hw.Disk.alloc_record disk ~pack:0 in
+  Hw.Io_sched.submit_write io ~pack:0 ~record:r (page [ 666 ]);
+  (* The page dies: cancel first, then free. *)
+  Hw.Io_sched.cancel_writes io ~pack:0 ~record:r;
+  Hw.Disk.free_record disk ~pack:0 ~record:r;
+  (* The record is recycled to a new owner, who writes its own data. *)
+  let r2 = Hw.Disk.alloc_record disk ~pack:0 in
+  check Alcotest.int "record recycled to a new owner" r r2;
+  Hw.Io_sched.submit_write io ~pack:0 ~record:r2 (page [ 42 ]);
+  Hw.Machine.run machine;
+  check Alcotest.int "new owner's image intact — stale write never landed" 42
+    (Hw.Disk.read_record disk ~pack:0 ~record:r2).(0);
+  check Alcotest.int "old write was cancelled" 1
+    (Hw.Io_sched.stats io).Hw.Io_sched.s_cancelled
+
 let test_quiesce () =
   let machine, disk, io = rig () in
   Hw.Io_sched.submit_write io ~pack:1 ~record:9 (page [ 42 ]);
@@ -145,6 +174,92 @@ let test_quiesce () =
   Hw.Machine.run machine;
   let s = Hw.Io_sched.stats io in
   check Alcotest.int "applied exactly once" 1 s.Hw.Io_sched.s_batches
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: transient errors are retried behind the caller's
+   back, permanent ones exhaust the budget and retire the record, a
+   crash tears the unlucky tail of the write-behind buffer. *)
+
+let test_transient_retry () =
+  let faults = Hw.Fault_inject.create () in
+  Hw.Fault_inject.fail_reads faults ~pack:0 ~record:4 ~times:2;
+  let machine, disk, io = rig ~faults () in
+  Hw.Disk.write_record disk ~pack:0 ~record:4 (page [ 77 ]);
+  let seen = ref 0 in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:4 ~done_:(fun r ->
+      seen := (expect r).(0));
+  Hw.Machine.run machine;
+  check Alcotest.int "read recovered after transient errors" 77 !seen;
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "two retries" 2 s.Hw.Io_sched.s_retries;
+  check Alcotest.int "nothing given up" 0 s.Hw.Io_sched.s_gave_up
+
+let test_dead_record () =
+  let faults = Hw.Fault_inject.create () in
+  Hw.Fault_inject.bad_record faults ~pack:0 ~record:9;
+  let machine, disk, io = rig ~faults () in
+  let result = ref None in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:9 ~done_:(fun r ->
+      result := Some r);
+  Hw.Machine.run machine;
+  (match !result with
+  | Some (Error Hw.Io_sched.Dead_record) -> ()
+  | Some (Ok _) -> Alcotest.fail "bad record read succeeded"
+  | Some (Error Hw.Io_sched.Pack_offline) -> Alcotest.fail "wrong error"
+  | None -> Alcotest.fail "completion never fired");
+  check Alcotest.bool "record retired" true
+    (Hw.Disk.record_is_dead disk ~pack:0 ~record:9);
+  check Alcotest.int "gave up once" 1
+    (Hw.Io_sched.stats io).Hw.Io_sched.s_gave_up;
+  (* Retired means retired: freeing never re-lists it. *)
+  let free_before = Hw.Disk.free_records disk ~pack:0 in
+  Hw.Disk.free_record disk ~pack:0 ~record:9;
+  check Alcotest.int "dead record never rejoins the free list" free_before
+    (Hw.Disk.free_records disk ~pack:0)
+
+let test_pack_offline () =
+  let faults = Hw.Fault_inject.create () in
+  Hw.Fault_inject.pack_offline faults ~pack:1 ~at_ns:0;
+  let machine, disk, io = rig ~faults () in
+  Hw.Disk.write_record disk ~pack:1 ~record:3 (page [ 8 ]);
+  let result = ref None in
+  Hw.Io_sched.submit_read io ~pack:1 ~record:3 ~done_:(fun r ->
+      result := Some r);
+  Hw.Machine.run machine;
+  (match !result with
+  | Some (Error Hw.Io_sched.Pack_offline) -> ()
+  | _ -> Alcotest.fail "expected Pack_offline");
+  (* The other pack is untouched by pack 1's failure. *)
+  Hw.Disk.write_record disk ~pack:0 ~record:3 (page [ 9 ]);
+  check Alcotest.int "pack 0 still readable" 9
+    (expect (Hw.Io_sched.read_now io ~pack:0 ~record:3)).(0)
+
+let test_crash_tears_writes () =
+  let machine, disk, io = rig () in
+  Hw.Disk.write_record disk ~pack:0 ~record:1 (page [ 10 ]);
+  Hw.Disk.write_record disk ~pack:0 ~record:2 (page [ 20 ]);
+  let acked = ref 0 in
+  Hw.Io_sched.submit_write io ~pack:0 ~record:1 (page [ 11 ])
+    ~done_:(fun _ -> incr acked);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:2 (page [ 21 ])
+    ~done_:(fun _ -> incr acked);
+  let buffered = Hw.Io_sched.crash io ~surviving_writes:1 in
+  check Alcotest.int "two writes were in flight" 2 buffered;
+  check Alcotest.int "no completion ever fired" 0 !acked;
+  (* The survivor reached the platter; the other record is
+     write-atomic, so it keeps its last complete image — torn. *)
+  check Alcotest.int "survivor landed" 11
+    (Hw.Disk.read_record disk ~pack:0 ~record:1).(0);
+  check Alcotest.int "torn record keeps the pre-crash image" 20
+    (Hw.Disk.read_record disk ~pack:0 ~record:2).(0);
+  check Alcotest.bool "torn mark set for the salvager" true
+    (Hw.Disk.record_is_torn disk ~pack:0 ~record:2);
+  check Alcotest.bool "survivor is not torn" false
+    (Hw.Disk.record_is_torn disk ~pack:0 ~record:1);
+  (* The already-scheduled dispatch events must now be no-ops. *)
+  Hw.Machine.run machine;
+  check Alcotest.int "nothing more lands after the crash" 20
+    (Hw.Disk.read_record disk ~pack:0 ~record:2).(0)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel-level: the asynchronous protocol computes bit-identical disk
@@ -242,7 +357,13 @@ let tests =
     Alcotest.test_case "batch bounds" `Quick test_batch_bounds;
     Alcotest.test_case "write coherence" `Quick test_write_coherence;
     Alcotest.test_case "cancel writes" `Quick test_cancel_writes;
+    Alcotest.test_case "cancel before free ordering" `Quick
+      test_cancel_before_free_ordering;
     Alcotest.test_case "quiesce" `Quick test_quiesce;
+    Alcotest.test_case "transient retry" `Quick test_transient_retry;
+    Alcotest.test_case "dead record" `Quick test_dead_record;
+    Alcotest.test_case "pack offline" `Quick test_pack_offline;
+    Alcotest.test_case "crash tears writes" `Quick test_crash_tears_writes;
     Alcotest.test_case "async equals sync" `Quick test_async_equals_sync;
     Alcotest.test_case "read-ahead hits" `Quick test_read_ahead_hits;
     Alcotest.test_case "read-ahead low water" `Quick test_read_ahead_low_water

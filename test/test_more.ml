@@ -144,7 +144,8 @@ let test_upward_signal_nested_drain () =
     K.Upward_signal.drain signals ~deliver:(fun payload ->
         (match payload with
         | K.Upward_signal.Segment_moved { uid; _ } ->
-            seen := K.Ids.to_int uid :: !seen);
+            seen := K.Ids.to_int uid :: !seen
+        | K.Upward_signal.Pack_offline _ -> ());
         (* Delivery raising a further signal must also be delivered. *)
         if List.length !seen = 1 then
           K.Upward_signal.raise_signal signals ~from:"segment_manager"

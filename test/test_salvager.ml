@@ -77,7 +77,8 @@ let test_detects_orphan_vtoc () =
   ignore
     (Hw.Disk.create_vtoc_entry disk ~pack:1
        { Hw.Disk.uid = 999_999; file_map = map; len_pages = 0;
-         is_directory = false; quota = None; aim_label = 0 });
+         is_directory = false; quota = None; aim_label = 0;
+         damaged = false; is_process_state = false });
   let findings = K.Salvager.scan k in
   (match
      List.find_opt
@@ -135,6 +136,84 @@ let test_repairs_stale_entry () =
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "file must be reachable after salvage"
 
+(* Locate ">home>q>data" on disk, deactivated, and return the kernel
+   plus its (pack, index, vtoc). *)
+let deactivated_data_segment k =
+  let target =
+    match
+      K.Name_space.initiate (K.Kernel.name_space k)
+        ~subject:K.Kernel.root_subject ~ring:1 ~path:">home>q>data"
+    with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "initiate"
+  in
+  (match K.Segment.find_active (K.Kernel.segment k) ~uid:target.K.Directory.t_uid with
+  | Some slot -> K.Segment.deactivate (K.Kernel.segment k) ~caller:"test" ~slot
+  | None -> ());
+  let pack, index =
+    Option.get (K.Volume.locate (K.Kernel.volume k) ~uid:target.K.Directory.t_uid)
+  in
+  (pack, index, K.Volume.vtoc (K.Kernel.volume k) ~caller:"test" ~pack ~index)
+
+(* A media error killed a record a file map still names: the salvager
+   substitutes a page of zeros, keeping the quota charge. *)
+let test_damaged_page_repaired () =
+  let k = populated_kernel () in
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  let _pack, _index, vtoc = deactivated_data_segment k in
+  let pageno, handle =
+    let found = ref None in
+    Array.iteri
+      (fun i h -> if h >= 0 && !found = None then found := Some (i, h))
+      vtoc.Hw.Disk.file_map;
+    Option.get !found
+  in
+  Hw.Disk.mark_dead disk ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle);
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "damaged page found and repairable" true
+    (List.exists
+       (fun f ->
+         f.K.Salvager.f_kind = K.Salvager.Damaged_page && f.K.Salvager.f_repairable)
+       findings);
+  ignore (K.Salvager.repair k);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k));
+  check Alcotest.int "invariants clean after repair" 0
+    (List.length (K.Invariants.check k));
+  (* The page became a page of zeros — quota-neutral. *)
+  check Alcotest.int "slot now the zero page" Hw.Disk.zero_page
+    vtoc.Hw.Disk.file_map.(pageno)
+
+(* A power failure caught a record mid-flush: it is write-atomic, so it
+   keeps its last complete image; the salvager accepts it and clears the
+   mark. *)
+let test_torn_write_repaired () =
+  let k = populated_kernel () in
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  let _pack, _index, vtoc = deactivated_data_segment k in
+  let handle =
+    let found = ref None in
+    Array.iter (fun h -> if h >= 0 && !found = None then found := Some h)
+      vtoc.Hw.Disk.file_map;
+    Option.get !found
+  in
+  let hp = Hw.Disk.pack_of_handle handle
+  and hr = Hw.Disk.record_of_handle handle in
+  let before = Hw.Disk.read_record disk ~pack:hp ~record:hr in
+  Hw.Disk.mark_torn disk ~pack:hp ~record:hr;
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "torn write found and repairable" true
+    (List.exists
+       (fun f ->
+         f.K.Salvager.f_kind = K.Salvager.Torn_write && f.K.Salvager.f_repairable)
+       findings);
+  ignore (K.Salvager.repair k);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k));
+  check Alcotest.bool "mark cleared" false
+    (Hw.Disk.record_is_torn disk ~pack:hp ~record:hr);
+  check Alcotest.bool "pre-crash image kept" true
+    (before = Hw.Disk.read_record disk ~pack:hp ~record:hr)
+
 let tests =
   [ Alcotest.test_case "clean system scans clean" `Quick
       test_clean_system_scans_clean;
@@ -143,4 +222,6 @@ let tests =
     Alcotest.test_case "leaked record repaired" `Quick
       test_detects_and_repairs_leaked_record;
     Alcotest.test_case "orphan vtoc reported" `Quick test_detects_orphan_vtoc;
-    Alcotest.test_case "stale entry repaired" `Quick test_repairs_stale_entry ]
+    Alcotest.test_case "stale entry repaired" `Quick test_repairs_stale_entry;
+    Alcotest.test_case "damaged page repaired" `Quick test_damaged_page_repaired;
+    Alcotest.test_case "torn write repaired" `Quick test_torn_write_repaired ]

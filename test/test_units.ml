@@ -153,7 +153,7 @@ let quota_fixture () =
   let meter = K.Meter.create () in
   let tracer = K.Tracer.create () in
   let core = K.Core_segment.create ~machine ~meter ~reserved_frames:4 in
-  let volume = K.Volume.create ~machine ~meter ~tracer in
+  let volume = K.Volume.create ~machine ~meter ~tracer () in
   let quota =
     K.Quota_cell.create ~machine ~meter ~tracer ~core ~volume ~max_cells:4
   in
@@ -165,7 +165,7 @@ let test_quota_cell_lifecycle () =
   let uid = K.Ids.generator () () in
   let index =
     K.Volume.create_segment volume ~caller:"test" ~uid ~pack:0
-      ~is_directory:true ~label:0
+      ~is_directory:true ~label:0 ()
   in
   let cell =
     K.Quota_cell.register quota ~caller:"test" ~pack:0 ~vtoc_index:index
@@ -201,7 +201,7 @@ let test_quota_cell_move () =
     let uid = fresh () in
     let index =
       K.Volume.create_segment volume ~caller:"test" ~uid ~pack:0
-        ~is_directory:true ~label:0
+        ~is_directory:true ~label:0 ()
     in
     K.Quota_cell.register quota ~caller:"test" ~pack:0 ~vtoc_index:index
       ~limit ~used:0
@@ -225,7 +225,7 @@ let prop_quota_invariant =
       let uid = K.Ids.generator () () in
       let index =
         K.Volume.create_segment volume ~caller:"t" ~uid ~pack:0
-          ~is_directory:true ~label:0
+          ~is_directory:true ~label:0 ()
       in
       let cell =
         K.Quota_cell.register quota ~caller:"t" ~pack:0 ~vtoc_index:index
