@@ -1,0 +1,219 @@
+module Choice = Multics_choice.Choice
+
+type system = {
+  sys_name : string;
+  sys_run : Choice.t -> string list;
+}
+
+type stats = {
+  runs : int;
+  distinct : int;
+  decisions : int;
+  pruned : int;
+  frontier_left : int;
+}
+
+type outcome =
+  | Passed of stats
+  | Failed of {
+      f_stats : stats;
+      f_problems : string list;
+      f_script : int list;
+      f_events : Choice.event list;
+      f_seed : int option;
+    }
+
+(* A schedule's identity: the full decoded decision sequence.  Two
+   scripts that clamp or pad to the same decisions are the same
+   schedule. *)
+let signature events =
+  String.concat ";"
+    (List.map
+       (fun (ev : Choice.event) ->
+         Printf.sprintf "%s[%s]=%d" ev.Choice.ev_domain
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int ev.Choice.ev_ids)))
+           ev.Choice.ev_chosen)
+       events)
+
+(* One run: build the strategy, execute, harvest trace + report. *)
+let run_once sys make =
+  let c = make () in
+  let problems = sys.sys_run c in
+  (problems, Choice.taken c, Choice.decisions c)
+
+let minimize sys ~script =
+  let fails s =
+    let problems, _, _ = run_once sys (fun () -> Choice.scripted s) in
+    problems <> []
+  in
+  let trials = ref 0 in
+  let fails s = incr trials; fails s in
+  (* Trailing zeros are what the scripted strategy pads anyway: free to
+     drop, no verification run needed. *)
+  let rec trim_zeros = function
+    | 0 :: tl -> trim_zeros tl
+    | l -> l
+  in
+  let trim s = List.rev (trim_zeros (List.rev s)) in
+  (* Drop whole suffixes while the failure survives. *)
+  let rec shorten s =
+    let shorter = trim s in
+    match List.rev shorter with
+    | [] -> []
+    | _ :: rev_tl ->
+        let candidate = List.rev rev_tl in
+        if fails candidate then shorten candidate else shorter
+  in
+  let s = shorten (trim script) in
+  (* Zero individual entries, latest first, keeping each zero that still
+     fails. *)
+  let arr = Array.of_list s in
+  for i = Array.length arr - 1 downto 0 do
+    if arr.(i) <> 0 then begin
+      let saved = arr.(i) in
+      arr.(i) <- 0;
+      if not (fails (Array.to_list arr)) then arr.(i) <- saved
+    end
+  done;
+  (trim (Array.to_list arr), !trials)
+
+let replay sys ~script =
+  let problems, events, _ = run_once sys (fun () -> Choice.scripted script) in
+  (problems, events)
+
+let fail_with sys ~stats ~problems ~events ~seed =
+  let script = List.map (fun ev -> ev.Choice.ev_chosen) events in
+  let minimal, trials = minimize sys ~script in
+  let _, min_events = replay sys ~script:minimal in
+  Failed
+    { f_stats = { stats with runs = stats.runs + trials + 1 };
+      f_problems = problems;
+      f_script = minimal;
+      f_events = min_events;
+      f_seed = seed }
+
+let check_default sys =
+  let problems, events, decisions =
+    run_once sys Choice.record_default
+  in
+  let stats =
+    { runs = 1; distinct = 1; decisions; pruned = 0; frontier_left = 0 }
+  in
+  if problems = [] then Passed stats
+  else fail_with sys ~stats ~problems ~events ~seed:None
+
+let check_random ?(runs = 50) ?(seed = 1) sys =
+  let seen = Hashtbl.create 64 in
+  let rec go i acc_decisions =
+    if i >= runs then
+      Passed
+        { runs;
+          distinct = Hashtbl.length seen;
+          decisions = acc_decisions;
+          pruned = 0;
+          frontier_left = 0 }
+    else
+      let s = seed + i in
+      let problems, events, decisions =
+        run_once sys (fun () -> Choice.random ~seed:s ())
+      in
+      Hashtbl.replace seen (signature events) ();
+      let acc_decisions = acc_decisions + decisions in
+      if problems = [] then go (i + 1) acc_decisions
+      else
+        let stats =
+          { runs = i + 1;
+            distinct = Hashtbl.length seen;
+            decisions = acc_decisions;
+            pruned = 0;
+            frontier_left = 0 }
+        in
+        fail_with sys ~stats ~problems ~events ~seed:(Some s)
+  in
+  go 0 0
+
+let check_dfs ?(max_runs = 500) ?max_depth sys =
+  let depth_ok i =
+    match max_depth with None -> true | Some d -> i < d
+  in
+  let seen = Hashtbl.create 256 in
+  let frontier = ref [ [] ] in  (* scripts still to execute; LIFO *)
+  let runs = ref 0 and decisions = ref 0 and pruned = ref 0 in
+  let result = ref None in
+  while !result = None && !frontier <> [] && !runs < max_runs do
+    match !frontier with
+    | [] -> assert false
+    | script :: rest ->
+        frontier := rest;
+        let problems, events, d =
+          run_once sys (fun () -> Choice.scripted script)
+        in
+        incr runs;
+        decisions := !decisions + d;
+        Hashtbl.replace seen (signature events) ();
+        if problems <> [] then result := Some (problems, events)
+        else begin
+          (* Branch on every position this script did not force, deepest
+             first so the push order keeps the walk depth-first. *)
+          let evs = Array.of_list events in
+          let chosen_prefix i =
+            Array.to_list (Array.sub evs 0 i)
+            |> List.map (fun ev -> ev.Choice.ev_chosen)
+          in
+          let forced = List.length script in
+          for i = forced to Array.length evs - 1 do
+            if depth_ok i then begin
+              let ev = evs.(i) in
+              let ids = ev.Choice.ev_ids in
+              (* Sleep-set-lite: alternatives that name an element
+                 identity already expanded at this position replay the
+                 same schedule. *)
+              let expanded = Hashtbl.create 4 in
+              Hashtbl.replace expanded ids.(ev.Choice.ev_chosen) ();
+              for alt = 0 to Array.length ids - 1 do
+                if alt <> ev.Choice.ev_chosen then
+                  if Hashtbl.mem expanded ids.(alt) then incr pruned
+                  else begin
+                    Hashtbl.replace expanded ids.(alt) ();
+                    frontier := (chosen_prefix i @ [ alt ]) :: !frontier
+                  end
+              done
+            end
+          done
+        end
+  done;
+  let stats =
+    { runs = !runs;
+      distinct = Hashtbl.length seen;
+      decisions = !decisions;
+      pruned = !pruned;
+      frontier_left = List.length !frontier }
+  in
+  match !result with
+  | None -> Passed stats
+  | Some (problems, events) ->
+      fail_with sys ~stats ~problems ~events ~seed:None
+
+let pp_counterexample ppf events =
+  List.iteri
+    (fun i ev -> Format.fprintf ppf "  #%d %a@." i Choice.pp_event ev)
+    events
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d schedules (%d distinct), %d decisions, %d pruned, %d unexplored"
+    s.runs s.distinct s.decisions s.pruned s.frontier_left
+
+let pp_outcome ppf = function
+  | Passed s -> Format.fprintf ppf "passed: %a" pp_stats s
+  | Failed f ->
+      Format.fprintf ppf "FAILED after %a@." pp_stats f.f_stats;
+      List.iter (fun p -> Format.fprintf ppf "  violation: %s@." p)
+        f.f_problems;
+      Format.fprintf ppf "  counterexample script %s:@."
+        (String.concat "," (List.map string_of_int f.f_script));
+      (match f.f_seed with
+      | Some s -> Format.fprintf ppf "  (found by seed %d)@." s
+      | None -> ());
+      pp_counterexample ppf f.f_events

@@ -1,0 +1,94 @@
+module Hw = Multics_hw
+module Sync = Multics_sync
+module K = Multics_kernel
+module Choice = Multics_choice.Choice
+
+let step_cost = 100
+
+let run_eventcount ?(bug = false) ?(events = 2) choice =
+  let hw = Hw.Hw_config.with_cpus Hw.Hw_config.kernel_multics 1 in
+  let machine = Hw.Machine.create ~disk_packs:1 ~records_per_pack:8 hw in
+  let meter = K.Meter.create () in
+  let tracer = K.Tracer.create () in
+  let core = K.Core_segment.create ~machine ~meter ~reserved_frames:4 in
+  let vp =
+    K.Vp.create ~choice ~machine ~meter ~tracer ~core ~n_vps:2 ()
+  in
+  let ec = Sync.Eventcount.create ~name:"harness" ~choice () in
+  let produced = ref 0 in
+  K.Vp.bind vp ~vp_id:0 ~name:"producer" ~step:(fun _ ->
+      if !produced >= events then K.Vp.Stopped step_cost
+      else begin
+        incr produced;
+        Sync.Eventcount.advance ec;
+        K.Vp.Continue step_cost
+      end);
+  K.Vp.bind vp ~vp_id:1 ~name:"consumer" ~step:(fun _ ->
+      let r = Sync.Eventcount.read ec in
+      if r >= events then K.Vp.Stopped step_cost
+        (* The bug: wait for two more events ("they come in batches").
+           When the sample lands at [events - 1] the threshold exceeds
+           everything the producer will ever advance to — the wakeup
+           never comes.  The correct level threshold [r + 1] is what the
+           wakeup-waiting switch makes schedule-proof. *)
+      else if bug then K.Vp.Wait (ec, r + 2, step_cost)
+      else K.Vp.Wait (ec, r + 1, step_cost));
+  K.Vp.start vp;
+  Hw.Machine.run machine;
+  (* Quiescent: the event queue is drained.  Both VPs must have stopped
+     and their wired state words must agree with the manager. *)
+  let problems = ref [] in
+  for i = 1 downto 0 do
+    let v = K.Vp.vp vp i in
+    (match v.K.Vp.vp_state with
+    | `Idle -> ()
+    | state ->
+        let state_name =
+          match state with
+          | `Ready -> "ready"
+          | `Running -> "running"
+          | `Waiting -> "waiting"
+          | `Idle -> assert false
+        in
+        problems :=
+          Printf.sprintf
+            "lost wakeup: vp %d (%s) %s at quiescence (ec=%d of %d)" i
+            (Option.value ~default:"?" v.K.Vp.bound_to)
+            state_name (Sync.Eventcount.read ec) events
+          :: !problems);
+    if not (K.Vp.state_word_agrees vp i) then
+      problems :=
+        Printf.sprintf "vp %d: wired state word disagrees" i :: !problems
+  done;
+  !problems
+
+let eventcount_system ?bug ?events () =
+  { Explore.sys_name = "eventcount";
+    sys_run = (fun c -> run_eventcount ?bug ?events c) }
+
+(* A ping-pong pair: each process advances the other's eventcount and
+   waits on its own, with a little paging traffic in between. *)
+let pingpong_program ~me ~peer ~rounds =
+  Array.concat
+    (List.init rounds (fun i ->
+         [| K.Workload.Compute 2_000;
+            K.Workload.Advance_ec { ec = peer };
+            K.Workload.Await_ec { ec = me; value = i + 1 } |])
+     @ [ [| K.Workload.Terminate |] ])
+
+let kernel_system ?config ?(n_procs = 2) () =
+  let base = Option.value ~default:K.Kernel.small_config config in
+  let run choice =
+    let kernel = K.Kernel.boot { base with K.Kernel.choice = Some choice } in
+    let n = max 2 n_procs in
+    for i = 0 to n - 1 do
+      let me = Printf.sprintf "ec%d" i in
+      let peer = Printf.sprintf "ec%d" ((i + 1) mod n) in
+      ignore
+        (K.Kernel.spawn kernel ~pname:(Printf.sprintf "pp%d" i)
+           (pingpong_program ~me ~peer ~rounds:3))
+    done;
+    ignore (K.Kernel.run_to_completion kernel);
+    Oracle.check kernel
+  in
+  { Explore.sys_name = "kernel-pingpong"; sys_run = run }

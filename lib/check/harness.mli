@@ -1,0 +1,33 @@
+(** Toy producer/consumer systems for exercising the explorer.
+
+    The eventcount harness is a two-VP machine: a producer advances an
+    eventcount once per step; a consumer drains it and stops when every
+    event has been seen.  The correct consumer waits at the {e level}
+    threshold [read + 1], which the wakeup-waiting switch makes safe
+    under any interleaving.  The seeded bug waits at [read + 2] — a
+    batching consumer that assumes another event is always coming.  Most
+    schedules still terminate, but one in which the consumer samples the
+    count at [events - 1] waits for a value the producer never reaches:
+    a lost wakeup the invariant oracle reports at quiescence.
+
+    The kernel system boots a real {!Multics_kernel.Kernel} under the
+    given strategy, runs a small eventcount workload to completion, and
+    applies {!Oracle.check} — the whole-kernel target for
+    [check_random]/[check_dfs]. *)
+
+val run_eventcount :
+  ?bug:bool -> ?events:int -> Multics_choice.Choice.t -> string list
+(** One run of the toy harness (default [events = 2], no bug); returns
+    oracle violations. *)
+
+val eventcount_system : ?bug:bool -> ?events:int -> unit -> Explore.system
+(** The toy harness packaged for {!Explore}. *)
+
+val kernel_system :
+  ?config:Multics_kernel.Kernel.config -> ?n_procs:int -> unit ->
+  Explore.system
+(** A small-kernel system: [n_procs] (default 2) processes ping-pong on
+    user eventcounts and touch pages, run to completion under the
+    strategy, then checked with {!Oracle.check}.  [config] defaults to
+    {!Multics_kernel.Kernel.small_config}; its [choice] field is
+    overridden per run. *)

@@ -1,0 +1,34 @@
+module Hw = Multics_hw
+module K = Multics_kernel
+
+let consistency kernel = K.Invariants.check kernel
+
+let liveness kernel =
+  let machine = K.Kernel.machine kernel in
+  if Hw.Machine.halted machine then []
+  else if not (Hw.Event_queue.is_empty machine.Hw.Machine.events) then []
+  else
+    let upm = K.Kernel.user_process kernel in
+    List.filter_map
+      (fun (p : K.User_process.proc) ->
+        match p.K.User_process.pstate with
+        | K.User_process.P_done | K.User_process.P_failed _ -> None
+        | K.User_process.P_ready ->
+            Some
+              (Printf.sprintf
+                 "lost wakeup: process %d (%s) ready but no event will run it"
+                 p.K.User_process.pid p.K.User_process.pname)
+        | K.User_process.P_running ->
+            Some
+              (Printf.sprintf
+                 "lost wakeup: process %d (%s) marked running at quiescence"
+                 p.K.User_process.pid p.K.User_process.pname)
+        | K.User_process.P_blocked ->
+            Some
+              (Printf.sprintf
+                 "lost wakeup: process %d (%s) blocked with an empty event \
+                  queue"
+                 p.K.User_process.pid p.K.User_process.pname))
+      (K.User_process.procs upm)
+
+let check kernel = consistency kernel @ liveness kernel

@@ -96,7 +96,40 @@ let check kernel =
       (Hw.Disk.vtoc_entries disk ~pack)
   done;
 
-  (* 4. Quota: each registered cell's count equals the allocated pages
+  (* 4. VP state words: the wired core-segment mirror of each VP state
+     must encode the manager's in-record state. *)
+  let vpm = Kernel.vp kernel in
+  for i = 0 to Vp.n_vps vpm - 1 do
+    if not (Vp.state_word_agrees vpm i) then
+      problem "vp %d: wired state word disagrees with manager state" i
+  done;
+
+  (* 5. Ready-queue sanity: every enqueued pid names a live, ready
+     process, and no pid is queued twice.  A done process in the queue
+     would be a use-after-reap; a blocked one a phantom wakeup. *)
+  let upm = Kernel.user_process kernel in
+  let queued = Scheduler.enqueued (User_process.scheduler upm) in
+  let seen_pids = Hashtbl.create 8 in
+  List.iter
+    (fun pid ->
+      if Hashtbl.mem seen_pids pid then
+        problem "ready queue: pid %d enqueued twice" pid
+      else Hashtbl.replace seen_pids pid ();
+      match User_process.proc upm pid with
+      | exception Invalid_argument _ ->
+          problem "ready queue: pid %d does not exist" pid
+      | p -> (
+          match p.User_process.pstate with
+          | User_process.P_ready -> ()
+          | User_process.P_running ->
+              problem "ready queue: pid %d is running on a VP" pid
+          | User_process.P_blocked ->
+              problem "ready queue: pid %d is blocked" pid
+          | User_process.P_done | User_process.P_failed _ ->
+              problem "ready queue: pid %d already finished" pid))
+    queued;
+
+  (* 6. Quota: each registered cell's count equals the allocated pages
      it controls. *)
   let expected = expected_quota kernel in
   List.iter

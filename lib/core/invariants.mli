@@ -13,6 +13,10 @@
       disk pack manager's locator;
     - record accounting: no disk record is referenced by two file maps,
       and every referenced record is allocated;
+    - VP state words: each virtual processor's wired state word agrees
+      with the manager's in-record state;
+    - ready-queue sanity: every enqueued pid names a live ready process
+      and no pid is queued twice;
     - quota accounting: every registered quota cell's count equals the
       allocated pages of the entries it controls. *)
 

@@ -22,6 +22,7 @@ type config = {
   read_ahead : int;
   trace : Multics_obs.Sink.mode;
   faults : Hw.Fault_inject.t;
+  choice : Multics_choice.Choice.t option;
 }
 
 let default_config =
@@ -32,7 +33,8 @@ let default_config =
     use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
     use_io_sched = true; read_ahead = 2;
     trace = Multics_obs.Sink.Counters;
-    faults = Hw.Fault_inject.none }
+    faults = Hw.Fault_inject.none;
+    choice = None }
 
 let small_config =
   { default_config with
@@ -116,11 +118,17 @@ let rec boot_internal ?previous_disk cfg =
       ()
   in
   Hw.Machine.set_obs machine obs;
+  (* An active strategy's picks become trace instants, so a recorded
+     counterexample lines up with the kernel's own timeline. *)
+  (match cfg.choice with
+  | Some c -> Multics_choice.Choice.set_obs c obs
+  | None -> ());
   let aim_audit = Aim.Audit.create () in
   let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
-  let vp = Vp.create ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps in
+  let vp = Vp.create ?choice:cfg.choice ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps () in
   let volume =
-    Volume.create ~faults:cfg.faults ~machine ~meter ~tracer ()
+    Volume.create ~faults:cfg.faults ?choice:cfg.choice ~machine ~meter
+      ~tracer ()
   in
   (* A scheduled power failure freezes the machine at its instant: the
      write-behind buffer tears and no further event runs.  Planted only
@@ -137,8 +145,8 @@ let rec boot_internal ?previous_disk cfg =
       ~max_cells:cfg.max_quota_cells
   in
   let page_frame =
-    Page_frame.create ~machine ~meter ~tracer ~core ~volume ~quota
-      ~use_cleaner_daemon:cfg.use_cleaner_daemon
+    Page_frame.create ?choice:cfg.choice ~machine ~meter ~tracer ~core
+      ~volume ~quota ~use_cleaner_daemon:cfg.use_cleaner_daemon
       ~use_io_sched:cfg.use_io_sched ~read_ahead:cfg.read_ahead ()
   in
   let signals = Upward_signal.create ~meter in
@@ -165,8 +173,9 @@ let rec boot_internal ?previous_disk cfg =
       ~max_spaces:cfg.max_processes
   in
   let user_process =
-    User_process.create ~machine ~meter ~tracer ~known ~address_space ~segment
-      ~vp ~policy:cfg.scheduler ~state_pack:(cfg.disk_packs - 1)
+    User_process.create ?choice:cfg.choice ~machine ~meter ~tracer ~known
+      ~address_space ~segment ~vp ~policy:cfg.scheduler
+      ~state_pack:(cfg.disk_packs - 1) ()
   in
   let directory =
     Directory.create ~machine ~meter ~tracer ~segment ~quota ~volume ~known

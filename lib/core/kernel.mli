@@ -46,6 +46,14 @@ type config = {
           fault-free kernel).  A plan with a scheduled power failure
           freezes the machine at that instant — see {!reboot} and the
           salvager. *)
+  choice : Multics_choice.Choice.t option;
+      (** Schedule-exploration strategy ([None] — the default — leaves
+          every nondeterministic choice point on its built-in
+          deterministic path, bit-identical to a kernel without the
+          hook).  [Some c] threads [c] into VP dispatch, the level-2
+          scheduler pick, eventcount wakeup order, lock handoff order,
+          and I/O completion delivery order — the explorer in
+          [Multics_check] drives these to search the schedule space. *)
 }
 
 val default_config : config

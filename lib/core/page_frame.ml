@@ -52,6 +52,7 @@ type t = {
   page_tables : (Hw.Addr.abs, pt_info) Hashtbl.t;
   frees_ec : Sync.Eventcount.t;
   cleaner : Sync.Eventcount.t;
+  pf_choice : Multics_choice.Choice.t option;
   use_cleaner_daemon : bool;
   use_io_sched : bool;
   read_ahead : int;
@@ -79,8 +80,8 @@ let entry t ~caller ns =
   Tracer.call t.tracer ~from:caller ~to_:name;
   charge t (Cost.kernel_call + ns)
 
-let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon
-    ?(use_io_sched = true) ?(read_ahead = 0) () =
+let create ?choice ~machine ~meter ~tracer ~core ~volume ~quota
+    ~use_cleaner_daemon ?(use_io_sched = true) ?(read_ahead = 0) () =
   let n = Core_segment.first_reserved_frame core in
   assert (n > 0);
   assert (read_ahead >= 0);
@@ -95,8 +96,9 @@ let create ~machine ~meter ~tracer ~core ~volume ~quota ~use_cleaner_daemon
     free = List.init n (fun i -> i);
     free_count = n; clock_hand = 0; transits = Hashtbl.create 32;
     page_tables = Hashtbl.create 256;
-    frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ~obs ();
-    cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ~obs ();
+    frees_ec = Sync.Eventcount.create ~name:"pfm.frees" ~obs ?choice ();
+    cleaner = Sync.Eventcount.create ~name:"pfm.cleaner" ~obs ?choice ();
+    pf_choice = choice;
     use_cleaner_daemon; use_io_sched; read_ahead;
     low_water = max 2 (n / 16);
     high_water = max 4 (n / 8);
@@ -391,9 +393,9 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
   let ec =
     Sync.Eventcount.create
       ~name:(Printf.sprintf "pfm.transit.%d" ptw_abs)
-      ~histo:"ec.wait:pfm.transit" ~obs:t.obs ()
+      ~histo:"ec.wait:pfm.transit" ~obs:t.obs ?choice:t.pf_choice ()
   in
-  let ptl = Sync.Lock.create ~name:"ptl" ~obs:t.obs () in
+  let ptl = Sync.Lock.create ~name:"ptl" ~obs:t.obs ?choice:t.pf_choice () in
   ignore (Sync.Lock.try_acquire ptl ~owner:name);
   let transit =
     { ec; expected = 1; frame; prefetch;

@@ -13,7 +13,12 @@ type policy =
 
 type t
 
-val create : policy -> t
+val create : ?choice:Multics_choice.Choice.t -> policy -> t
+(** [choice] (default inert) governs which ready process [next]
+    removes — the priority-ladder order under the inert strategy, a
+    strategy-picked candidate (domain ["sched.next"], ids = pids in
+    ladder order) otherwise. *)
+
 val policy : t -> policy
 
 val enqueue : t -> int -> unit
@@ -27,6 +32,10 @@ val next : t -> int option
 
 val quantum_for : t -> int -> int
 (** Quantum, in actions, the process should receive now. *)
+
+val enqueued : t -> int list
+(** Every queued pid in ladder order (level 0 first, FIFO within a
+    level), without removing any — the invariant oracle's view. *)
 
 val ready_count : t -> int
 val decisions : t -> int

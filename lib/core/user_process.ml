@@ -42,6 +42,7 @@ type t = {
   segment : Segment.t;
   vp : Vp.t;
   sched : Scheduler.t;
+  up_choice : Multics_choice.Choice.t option;
   procs_tbl : (int, proc) Hashtbl.t;
   mutable next_pid : int;
   work_ec : Sync.Eventcount.t;
@@ -65,13 +66,14 @@ let entry t ~caller ns =
   Tracer.call t.tracer ~from:caller ~to_:name;
   charge t (Cost.kernel_call + ns)
 
-let create ~machine ~meter ~tracer ~known ~address_space ~segment ~vp ~policy
-    ~state_pack =
+let create ?choice ~machine ~meter ~tracer ~known ~address_space ~segment ~vp
+    ~policy ~state_pack () =
   let obs = Hw.Machine.obs machine in
   { machine; meter; tracer; obs; known; address_space; segment; vp;
-    sched = Scheduler.create policy;
+    sched = Scheduler.create ?choice policy;
+    up_choice = choice;
     procs_tbl = Hashtbl.create 32; next_pid = 1;
-    work_ec = Sync.Eventcount.create ~name:"upm.work" ~obs ();
+    work_ec = Sync.Eventcount.create ~name:"upm.work" ~obs ?choice ();
     wake_queue =
       Sync.Msg_queue.create ~name:"upm.wakeups" ~obs ~capacity:64 ();
     user_ecs = Hashtbl.create 16; state_pack; interpreter = None;
@@ -95,7 +97,7 @@ let user_eventcount t ec_name =
   | None ->
       let ec =
         Sync.Eventcount.create ~name:("user." ^ ec_name)
-          ~histo:"ec.wait:user" ~obs:t.obs ()
+          ~histo:"ec.wait:user" ~obs:t.obs ?choice:t.up_choice ()
       in
       Hashtbl.replace t.user_ecs ec_name ec;
       ec

@@ -55,10 +55,14 @@ type interp_outcome =
 type t
 
 val create :
+  ?choice:Multics_choice.Choice.t ->
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t ->
   known:Known_segment.t -> address_space:Address_space.t ->
   segment:Segment.t -> vp:Vp.t -> policy:Scheduler.policy ->
-  state_pack:int -> t
+  state_pack:int -> unit -> t
+(** [choice] is threaded into the level-2 scheduler's pick and every
+    eventcount this manager creates (the work eventcount and the
+    user-visible ones). *)
 
 val set_interpreter : t -> (proc -> interp_outcome) -> unit
 (** Installed by the kernel facade before any process runs. *)

@@ -20,9 +20,10 @@ let entry t ~caller base_cost =
   Meter.charge t.meter ~manager:name (Registry.language name)
     (Cost.kernel_call + base_cost)
 
-let create ?(faults = Hw.Fault_inject.none) ~machine ~meter ~tracer () =
+let create ?(faults = Hw.Fault_inject.none) ?choice ~machine ~meter ~tracer ()
+    =
   let io =
-    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk ~faults
+    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk ~faults ?choice
       ~now:(fun () -> Hw.Machine.now machine)
       ~schedule:(Hw.Machine.schedule machine) ()
   in

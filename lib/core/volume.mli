@@ -17,10 +17,11 @@
 type t
 
 val create :
-  ?faults:Multics_hw.Fault_inject.t ->
+  ?faults:Multics_hw.Fault_inject.t -> ?choice:Multics_choice.Choice.t ->
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t -> unit -> t
 (** [faults] is handed to the I/O scheduler; the empty plan (the
-    default) makes every error path unreachable. *)
+    default) makes every error path unreachable.  [choice] is handed to
+    the I/O scheduler's completion-delivery choice point. *)
 
 val set_signals : t -> Upward_signal.t -> unit
 (** Wire the upward-signal queue; until then offline events are only

@@ -1,5 +1,6 @@
 module Hw = Multics_hw
 module Sync = Multics_sync
+module Choice = Multics_choice.Choice
 
 type run_result =
   | Continue of int
@@ -33,13 +34,14 @@ type t = {
   cpus : cpu_slot array;
   state_region : Core_segment.region;
   core : Core_segment.t;
+  vp_choice : Choice.t;
   mutable rr_next : int;  (* round-robin scan start *)
   mutable dispatches : int;
   mutable context_switches : int;
   mutable ww_saves : int;
 }
 
-let create ~machine ~meter ~tracer ~core ~n_vps =
+let create ?(choice = Choice.default) ~machine ~meter ~tracer ~core ~n_vps () =
   assert (n_vps > 0);
   (* One state word per VP, kept in a core segment: the whole point of
      the fixed-number design is that these states are always in primary
@@ -54,8 +56,8 @@ let create ~machine ~meter ~tracer ~core ~n_vps =
       Array.init (Array.length machine.Hw.Machine.cpus) (fun cpu_id ->
           { cpu_id; busy = false; last_vp = -1; idle_since = 0; idle_ns = 0;
             busy_ns = 0 });
-    state_region; core; rr_next = 0; dispatches = 0; context_switches = 0;
-    ww_saves = 0 }
+    state_region; core; vp_choice = choice; rr_next = 0; dispatches = 0;
+    context_switches = 0; ww_saves = 0 }
 
 let n_vps t = Array.length t.vps
 
@@ -68,6 +70,17 @@ let encode_state = function
   | `Ready -> 1
   | `Running -> 2
   | `Waiting -> 3
+
+(* The wired state word is the manager's ground truth (the whole point
+   of keeping VP states in a core segment); the invariant oracle asserts
+   the in-record state never drifts from it. *)
+let state_word_agrees t i =
+  let v =
+    if i < 0 || i >= Array.length t.vps then
+      invalid_arg "Vp.state_word_agrees: bad index"
+    else t.vps.(i)
+  in
+  Core_segment.read t.core t.state_region i = encode_state v.vp_state
 
 let set_state t v s =
   v.vp_state <- s;
@@ -93,7 +106,22 @@ let find_idle t =
    rotate.  Without the affinity preference every dispatch step would
    pay a context switch even when only one VP is runnable. *)
 let pick_ready t ~last =
-  if last >= 0 && last < Array.length t.vps && t.vps.(last).vp_state = `Ready
+  if Choice.is_active t.vp_choice then begin
+    (* Active strategy: any ready VP may win the dispatch, ignoring the
+       affinity preference — the explorer's model of CPUs racing for
+       work. *)
+    let ready =
+      Array.to_list t.vps |> List.filter (fun v -> v.vp_state = `Ready)
+    in
+    match ready with
+    | [] -> None
+    | _ ->
+        let ids = Array.of_list (List.map (fun v -> v.vp_id) ready) in
+        let i = Choice.pick t.vp_choice ~domain:"vp.dispatch" ~ids in
+        Some (List.nth ready i)
+  end
+  else if last >= 0 && last < Array.length t.vps
+          && t.vps.(last).vp_state = `Ready
   then Some t.vps.(last)
   else begin
     let n = Array.length t.vps in

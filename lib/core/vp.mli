@@ -33,11 +33,20 @@ type vp = {
 type t
 
 val create :
+  ?choice:Multics_choice.Choice.t ->
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t ->
-  core:Core_segment.t -> n_vps:int -> t
+  core:Core_segment.t -> n_vps:int -> unit -> t
+(** [choice] (default inert) governs which ready VP a free CPU
+    dispatches — the affinity-then-round-robin scan under the inert
+    strategy, a strategy-picked ready VP (domain ["vp.dispatch"],
+    ids = vp ids) otherwise. *)
 
 val n_vps : t -> int
 val vp : t -> int -> vp
+
+val state_word_agrees : t -> int -> bool
+(** Whether VP [i]'s wired state word (in the core segment) encodes its
+    in-record state — an invariant the consistency oracle checks. *)
 
 val bind : t -> vp_id:int -> name:string -> step:(vp -> run_result) -> unit
 (** Bind an idle VP and mark it ready.  Raises [Invalid_argument] if the

@@ -1,3 +1,5 @@
+module Choice = Multics_choice.Choice
+
 type config = {
   max_batch : int;
   seek_ns : int;
@@ -62,6 +64,7 @@ type t = {
   config : config;
   schedule : delay:int -> (unit -> unit) -> unit;
   faults : Fault_inject.t;
+  choice : Choice.t;
   now : unit -> int;
   packs : pack_state array;
   (* (pack, record) -> (seq, image) of the latest unapplied write, so
@@ -89,14 +92,14 @@ type t = {
   mutable batch_seq : int;  (* async-span pairing ids for the exporter *)
 }
 
-let create ?config ?(faults = Fault_inject.none) ?(now = fun () -> 0) ~disk
-    ~schedule () =
+let create ?config ?(faults = Fault_inject.none)
+    ?(choice = Choice.default) ?(now = fun () -> 0) ~disk ~schedule () =
   let config =
     match config with Some c -> c | None -> config_of_disk disk
   in
   assert (config.max_batch > 0 && config.seek_ns >= 0 && config.transfer_ns > 0);
   assert (config.retry_limit > 0 && config.retry_backoff_ns > 0);
-  { disk; config; schedule; faults; now;
+  { disk; config; schedule; faults; choice; now;
     packs =
       Array.init (Disk.n_packs disk) (fun id ->
           { id; queue = []; current = None; retrying = []; head_pos = 0;
@@ -256,12 +259,27 @@ and attempt_failed t pack (r : req) ~sync =
     end
   end
 
+(* Deliver the sweep's completions one at a time in strategy order.
+   Sweep order (the inert default) reflects the arm's travel, but the
+   interrupt side of a real channel imposes no such order — that is the
+   delivery-order race the explorer probes. *)
+let rec deliver_chosen ~sync t p = function
+  | [] -> ()
+  | [ r ] -> execute_req ~sync t p.id r
+  | rs ->
+      let ids = Array.of_list (List.map (fun (r : req) -> r.seq) rs) in
+      let i = Choice.pick t.choice ~domain:"io.deliver" ~ids in
+      execute_req ~sync t p.id (List.nth rs i);
+      deliver_chosen ~sync t p (List.filteri (fun j _ -> j <> i) rs)
+
 let finish_batch ?(sync = false) t p batch cost =
   t.batches <- t.batches + 1;
   t.busy_ns <- t.busy_ns + cost;
   let size = List.length batch in
   if size > t.max_batch_seen then t.max_batch_seen <- size;
-  List.iter (execute_req ~sync t p.id) batch;
+  if not (Choice.is_active t.choice) then
+    List.iter (execute_req ~sync t p.id) batch
+  else deliver_chosen ~sync t p batch;
   Multics_obs.Sink.count t.obs "io.batch";
   Multics_obs.Sink.add_latency t.obs ~name:"io.batch" cost;
   t.on_batch ~pack:p.id ~size ~cost_ns:cost

@@ -64,13 +64,17 @@ type io_error =
 val pp_io_error : Format.formatter -> io_error -> unit
 
 val create :
-  ?config:config -> ?faults:Fault_inject.t -> ?now:(unit -> int) ->
+  ?config:config -> ?faults:Fault_inject.t ->
+  ?choice:Multics_choice.Choice.t -> ?now:(unit -> int) ->
   disk:Disk.t -> schedule:(delay:int -> (unit -> unit) -> unit) -> unit -> t
 (** [schedule] plants dispatch and completion events; wire it to
     [Machine.schedule].  [faults] is the fault plan consulted on every
     service attempt (default {!Fault_inject.none}); [now] reads the
     simulated clock for pack-offline decisions (default always 0,
-    which is only safe with no offline events planned). *)
+    which is only safe with no offline events planned).  [choice]
+    (default inert) governs the order a sweep's completions are
+    delivered — sweep order under the inert strategy, strategy-picked
+    (domain ["io.deliver"], ids = submission sequence) otherwise. *)
 
 val single_transfer_ns : t -> int
 (** [seek_ns + transfer_ns]: the cost of one unbatched transfer, and

@@ -1,26 +1,57 @@
-type waiter = { threshold : int; notify : unit -> unit; since : int }
+module Choice = Multics_choice.Choice
+
+type waiter = {
+  threshold : int;
+  notify : unit -> unit;
+  since : int;
+  w_seq : int;  (* registration order; the choice point's stable id *)
+}
 
 type t = {
   ec_name : string;
   ec_obs : Multics_obs.Sink.t;
   ec_histo : string;  (* wait-time histogram key, built once at create *)
+  ec_choice : Choice.t;
   mutable value : int;
   mutable pending : waiter list;  (* newest first *)
   mutable advance_count : int;
+  mutable wait_seq : int;
 }
 
-let create ?(name = "ec") ?histo ?obs () =
+let create ?(name = "ec") ?histo ?obs ?(choice = Choice.default) () =
   let ec_obs =
     match obs with Some s -> s | None -> Multics_obs.Sink.disabled ()
   in
   let ec_histo =
     match histo with Some h -> h | None -> "ec.wait:" ^ name
   in
-  { ec_name = name; ec_obs; ec_histo; value = 0; pending = [];
-    advance_count = 0 }
+  { ec_name = name; ec_obs; ec_histo; ec_choice = choice; value = 0;
+    pending = []; advance_count = 0; wait_seq = 0 }
 
 let name t = t.ec_name
 let read t = t.value
+
+let fire t w =
+  if Multics_obs.Sink.counting t.ec_obs then begin
+    Multics_obs.Sink.add_latency t.ec_obs ~name:t.ec_histo
+      (Multics_obs.Sink.now t.ec_obs - w.since);
+    Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wakeup" ()
+  end;
+  w.notify ()
+
+(* Fire the ready waiters one at a time in strategy order: each pick
+   removes one waiter from the remaining set, and a fired notification
+   may legitimately register new waiters (they joined [pending] above
+   and wait for a later advance). *)
+let rec fire_chosen t = function
+  | [] -> ()
+  | [ w ] -> fire t w
+  | ready ->
+      let ids = Array.of_list (List.map (fun w -> w.w_seq) ready) in
+      let i = Choice.pick t.ec_choice ~domain:"ec.wakeup" ~ids in
+      let w = List.nth ready i in
+      fire t w;
+      fire_chosen t (List.filteri (fun j _ -> j <> i) ready)
 
 let advance t =
   t.value <- t.value + 1;
@@ -30,23 +61,20 @@ let advance t =
     List.partition (fun w -> w.threshold <= t.value) t.pending
   in
   t.pending <- still;
-  (* Fire in registration order. *)
-  List.iter
-    (fun w ->
-      if Multics_obs.Sink.counting t.ec_obs then begin
-        Multics_obs.Sink.add_latency t.ec_obs ~name:t.ec_histo
-          (Multics_obs.Sink.now t.ec_obs - w.since);
-        Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wakeup" ()
-      end;
-      w.notify ())
-    (List.rev ready)
+  if not (Choice.is_active t.ec_choice) then
+    (* Fire in registration order. *)
+    List.iter (fire t) (List.rev ready)
+  else fire_chosen t (List.rev ready)
 
 let await t ~value ~notify =
   if t.value >= value then true
   else begin
     Multics_obs.Sink.count t.ec_obs "ec.wait";
+    let w_seq = t.wait_seq in
+    t.wait_seq <- w_seq + 1;
     t.pending <-
-      { threshold = value; notify; since = Multics_obs.Sink.now t.ec_obs }
+      { threshold = value; notify; since = Multics_obs.Sink.now t.ec_obs;
+        w_seq }
       :: t.pending;
     false
   end

@@ -12,12 +12,15 @@
 type t
 
 val create :
-  ?name:string -> ?histo:string -> ?obs:Multics_obs.Sink.t -> unit -> t
+  ?name:string -> ?histo:string -> ?obs:Multics_obs.Sink.t ->
+  ?choice:Multics_choice.Choice.t -> unit -> t
 (** [obs], when given, receives per-wakeup wait-time samples in the
     histogram named [histo] (default ["ec.wait:" ^ name]) — the time
     between a waiter's registration and the advance that fired it.
     Pass [histo] explicitly for short-lived eventcounts (page-transit
-    counts) so samples pool instead of spawning a histogram each. *)
+    counts) so samples pool instead of spawning a histogram each.
+    [choice] (default inert) governs the order waiters fire when one
+    [advance] readies several at once — the schedule explorer's hook. *)
 
 val name : t -> string
 
@@ -26,7 +29,9 @@ val read : t -> int
 
 val advance : t -> unit
 (** Increment the count and fire every waiter whose threshold has been
-    reached.  Waiters fire in registration order. *)
+    reached.  Waiters fire in registration order under the inert
+    strategy; an active [choice] strategy picks the firing order
+    (domain ["ec.wakeup"], ids = registration sequence). *)
 
 val await : t -> value:int -> notify:(unit -> unit) -> bool
 (** [await t ~value ~notify] returns [true] immediately when

@@ -1,22 +1,34 @@
+module Choice = Multics_choice.Choice
+
+type waiter = {
+  wq_owner : string;
+  wq_notify : unit -> unit;
+  wq_since : int;
+  wq_seq : int;  (* enqueue order; the choice point's stable id *)
+}
+
 type t = {
   lock_name : string;
   lk_obs : Multics_obs.Sink.t;
   lk_hold : string;  (* hold-time histogram key, built once at create *)
   lk_wait : string;  (* handoff-wait histogram key *)
+  lk_choice : Choice.t;
   mutable owner : string option;
   mutable held_since : int;
-  mutable queue : (string * (unit -> unit) * int) list;  (* newest first *)
+  mutable queue : waiter list;  (* newest first *)
   mutable acquisitions : int;
   mutable contentions : int;
+  mutable wait_seq : int;
 }
 
-let create ?(name = "lock") ?obs () =
+let create ?(name = "lock") ?obs ?(choice = Choice.default) () =
   let lk_obs =
     match obs with Some s -> s | None -> Multics_obs.Sink.disabled ()
   in
   { lock_name = name; lk_obs; lk_hold = "lock.hold:" ^ name;
-    lk_wait = "lock.wait:" ^ name; owner = None; held_since = 0; queue = [];
-    acquisitions = 0; contentions = 0 }
+    lk_wait = "lock.wait:" ^ name; lk_choice = choice; owner = None;
+    held_since = 0; queue = []; acquisitions = 0; contentions = 0;
+    wait_seq = 0 }
 
 let name t = t.lock_name
 
@@ -37,9 +49,31 @@ let acquire_or_wait t ~owner ~notify =
   if try_acquire t ~owner then true
   else begin
     (* try_acquire already counted the contention. *)
-    t.queue <- (owner, notify, Multics_obs.Sink.now t.lk_obs) :: t.queue;
+    let wq_seq = t.wait_seq in
+    t.wait_seq <- wq_seq + 1;
+    t.queue <-
+      { wq_owner = owner; wq_notify = notify;
+        wq_since = Multics_obs.Sink.now t.lk_obs; wq_seq }
+      :: t.queue;
     false
   end
+
+(* Pick the waiter the lock hands off to.  The inert strategy takes the
+   oldest (FIFO — the existing behaviour); an active strategy chooses
+   among all of them, modelling an unfair race for the lock word. *)
+let next_waiter t =
+  match List.rev t.queue with
+  | [] -> None
+  | oldest :: _ as waiting ->
+      let w =
+        if not (Choice.is_active t.lk_choice) then oldest
+        else
+          let ids = Array.of_list (List.map (fun w -> w.wq_seq) waiting) in
+          let i = Choice.pick t.lk_choice ~domain:"lock.handoff" ~ids in
+          List.nth waiting i
+      in
+      t.queue <- List.filter (fun x -> x != w) t.queue;
+      Some w
 
 let release t =
   match t.owner with
@@ -48,16 +82,16 @@ let release t =
       let now = Multics_obs.Sink.now t.lk_obs in
       Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_hold
         (now - t.held_since);
-      (match List.rev t.queue with
-      | [] -> t.owner <- None
-      | (next_owner, notify, since) :: rest ->
-          t.queue <- List.rev rest;
-          t.owner <- Some next_owner;
+      (match next_waiter t with
+      | None -> t.owner <- None
+      | Some w ->
+          t.owner <- Some w.wq_owner;
           t.held_since <- now;
           t.acquisitions <- t.acquisitions + 1;
           Multics_obs.Sink.count t.lk_obs "lock.acquire";
-          Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_wait (now - since);
-          notify ())
+          Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_wait
+            (now - w.wq_since);
+          w.wq_notify ())
 
 let holder t = t.owner
 let held_since t = t.held_since

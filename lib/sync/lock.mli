@@ -8,11 +8,15 @@
 
 type t
 
-val create : ?name:string -> ?obs:Multics_obs.Sink.t -> unit -> t
+val create :
+  ?name:string -> ?obs:Multics_obs.Sink.t ->
+  ?choice:Multics_choice.Choice.t -> unit -> t
 (** [obs], when given, receives a ["lock.hold:" ^ name] histogram
     sample on every release (simulated time held) and a
     ["lock.wait:" ^ name] sample on every queued handoff (time the
-    next owner spent waiting). *)
+    next owner spent waiting).  [choice] (default inert) governs which
+    queued contender a release hands the lock to — FIFO under the inert
+    strategy, strategy-picked (domain ["lock.handoff"]) otherwise. *)
 
 val name : t -> string
 
@@ -25,8 +29,9 @@ val acquire_or_wait : t -> owner:string -> notify:(unit -> unit) -> bool
     the current holder releases. *)
 
 val release : t -> unit
-(** Raises [Invalid_argument] when not held.  Hands the lock to the next
-    queued contender, if any, and fires its callback. *)
+(** Raises [Invalid_argument] when not held.  Hands the lock to the
+    next queued contender (FIFO, unless an active [choice] strategy
+    picks another), if any, and fires its callback. *)
 
 val holder : t -> string option
 

@@ -49,18 +49,19 @@ let program_gen =
     let* actions = list_size (1 -- 25) action_gen in
     return (Array.of_list (actions @ [ K.Workload.Terminate ])))
 
+let print_programs programs =
+  String.concat "\n---\n"
+    (List.map
+       (fun prog ->
+         String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun a -> Format.asprintf "%a" K.Workload.pp_action a)
+                 prog)))
+       programs)
+
 let programs_arb =
-  QCheck.make
-    ~print:(fun programs ->
-      String.concat "\n---\n"
-        (List.map
-           (fun prog ->
-             String.concat "; "
-               (Array.to_list
-                  (Array.map
-                     (fun a -> Format.asprintf "%a" K.Workload.pp_action a)
-                     prog)))
-           programs))
+  QCheck.make ~print:print_programs
     QCheck.Gen.(list_size (1 -- 4) program_gen)
 
 (* Every process must end (done or failed) and the event queue must
@@ -179,6 +180,91 @@ let prop_fuzz_deterministic =
       run () = run ())
 
 (* ------------------------------------------------------------------ *)
+(* Schedule fuzz: the same programs under a random-schedule strategy —
+   wakeup order, lock handoffs, dispatch picks and I/O completion
+   delivery are all decided by a seeded PRNG instead of the built-in
+   deterministic rules.  Whatever the interleaving, the conservation
+   laws hold: pages in quota cells and frames in the free pool are
+   neither created nor destroyed.  Failures print the schedule seed, so
+   a broken interleaving replays exactly. *)
+
+let scheduled_arb =
+  QCheck.make
+    ~print:(fun (seed, programs) ->
+      Printf.sprintf "schedule seed %d\n%s" seed (print_programs programs))
+    QCheck.Gen.(pair (int_bound 100_000) (list_size (1 -- 4) program_gen))
+
+let quiescent_scheduled seed programs =
+  let choice = Multics_choice.Choice.random ~seed () in
+  let k =
+    K.Kernel.boot
+      { K.Kernel.small_config with K.Kernel.choice = Some choice }
+  in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  List.iteri
+    (fun i prog -> ignore (K.Kernel.spawn k ~pname:(Printf.sprintf "sz%d" i) prog))
+    programs;
+  K.Kernel.run ~max_events:500_000 k;
+  k
+
+let prop_fuzz_schedule_conservation =
+  QCheck.Test.make
+    ~name:"fuzz: quota and free pool conserved under random schedules"
+    ~count:40 scheduled_arb
+    (fun (seed, programs) ->
+      let k = quiescent_scheduled seed programs in
+      let pfm = K.Kernel.page_frame k in
+      let used = ref 0 in
+      K.Page_frame.iter_used pfm (fun ~frame:_ ~ptw_abs:_ -> incr used);
+      let free_ok =
+        !used + K.Page_frame.free_frames pfm = K.Page_frame.n_frames pfm
+      in
+      let expected = K.Invariants.expected_quota k in
+      let quota_ok =
+        List.for_all
+          (fun (cell, used, limit) ->
+            used >= 0 && used <= limit
+            && match List.assoc_opt cell expected with
+               | Some pages -> pages = used
+               | None -> true)
+          (K.Quota_cell.registered (K.Kernel.quota k))
+      in
+      if not (free_ok && quota_ok) then
+        Printf.printf
+          "schedule seed %d: free pool %s, quota %s — replay with \
+           Choice.random ~seed:%d\n"
+          seed
+          (if free_ok then "ok" else "LEAKED")
+          (if quota_ok then "ok" else "LEAKED")
+          seed;
+      free_ok && quota_ok)
+
+let prop_fuzz_schedule_invariants =
+  QCheck.Test.make
+    ~name:"fuzz: global invariants hold under random schedules" ~count:30
+    scheduled_arb
+    (fun (seed, programs) ->
+      let k = quiescent_scheduled seed programs in
+      match K.Invariants.check k with
+      | [] -> true
+      | problems ->
+          Printf.printf "schedule seed %d:\n" seed;
+          List.iter (fun p -> Printf.printf "invariant: %s\n" p) problems;
+          false)
+
+let prop_fuzz_schedule_deterministic =
+  QCheck.Test.make
+    ~name:"fuzz: identical schedule seeds give identical runs" ~count:15
+    scheduled_arb
+    (fun (seed, programs) ->
+      let run () =
+        let k = quiescent_scheduled seed programs in
+        (K.Kernel.now k, K.Kernel.denials k,
+         K.Page_frame.evictions (K.Kernel.page_frame k))
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
 (* Fault-plan fuzz: seeded random fault plans (transient errors, bad
    records, pack-offline, power failure) thrown at a fixed workload.
    Whatever the plan does, repair restores the global invariants, and
@@ -273,5 +359,8 @@ let tests =
     qcheck prop_fuzz_legacy_kernel;
     qcheck prop_fuzz_cramped;
     qcheck prop_fuzz_deterministic;
+    qcheck prop_fuzz_schedule_conservation;
+    qcheck prop_fuzz_schedule_invariants;
+    qcheck prop_fuzz_schedule_deterministic;
     qcheck prop_fuzz_fault_plans;
     qcheck prop_fuzz_fault_plans_deterministic ]

@@ -214,6 +214,138 @@ let test_torn_write_repaired () =
   check Alcotest.bool "pre-crash image kept" true
     (before = Hw.Disk.read_record disk ~pack:hp ~record:hr)
 
+(* A power failure in the middle of a salvage: the first salvage has
+   already applied some repairs (they are individually atomic) when the
+   machine dies, leaving its own in-flight work half done.  The reboot's
+   re-salvage must pick up where the dead one stopped and converge —
+   salvaging is restartable and idempotent, never making things worse. *)
+let test_crash_during_salvage () =
+  let k0 = populated_kernel () in
+  K.Kernel.shutdown k0;
+  let k = K.Kernel.reboot K.Kernel.small_config ~from:k0 in
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  (* The original crash damage: a leaked record and a torn data page. *)
+  ignore (Hw.Disk.alloc_record disk ~pack:0);
+  let _pack, _index, vtoc = deactivated_data_segment k in
+  let handle =
+    let found = ref None in
+    Array.iter (fun h -> if h >= 0 && !found = None then found := Some h)
+      vtoc.Hw.Disk.file_map;
+    Option.get !found
+  in
+  Hw.Disk.mark_torn disk
+    ~pack:(Hw.Disk.pack_of_handle handle)
+    ~record:(Hw.Disk.record_of_handle handle);
+  (* First salvage: it gets through (at least) these repairs... *)
+  let first = K.Salvager.repair k in
+  check Alcotest.bool "first salvage repaired something" true (first > 0);
+  (* ...then the power fails mid-salvage: a record the salvager had
+     just claimed for a relocation is left allocated but unreferenced,
+     and the machine dies before the final verification pass — so no
+     shutdown, the new incarnation sees the disk exactly as left. *)
+  ignore (Hw.Disk.alloc_record disk ~pack:1);
+  let k2 = K.Kernel.reboot K.Kernel.small_config ~from:k in
+  let findings = K.Salvager.scan k2 in
+  check Alcotest.bool "interrupted salvage left damage behind" true
+    (findings <> []);
+  ignore (K.Salvager.repair k2);
+  check Alcotest.int "clean after re-salvage" 0
+    (List.length (K.Salvager.scan k2));
+  check Alcotest.int "invariants clean after re-salvage" 0
+    (List.length (K.Invariants.check k2));
+  (* A third salvage finds nothing left to do. *)
+  check Alcotest.int "salvage is idempotent" 0 (K.Salvager.repair k2)
+
+(* A torn write on the backing record of a directory whose quota cell
+   was registered in the very same instant: the registration is in the
+   cell cache, the tear is on disk, and the salvager must accept the
+   record's last complete image without losing the new cell. *)
+let test_torn_quota_vtoc_same_instant () =
+  let k0 = populated_kernel () in
+  K.Kernel.shutdown k0;
+  let k = K.Kernel.reboot K.Kernel.small_config ~from:k0 in
+  (* A brand-new childless directory: the only kind whose quota status
+     may still change. *)
+  K.Kernel.mkdir k ~path:">home>n" ~acl:open_acl ~label:low;
+  let disk = (K.Kernel.machine k).Hw.Machine.disk in
+  let dir = K.Kernel.directory k in
+  let subject = K.Kernel.root_subject in
+  let uid_home, uid_n =
+    let root = K.Directory.root_uid dir in
+    match K.Directory.search dir ~caller:"test" ~subject ~dir_uid:root ~name:"home" with
+    | `No_entry -> Alcotest.fail ">home missing"
+    | `Found home -> (
+        match
+          K.Directory.search dir ~caller:"test" ~subject ~dir_uid:home ~name:"n"
+        with
+        | `No_entry -> Alcotest.fail ">home>n missing"
+        | `Found uid -> (home, uid))
+  in
+  (* The cell registers against the VTOC slot the entry records. *)
+  let pack, index =
+    match
+      List.find_opt (fun (uid, _, _) -> uid = uid_n) (K.Directory.entries_index dir)
+    with
+    | Some (_, pack, index) -> (pack, index)
+    | None -> Alcotest.fail ">home>n has no recorded VTOC slot"
+  in
+  (* >home's payload (holding n's entry and its quota binding) is backed
+     by records surviving from the previous incarnation's shutdown. *)
+  let hpack, hindex =
+    Option.get (K.Volume.locate (K.Kernel.volume k) ~uid:uid_home)
+  in
+  (* The same simulated instant: register the quota cell, then the
+     power fails mid-flush of the directory's backing record. *)
+  let instant = K.Kernel.now k in
+  K.Kernel.set_quota k ~path:">home>n" ~limit:8;
+  check Alcotest.int "registration is instantaneous" instant (K.Kernel.now k);
+  let vtoc =
+    K.Volume.vtoc (K.Kernel.volume k) ~caller:"test" ~pack:hpack ~index:hindex
+  in
+  let handle =
+    let found = ref None in
+    Array.iter (fun h -> if h >= 0 && !found = None then found := Some h)
+      vtoc.Hw.Disk.file_map;
+    Option.get !found
+  in
+  let hp = Hw.Disk.pack_of_handle handle
+  and hr = Hw.Disk.record_of_handle handle in
+  let before = Hw.Disk.read_record disk ~pack:hp ~record:hr in
+  Hw.Disk.mark_torn disk ~pack:hp ~record:hr;
+  check Alcotest.int "tear landed in the registration instant" instant
+    (K.Kernel.now k);
+  check Alcotest.bool "cell is registered" true
+    (K.Quota_cell.lookup (K.Kernel.quota k) ~pack ~vtoc_index:index <> None);
+  let findings = K.Salvager.scan k in
+  check Alcotest.bool "torn write found and repairable" true
+    (List.exists
+       (fun f ->
+         f.K.Salvager.f_kind = K.Salvager.Torn_write && f.K.Salvager.f_repairable)
+       findings);
+  ignore (K.Salvager.repair k);
+  check Alcotest.int "clean after repair" 0 (List.length (K.Salvager.scan k));
+  check Alcotest.int "invariants clean after repair" 0
+    (List.length (K.Invariants.check k));
+  check Alcotest.bool "last complete image kept" true
+    (before = Hw.Disk.read_record disk ~pack:hp ~record:hr);
+  (* The freshly registered cell survived the salvage and still meters:
+     write two pages under it and the usage shows exactly two. *)
+  check Alcotest.bool "cell survived salvage" true
+    (K.Quota_cell.lookup (K.Kernel.quota k) ~pack ~vtoc_index:index <> None);
+  K.Kernel.create_file k ~path:">home>n>f" ~acl:open_acl ~label:low;
+  let prog =
+    K.Workload.concat
+      [ [| K.Workload.Initiate { path = ">home>n>f"; reg = 0 } |];
+        K.Workload.sequential_write ~seg_reg:0 ~pages:2 ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"meter" prog);
+  check Alcotest.bool "workload completes" true (K.Kernel.run_to_completion k);
+  match K.Kernel.quota_usage k ~path:">home>n" with
+  | Some (used, limit) ->
+      check Alcotest.int "usage metered" 2 used;
+      check Alcotest.int "limit intact" 8 limit
+  | None -> Alcotest.fail "quota cell lost after salvage"
+
 let tests =
   [ Alcotest.test_case "clean system scans clean" `Quick
       test_clean_system_scans_clean;
@@ -224,4 +356,8 @@ let tests =
     Alcotest.test_case "orphan vtoc reported" `Quick test_detects_orphan_vtoc;
     Alcotest.test_case "stale entry repaired" `Quick test_repairs_stale_entry;
     Alcotest.test_case "damaged page repaired" `Quick test_damaged_page_repaired;
-    Alcotest.test_case "torn write repaired" `Quick test_torn_write_repaired ]
+    Alcotest.test_case "torn write repaired" `Quick test_torn_write_repaired;
+    Alcotest.test_case "crash during salvage, re-salvage converges" `Quick
+      test_crash_during_salvage;
+    Alcotest.test_case "torn write on quota cell's record, same instant"
+      `Quick test_torn_quota_vtoc_same_instant ]

@@ -296,7 +296,7 @@ let vp_fixture () =
   let meter = K.Meter.create () in
   let tracer = K.Tracer.create () in
   let core = K.Core_segment.create ~machine ~meter ~reserved_frames:4 in
-  let vp = K.Vp.create ~machine ~meter ~tracer ~core ~n_vps:3 in
+  let vp = K.Vp.create ~machine ~meter ~tracer ~core ~n_vps:3 () in
   (machine, vp)
 
 let test_vp_run_and_stop () =
