@@ -71,6 +71,71 @@ let legacy_workload () =
        (Bench_util.file_writer ~dir:">home" ~name:"f" ~pages:6));
   assert (L.Old_supervisor.run_to_completion s)
 
+(* Deterministic pseudorandom stream — no wall clock, so every run
+   exercises identical sequences. *)
+let lcg seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s
+
+(* The event queue alone: fill with n pseudorandom times, drain to
+   empty.  Exercises add and pop at every depth up to n — the time
+   wheel's claim is that both stay flat where the old Map's path cost
+   grew with log n. *)
+let eq_fill_drain n () =
+  let q = Hw.Event_queue.create () in
+  let next = lcg 12345 in
+  for _ = 1 to n do
+    Hw.Event_queue.add q ~time:(next ()) (fun () -> ())
+  done;
+  let popped = ref 0 in
+  let rec drain () =
+    match Hw.Event_queue.pop q with
+    | Some _ ->
+        incr popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  assert (!popped = n)
+
+(* The I/O scheduler alone, driven by a private event pump: n reads
+   submitted against one pack, sequential or random record pattern,
+   pumped to completion.  Measures the queue discipline itself —
+   sort, sweep, way choice, completion fan-out — with no kernel above
+   it. *)
+let io_sched_pattern ~random_pattern n () =
+  let disk =
+    Hw.Disk.create ~packs:1 ~records_per_pack:1024
+      ~read_latency_ns:2_000_000
+  in
+  let q = Hw.Event_queue.create () in
+  let clock = ref 0 in
+  let io =
+    Hw.Io_sched.create ~disk
+      ~now:(fun () -> !clock)
+      ~schedule:(fun ~delay fn -> Hw.Event_queue.add q ~time:(!clock + delay) fn)
+      ()
+  in
+  let next = lcg 99 in
+  let completed = ref 0 in
+  for i = 0 to n - 1 do
+    let record = if random_pattern then next () land 1023 else i land 1023 in
+    Hw.Io_sched.submit_read io ~pack:0 ~record ~done_:(fun _ ->
+        incr completed)
+  done;
+  let rec pump () =
+    match Hw.Event_queue.pop q with
+    | Some (t, fn) ->
+        clock := t;
+        fn ();
+        pump ()
+    | None -> ()
+  in
+  pump ();
+  assert (!completed = n)
+
 let tests =
   let open Bechamel in
   [ Test.make ~name:"T1: census apply_all" (Staged.stage t1_census);
@@ -79,7 +144,33 @@ let tests =
     Test.make ~name:"sync: eventcount 8 waiters" (Staged.stage eventcount_cycle);
     Test.make ~name:"kernel: boot" (Staged.stage kernel_boot);
     Test.make ~name:"P4 inner: new-kernel writer" (Staged.stage kernel_workload);
-    Test.make ~name:"P4 inner: legacy writer" (Staged.stage legacy_workload) ]
+    Test.make ~name:"P4 inner: legacy writer" (Staged.stage legacy_workload);
+    Test.make ~name:"eq: fill+drain 1e4" (Staged.stage (eq_fill_drain 10_000));
+    Test.make ~name:"eq: fill+drain 1e5" (Staged.stage (eq_fill_drain 100_000));
+    Test.make ~name:"eq: fill+drain 1e6"
+      (Staged.stage (eq_fill_drain 1_000_000));
+    Test.make ~name:"io: 256 sequential reads"
+      (Staged.stage (io_sched_pattern ~random_pattern:false 256));
+    Test.make ~name:"io: 256 random reads"
+      (Staged.stage (io_sched_pattern ~random_pattern:true 256)) ]
+
+(* BENCH_perf.json rows for the wall-clock numbers.  Unit "ns_wall",
+   not "ns": simulated-time metrics are deterministic and gated against
+   regressions; wall-clock ones move with the host and are recorded for
+   trend-reading only (scripts/perf_gate.sh skips them). *)
+let metric_slugs =
+  [ ("multics T1: census apply_all", "census_apply_all");
+    ("multics F2-F4: figures + loop analysis", "figures_loops");
+    ("multics hw: translation hit", "translation_hit");
+    ("multics sync: eventcount 8 waiters", "eventcount_cycle");
+    ("multics kernel: boot", "kernel_boot");
+    ("multics P4 inner: new-kernel writer", "kernel_writer");
+    ("multics P4 inner: legacy writer", "legacy_writer");
+    ("multics eq: fill+drain 1e4", "eq_fill_drain_1e4");
+    ("multics eq: fill+drain 1e5", "eq_fill_drain_1e5");
+    ("multics eq: fill+drain 1e6", "eq_fill_drain_1e6");
+    ("multics io: 256 sequential reads", "io_sched_seq_256");
+    ("multics io: 256 random reads", "io_sched_rand_256") ]
 
 let run () =
   Bench_util.section "MICRO" "Bechamel wall-clock micro-benchmarks";
@@ -100,6 +191,12 @@ let run () =
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
-      | Some [ ns ] -> Format.printf "  %-40s %12.0f ns/run@." name ns
+      | Some [ ns ] ->
+          Format.printf "  %-40s %12.0f ns/run@." name ns;
+          (match List.assoc_opt name metric_slugs with
+          | Some slug ->
+              Bench_util.record ~section:"micro" ~metric:slug
+                ~unit:"ns_wall" ns
+          | None -> ())
       | _ -> Format.printf "  %-40s %12s@." name "n/a")
     (List.sort compare rows)

@@ -292,6 +292,12 @@ let perf_memory () =
       in
       let new_reads = K.Page_frame.page_reads (K.Kernel.page_frame k) in
       let new_elapsed = K.Kernel.now k - t0 in
+      Bench_util.recordi ~section:"P4"
+        ~metric:(Printf.sprintf "touch_elapsed_ns_old_%df" frames)
+        old_elapsed;
+      Bench_util.recordi ~section:"P4"
+        ~metric:(Printf.sprintf "touch_elapsed_ns_new_%df" frames)
+        new_elapsed;
       (* Fewer than a handful of faults means the column would measure
          process setup, not the fault path. *)
       let per f n =

@@ -58,6 +58,34 @@ let disk_checksum k =
   done;
   !h
 
+(* The words a reader of every file would see, ignoring record
+   placement: an unallocated page reads as zeros, which is also exactly
+   what a zero-reclaimed record held.  Invariant to when the replacement
+   clock caught an all-zero page — the one disk-state decision that
+   legitimately moves with I/O timing — where [disk_checksum] is not. *)
+let disk_checksum_logical k =
+  let d = (K.Kernel.machine k).Hw.Machine.disk in
+  let h = ref 0 in
+  let mix v = h := (((!h * 31) + v + 1) lxor (!h lsr 17)) land max_int in
+  for pack = 0 to Hw.Disk.n_packs d - 1 do
+    List.iter
+      (fun (index, (e : Hw.Disk.vtoc_entry)) ->
+        mix index;
+        mix e.Hw.Disk.uid;
+        mix e.Hw.Disk.len_pages;
+        Array.iter
+          (fun handle ->
+            if handle >= 0 then
+              Array.iter mix
+                (Hw.Disk.read_record d
+                   ~pack:(Hw.Disk.pack_of_handle handle)
+                   ~record:(Hw.Disk.record_of_handle handle))
+            else for _ = 1 to Hw.Addr.page_size do mix 0 done)
+          e.Hw.Disk.file_map)
+      (Hw.Disk.vtoc_entries d ~pack)
+  done;
+  !h
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable metrics.  Sections push rows here; main writes the
    accumulated list to BENCH_perf.json after the run. *)
@@ -97,8 +125,58 @@ let json_number v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
+(* One row of the one-line-per-row shape [write_metrics] emits; anything
+   else (the brackets, a hand-edited file) parses to None and is
+   dropped. *)
+let parse_row line =
+  let line = String.trim line in
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = ',' then String.sub line 0 (n - 1) else line
+  in
+  try
+    Scanf.sscanf line
+      "{\"section\": %S, \"metric\": %S, \"value\": %f, \"unit\": %S}"
+      (fun s m v u ->
+        Some { m_section = s; m_metric = m; m_value = v; m_unit = u })
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let read_metrics ~path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rows = ref [] in
+      (try
+         while true do
+           match parse_row (input_line ic) with
+           | Some m -> rows := m :: !rows
+           | None -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !rows
+
+(* Merge-by-section: rows from sections that ran replace that section's
+   rows in the existing file; sections that did not run are kept.  A
+   partial run (`bench C2`) therefore refreshes its own table without
+   clobbering the rest.  Sections are written in sorted order and rows
+   in recording order, so the same set of rows always produces the same
+   bytes regardless of which runs contributed them. *)
 let write_metrics ~path =
-  let rows = List.rev !metrics in
+  let fresh = List.rev !metrics in
+  let ran = List.sort_uniq compare (List.map (fun m -> m.m_section) fresh) in
+  let kept =
+    List.filter (fun m -> not (List.mem m.m_section ran)) (read_metrics ~path)
+  in
+  let rows = kept @ fresh in
+  let sections =
+    List.sort_uniq compare (List.map (fun m -> m.m_section) rows)
+  in
+  let rows =
+    List.concat_map
+      (fun s -> List.filter (fun m -> m.m_section = s) rows)
+      sections
+  in
   let n = List.length rows in
   let oc = open_out path in
   output_string oc "[\n";
@@ -113,7 +191,8 @@ let write_metrics ~path =
     rows;
   output_string oc "]\n";
   close_out oc;
-  Format.printf "@.%d metrics -> %s@." n path
+  Format.printf "@.%d metrics -> %s (%d refreshed, %d kept)@." n path
+    (List.length fresh) (List.length kept)
 
 let write_section_metrics ~section ~path =
   let saved = !metrics in

@@ -535,7 +535,13 @@ let write_bytes t slot bytes =
     let offset = index mod Hw.Addr.page_size in
     match Segment.write_word t.segment ~caller:name ~slot ~pageno ~offset value with
     | Ok () -> ()
-    | Error _ -> failwith "Directory.persist: directory segment full"
+    | Error e ->
+        failwith
+          (Printf.sprintf "Directory.persist: cannot write directory page (%s)"
+             (match e with
+             | `Over_quota -> "over quota"
+             | `No_space -> "no space"
+             | `Damaged -> "page damaged"))
   in
   put 0 len;
   for i = 1 to n_words - 1 do

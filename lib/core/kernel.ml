@@ -19,6 +19,7 @@ type config = {
   root_quota : int;
   use_path_cache : bool;
   use_io_sched : bool;
+  io_config : Hw.Io_sched.config option;
   read_ahead : int;
   trace : Multics_obs.Sink.mode;
   faults : Hw.Fault_inject.t;
@@ -31,7 +32,7 @@ let default_config =
     user_vps = 4; ast_slots = 64; pt_words = 64; max_processes = 16;
     max_quota_cells = 64; scheduler = Scheduler.Round_robin { quantum = 32 };
     use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
-    use_io_sched = true; read_ahead = 2;
+    use_io_sched = true; io_config = None; read_ahead = 2;
     trace = Multics_obs.Sink.Counters;
     faults = Hw.Fault_inject.none;
     choice = None }
@@ -127,8 +128,8 @@ let rec boot_internal ?previous_disk cfg =
   let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
   let vp = Vp.create ?choice:cfg.choice ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps () in
   let volume =
-    Volume.create ~faults:cfg.faults ?choice:cfg.choice ~machine ~meter
-      ~tracer ()
+    Volume.create ~faults:cfg.faults ?choice:cfg.choice
+      ?io_config:cfg.io_config ~machine ~meter ~tracer ()
   in
   (* A scheduled power failure freezes the machine at its instant: the
      write-behind buffer tears and no further event runs.  Planted only

@@ -247,11 +247,11 @@ let evict_frame t frame =
   let e = t.frames.(frame) in
   assert (e.used_by >= 0 && not e.pinned);
   let ptw_abs = e.used_by in
-  let ptw = Hw.Ptw.read (mem t) ptw_abs in
+  let w = Hw.Phys_mem.read (mem t) ptw_abs in
   charge t Cost.frame_scan_zero;
   t.evictions <- t.evictions + 1;
   Multics_obs.Sink.count t.obs "pfm.evict";
-  note_prefetch_reference t e ~used:ptw.Hw.Ptw.used;
+  note_prefetch_reference t e ~used:(Hw.Ptw.raw_used w);
   if Hw.Phys_mem.frame_is_zero (mem t) frame then begin
     (* Zero reclamation: the page reverts to an unallocated flag in the
        file map, the record is freed and the quota cell credited — the
@@ -274,7 +274,7 @@ let evict_frame t frame =
   end
   else begin
     assert (e.record_handle >= 0);
-    if ptw.Hw.Ptw.modified then begin
+    if Hw.Ptw.raw_modified w then begin
       t.page_writes <- t.page_writes + 1;
       let img = Hw.Phys_mem.read_frame (mem t) frame in
       let old_handle = e.record_handle in
@@ -314,16 +314,19 @@ let clock_pick t =
       let e = t.frames.(i) in
       if e.used_by < 0 || e.pinned then scan (steps + 1) forced
       else
-        let ptw = Hw.Ptw.read (mem t) e.used_by in
-        if ptw.Hw.Ptw.locked then scan (steps + 1) forced
-        else if e.prefetched && (not ptw.Hw.Ptw.used) && not forced then
+        (* Raw descriptor probes: the hand inspects two bits per frame,
+           so decoding a record per step made the scan the paging
+           path's densest allocator. *)
+        let w = Hw.Phys_mem.read (mem t) e.used_by in
+        if Hw.Ptw.raw_locked w then scan (steps + 1) forced
+        else if e.prefetched && (not (Hw.Ptw.raw_used w)) && not forced then
           (* A read-ahead page nobody has referenced yet: give it the
              same grace a used bit earns, or the clock would throw
              prefetches away before the sequential reader arrives. *)
           scan (steps + 1) forced
-        else if ptw.Hw.Ptw.used && not forced then begin
+        else if Hw.Ptw.raw_used w && not forced then begin
           note_prefetch_reference t e ~used:true;
-          Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.used = false };
+          Hw.Phys_mem.write (mem t) e.used_by (Hw.Ptw.raw_clear_used w);
           scan (steps + 1) forced
         end
         else Some i
@@ -545,16 +548,19 @@ let add_zero_page t ~caller ~ptw_abs ~record_handle ~quota_cell =
 
 let fault_in_sync t ~caller ~ptw_abs =
   Tracer.call t.tracer ~from:caller ~to_:name;
-  let ptw = Hw.Ptw.read (mem t) ptw_abs in
-  if ptw.Hw.Ptw.unallocated then begin
+  (* Raw probes: directory persist/restore funnels every payload word
+     through here, and the common outcome (`Ok, page already in core)
+     needs three bit tests of the fetched word, not a decoded record. *)
+  let w = Hw.Phys_mem.read (mem t) ptw_abs in
+  if Hw.Ptw.raw_unallocated w then begin
     charge t (Cost.ptw_update / 4);
     `Unallocated
   end
-  else if ptw.Hw.Ptw.damaged then begin
+  else if Hw.Ptw.raw_damaged w then begin
     charge t (Cost.ptw_update / 4);
     `Damaged
   end
-  else if ptw.Hw.Ptw.present then begin
+  else if Hw.Ptw.raw_present w then begin
     charge t (Cost.ptw_update / 4);
     `Ok
   end
@@ -569,7 +575,7 @@ let fault_in_sync t ~caller ~ptw_abs =
     match acquire_frame t ~inline:true with
     | None -> failwith "Page_frame.fault_in_sync: no evictable frame"
     | Some frame ->
-        let record_handle = ptw.Hw.Ptw.arg in
+        let record_handle = Hw.Ptw.raw_arg w in
         let cell =
           match lookup_pt t ptw_abs with
           | Some pt -> pt.cell

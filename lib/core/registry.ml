@@ -67,6 +67,7 @@ let declared_graph () =
   edge "salvager" disk_pack_manager Explicit_call;
   edge "salvager" directory_manager Explicit_call;
   edge "salvager" quota_cell_manager Explicit_call;
+  edge "salvager" segment_manager Explicit_call;
   (* Blanket structural rules: programs and address spaces of kernel
      modules live in core segments; every module above the virtual
      processor manager is interpreted by it. *)

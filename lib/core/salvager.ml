@@ -186,6 +186,13 @@ let repair kernel =
         incr repaired)
       (Hw.Disk.torn_records disk ~pack)
   done;
+  (* Segments already active — the directory hierarchy was read back at
+     reboot, before this salvage — built damaged descriptors from the
+     dead/torn marks just cleared.  Re-derive them from the repaired
+     file maps so a later touch or persist sees the accepted image, not
+     a connection failure. *)
+  repaired := !repaired + Segment.heal_damaged (Kernel.segment kernel)
+                            ~caller:"salvager";
   (* Quota recount. *)
   let expected = Invariants.expected_quota kernel in
   List.iter

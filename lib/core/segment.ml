@@ -182,6 +182,50 @@ let deactivate t ~caller ~slot =
   ignore (slot_entry t slot);
   deactivate_slot t slot
 
+(* Segments activated before a salvage (the hierarchy read back at
+   reboot) built damaged descriptors from dead/torn marks the repair
+   has since cleared.  Re-derive those descriptors from the repaired
+   file map, as [build_page_table] would if the segment were activated
+   now. *)
+let heal_damaged t ~caller =
+  Tracer.call t.tracer ~from:caller ~to_:name;
+  let disk = t.machine.Hw.Machine.disk in
+  let healed = ref 0 in
+  Array.iteri
+    (fun slot e ->
+      if e.live then begin
+        let vtoc =
+          Volume.vtoc t.volume ~caller:name ~pack:e.home_pack
+            ~index:e.home_index
+        in
+        for pageno = 0 to t.pt_words - 1 do
+          let abs = ptw_abs t ~slot ~pageno in
+          let ptw = Hw.Ptw.read (mem t) abs in
+          if ptw.Hw.Ptw.valid && ptw.Hw.Ptw.damaged then begin
+            let fm = vtoc.Hw.Disk.file_map.(pageno) in
+            let fresh =
+              if
+                fm >= 0
+                && (not
+                      (Hw.Disk.record_is_dead disk
+                         ~pack:(Hw.Disk.pack_of_handle fm)
+                         ~record:(Hw.Disk.record_of_handle fm)))
+                && not
+                     (Hw.Disk.record_is_torn disk
+                        ~pack:(Hw.Disk.pack_of_handle fm)
+                        ~record:(Hw.Disk.record_of_handle fm))
+              then Hw.Ptw.on_disk ~record:fm
+              else Hw.Ptw.unallocated_ptw
+            in
+            Hw.Ptw.write (mem t) abs fresh;
+            charge t Cost.ptw_update;
+            incr healed
+          end
+        done
+      end)
+    t.ast;
+  !healed
+
 (* The new design can deactivate anything; victims are unconnected
    slots, directories included — no hierarchy constraint. *)
 let find_slot t =
@@ -346,24 +390,32 @@ let kernel_touch t ~caller ~slot ~pageno ~write =
       | Ok () -> Ok ()
       | Error e -> Error e)
 
-let with_frame t ~caller ~slot ~pageno ~write f =
-  match kernel_touch t ~caller ~slot ~pageno ~write with
-  | Error e -> Error e
-  | Ok () ->
-      let ptw = Hw.Ptw.read (mem t) (ptw_abs t ~slot ~pageno) in
-      assert ptw.Hw.Ptw.present;
-      if write then
-        Hw.Ptw.write (mem t) (ptw_abs t ~slot ~pageno)
-          { ptw with Hw.Ptw.modified = true; used = true };
-      Ok (f (Hw.Addr.frame_base ptw.Hw.Ptw.arg))
-
+(* Direct word access to a paged-in frame.  Written out twice rather
+   than through a [with_frame] combinator: directory persist/restore
+   funnels every payload word through here, and the closure the
+   combinator took per word was a measurable share of that path's
+   allocation.  The descriptor is probed raw for the same reason. *)
 let read_word t ~caller ~slot ~pageno ~offset =
-  with_frame t ~caller ~slot ~pageno ~write:false (fun base ->
-      Hw.Phys_mem.read (mem t) (base + offset))
+  match kernel_touch t ~caller ~slot ~pageno ~write:false with
+  | Error _ as e -> e
+  | Ok () ->
+      let w = Hw.Phys_mem.read (mem t) (ptw_abs t ~slot ~pageno) in
+      assert (Hw.Ptw.raw_present w);
+      Ok (Hw.Phys_mem.read (mem t)
+            (Hw.Addr.frame_base (Hw.Ptw.raw_arg w) + offset))
 
-let write_word t ~caller ~slot ~pageno ~offset w =
-  with_frame t ~caller ~slot ~pageno ~write:true (fun base ->
-      Hw.Phys_mem.write (mem t) (base + offset) w)
+let write_word t ~caller ~slot ~pageno ~offset v =
+  match kernel_touch t ~caller ~slot ~pageno ~write:true with
+  | Error _ as e -> e
+  | Ok () ->
+      let pa = ptw_abs t ~slot ~pageno in
+      let w = Hw.Phys_mem.read (mem t) pa in
+      assert (Hw.Ptw.raw_present w);
+      let w' = Hw.Ptw.raw_mark_accessed w ~write:true in
+      if w' <> w then Hw.Phys_mem.write (mem t) pa w';
+      Hw.Phys_mem.write (mem t)
+        (Hw.Addr.frame_base (Hw.Ptw.raw_arg w) + offset) v;
+      Ok ()
 
 let delete_segment t ~caller ~pack ~index ~cell =
   entry t ~caller Cost.vtoc_write;

@@ -70,6 +70,17 @@ val deactivate : t -> caller:string -> slot:int -> unit
     legacy design this works for any segment, directory or not,
     regardless of what else is active. *)
 
+val heal_damaged : t -> caller:string -> int
+(** Re-derive every damaged descriptor in the AST from its (repaired)
+    file map: a page whose record turned out to be intact — a torn
+    write the salvager accepted — becomes an ordinary on-disk page; one
+    whose record is really gone becomes a page of zeros, matching the
+    file-map repair.  Returns the number of descriptors healed.  Called
+    by the salvager after its disk-level repairs, because segments
+    activated {e before} the salvage (the directory hierarchy read back
+    at reboot) built damaged descriptors from marks that the repair has
+    since cleared. *)
+
 val grow :
   t -> caller:string -> slot:int -> pageno:int -> (unit, grow_error) result
 (** The quota-fault chain's middle: charge the quota cell, allocate a

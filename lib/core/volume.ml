@@ -20,10 +20,11 @@ let entry t ~caller base_cost =
   Meter.charge t.meter ~manager:name (Registry.language name)
     (Cost.kernel_call + base_cost)
 
-let create ?(faults = Hw.Fault_inject.none) ?choice ~machine ~meter ~tracer ()
-    =
+let create ?(faults = Hw.Fault_inject.none) ?choice ?io_config ~machine
+    ~meter ~tracer () =
   let io =
-    Hw.Io_sched.create ~disk:machine.Hw.Machine.disk ~faults ?choice
+    Hw.Io_sched.create ?config:io_config ~disk:machine.Hw.Machine.disk
+      ~faults ?choice
       ~now:(fun () -> Hw.Machine.now machine)
       ~schedule:(Hw.Machine.schedule machine) ()
   in

@@ -18,10 +18,13 @@ type t
 
 val create :
   ?faults:Multics_hw.Fault_inject.t -> ?choice:Multics_choice.Choice.t ->
+  ?io_config:Multics_hw.Io_sched.config ->
   machine:Multics_hw.Machine.t -> meter:Meter.t -> tracer:Tracer.t -> unit -> t
 (** [faults] is handed to the I/O scheduler; the empty plan (the
     default) makes every error path unreachable.  [choice] is handed to
-    the I/O scheduler's completion-delivery choice point. *)
+    the I/O scheduler's completion-delivery choice point.  [io_config]
+    overrides the scheduler's policy knobs (the default derives them
+    from the disk's latencies; see {!Multics_hw.Io_sched.config_of_disk}). *)
 
 val set_signals : t -> Upward_signal.t -> unit
 (** Wire the upward-signal queue; until then offline events are only

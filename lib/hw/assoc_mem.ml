@@ -33,9 +33,13 @@ let resize t n =
     t.flushes <- t.flushes + 1
   end
 
-let lookup t ~segno =
+(* The probe returns the array's own slot, so a hit shares the stored
+   [Some] cell instead of boxing a fresh option per reference — the
+   translation hot path allocates nothing on an AM hit. *)
+let probe t ~segno =
+  let n = Array.length t.slots in
   let rec scan i =
-    if i >= Array.length t.slots then begin
+    if i >= n then begin
       t.misses <- t.misses + 1;
       None
     end
@@ -43,10 +47,13 @@ let lookup t ~segno =
       match t.slots.(i) with
       | Some e when e.e_segno = segno ->
           t.hits <- t.hits + 1;
-          Some e.e_sdw
+          t.slots.(i)
       | _ -> scan (i + 1)
   in
   scan 0
+
+let lookup t ~segno =
+  match probe t ~segno with Some e -> Some e.e_sdw | None -> None
 
 (* Deterministic round-robin replacement, like the 6180's usage
    counters but simpler: same insertion order gives the same victim. *)

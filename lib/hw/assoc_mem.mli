@@ -39,6 +39,10 @@ val resize : t -> int -> unit
 val lookup : t -> segno:int -> Sdw.t option
 (** Counts a hit or a miss. *)
 
+val probe : t -> segno:int -> entry option
+(** [lookup] without the per-hit box: returns the stored slot itself.
+    The translation fast path uses this; counts a hit or a miss. *)
+
 val insert : t -> segno:int -> sdw:Sdw.t -> unit
 (** Replaces an existing entry for [segno], else takes the round-robin
     victim slot. *)

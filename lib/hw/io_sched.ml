@@ -2,18 +2,33 @@ module Choice = Multics_choice.Choice
 
 type config = {
   max_batch : int;
+  max_batch_cap : int;
+  deadline_ns : int;
+  anticipate_ns : int;
+  pack_ways : int;
+  read_priority : bool;
   seek_ns : int;
   transfer_ns : int;
   retry_limit : int;
   retry_backoff_ns : int;
 }
 
+(* The deadline follows the Linux deadline scheduler's proportions:
+   write expiry there is ~400 flat I/O times; 256 is still aggressive
+   and keeps the starvation-bound tests fast. *)
 let default_config =
-  { max_batch = 8; seek_ns = 1_200_000; transfer_ns = 800_000;
+  { max_batch = 8; max_batch_cap = 32; deadline_ns = 512_000_000;
+    anticipate_ns = 800_000; pack_ways = 8; read_priority = true;
+    seek_ns = 1_200_000; transfer_ns = 800_000;
     retry_limit = 4; retry_backoff_ns = 400_000 }
 
 let config_of_disk disk =
   { max_batch = 8;
+    max_batch_cap = 32;
+    deadline_ns = 256 * Disk.io_latency_ns disk;
+    anticipate_ns = 0;
+    pack_ways = 8;
+    read_priority = true;
     seek_ns = Disk.seek_latency_ns disk;
     transfer_ns = Disk.transfer_latency_ns disk;
     retry_limit = 4;
@@ -32,18 +47,40 @@ type op =
 type req = {
   seq : int;
   record : int;
+  submitted : int;  (* simulated instant of submission, for the deadline *)
   op : op;
   mutable cancelled : bool;
   mutable attempts : int;  (* consecutive failed attempts *)
 }
 
+let is_read r = match r.op with Read _ -> true | Write _ -> false
+
+(* One independent actuator of a pack.  Several ways share the pack's
+   queue but keep their own head positions, so a sequential stream can
+   hold one arm at its track while the others absorb unrelated work. *)
+type way = {
+  wid : int;
+  mutable head : int;  (* record after the last one this arm served *)
+  mutable w_busy : bool;
+  mutable streak : int;  (* consecutive batches continued without a seek *)
+  mutable holding : bool;  (* anticipatory hold in effect *)
+  mutable hold_gen : int;  (* invalidates stale hold-expiry events *)
+}
+
 type pack_state = {
   id : int;
-  mutable queue : req list;  (* submission order *)
-  mutable current : (req list * int * bool ref * int) option;  (* in-flight sweep: batch, cost, live, span id *)
+  mutable queue : req list;  (* undispatched; order irrelevant, seq decides *)
+  mutable depth : int;  (* List.length queue, maintained incrementally *)
+  ways : way array;
+  (* in-flight sweeps: batch, cost, live, span id, way *)
+  mutable inflight : (req list * int * bool ref * int * way) list;
   mutable retrying : req list;  (* failed once, waiting out a backoff *)
-  mutable head_pos : int;
-  mutable busy : bool;
+  mutable cur_max : int;  (* adaptive sweep bound, in [max_batch, cap] *)
+  mutable kick_planted : bool;  (* one dispatch event per instant *)
+  (* record -> number of in-flight requests touching it.  A record with
+     in-flight work is barred from new sweeps, so same-record requests
+     execute in submission order even across concurrent ways. *)
+  busy_records : (int, int) Hashtbl.t;
 }
 
 type stats = {
@@ -57,6 +94,11 @@ type stats = {
   s_cancelled : int;
   s_retries : int;
   s_gave_up : int;
+  s_deadline_batches : int;
+  s_holds : int;
+  s_grown : int;
+  s_shrunk : int;
+  s_buffer_hits : int;
 }
 
 type t = {
@@ -67,9 +109,13 @@ type t = {
   choice : Choice.t;
   now : unit -> int;
   packs : pack_state array;
-  (* (pack, record) -> (seq, image) of the latest unapplied write, so
-     any read — queued or immediate — observes write-behind data. *)
-  pending_writes : (int * int, int * Word.t array) Hashtbl.t;
+  (* (pack, record) -> unapplied write images, newest first, so any
+     read — queued or immediate — observes write-behind data.  A list,
+     not a single slot: read priority and concurrent ways may service
+     a read between two same-record writes, and it must see the newest
+     image older than itself, which a latest-only table would have
+     already dropped. *)
+  pending_writes : (int * int, (int * Word.t array) list) Hashtbl.t;
   (* (pack, record) -> highest write seq applied to the platter.  A
      backoff-delayed retry can land after a newer same-record write;
      the stale image must be skipped, not applied. *)
@@ -85,6 +131,11 @@ type t = {
   mutable cancelled : int;
   mutable retries : int;
   mutable gave_up : int;
+  mutable deadline_batches : int;
+  mutable holds : int;
+  mutable grown : int;
+  mutable shrunk : int;
+  mutable buffer_hits : int;
   mutable on_batch : pack:int -> size:int -> cost_ns:int -> unit;
   mutable on_apply :
     pack:int -> record:int -> acked:bool -> Word.t array -> unit;
@@ -99,16 +150,25 @@ let create ?config ?(faults = Fault_inject.none)
   in
   assert (config.max_batch > 0 && config.seek_ns >= 0 && config.transfer_ns > 0);
   assert (config.retry_limit > 0 && config.retry_backoff_ns > 0);
+  assert (config.max_batch_cap >= config.max_batch);
+  assert (config.pack_ways >= 1 && config.deadline_ns > 0);
+  assert (config.anticipate_ns >= 0);
   { disk; config; schedule; faults; choice; now;
     packs =
       Array.init (Disk.n_packs disk) (fun id ->
-          { id; queue = []; current = None; retrying = []; head_pos = 0;
-            busy = false });
+          { id; queue = []; depth = 0;
+            ways =
+              Array.init config.pack_ways (fun wid ->
+                  { wid; head = 0; w_busy = false; streak = 0;
+                    holding = false; hold_gen = 0 });
+            inflight = []; retrying = []; cur_max = config.max_batch;
+            kick_planted = false; busy_records = Hashtbl.create 16 });
     pending_writes = Hashtbl.create 64;
     applied_seq = Hashtbl.create 64;
     seq = 0; reads = 0; writes = 0; batches = 0; merges = 0;
     max_batch_seen = 0; queue_peak = 0; busy_ns = 0; cancelled = 0;
-    retries = 0; gave_up = 0;
+    retries = 0; gave_up = 0; deadline_batches = 0; holds = 0;
+    grown = 0; shrunk = 0; buffer_hits = 0;
     on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ());
     on_apply = (fun ~pack:_ ~record:_ ~acked:_ _ -> ());
     obs = Multics_obs.Sink.disabled (); batch_seq = 0 }
@@ -128,39 +188,92 @@ let pack_is_offline t pack =
   | None -> false
 
 (* ------------------------------------------------------------------ *)
-(* The elevator: one circular sweep (C-SCAN) from the head position.
-   Requests sort by (record, submission sequence); those at or past the
-   head go first, then the sweep wraps.  Same-record requests keep
-   submission order, so read-your-writes holds within the queue. *)
+(* The elevator: each sweep is one circular pass (C-SCAN) from a way's
+   head position.  Requests sort by (record, submission sequence);
+   those at or past the head go first, then the sweep wraps.
+   Same-record requests keep submission order — within a sweep by the
+   sort, across concurrent ways by the busy-record bar — so
+   read-your-writes holds within the queue. *)
 
-let take_batch t p =
-  let sorted =
-    List.stable_sort
-      (fun a b ->
-        match compare a.record b.record with
-        | 0 -> compare a.seq b.seq
-        | c -> c)
-      p.queue
-  in
-  let ahead, behind = List.partition (fun r -> r.record >= p.head_pos) sorted in
-  let sweep = ahead @ behind in
-  let rec split n acc = function
-    | rest when n = 0 -> (List.rev acc, rest)
+let by_record_seq a b =
+  match compare a.record b.record with 0 -> compare a.seq b.seq | c -> c
+
+let sweep_from ~head sorted =
+  let ahead, behind = List.partition (fun r -> r.record >= head) sorted in
+  ahead @ behind
+
+let rec split_batch n acc rest =
+  match rest with
+  | _ when n = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | r :: tl -> split_batch (n - 1) (r :: acc) tl
+
+(* Take up to [cur_max] requests off a sweep, but past the baseline
+   [max_batch] only while the accumulated service cost stays under the
+   occupancy cap (the cost of a worst-case baseline batch).  A grown
+   batch may extend a sweep with cheap merged transfers; it may never
+   pin an arm under a long run of seeks, which is what would starve
+   reads of the arm during a random write flood. *)
+let take_capped t ~cur_max ~head sweep =
+  let cap = t.config.max_batch * (t.config.seek_ns + t.config.transfer_ns) in
+  let rec go n cost prev acc rest =
+    match rest with
     | [] -> (List.rev acc, [])
-    | r :: rest -> split (n - 1) (r :: acc) rest
+    | r :: tl ->
+        if n >= cur_max then (List.rev acc, rest)
+        else
+          let step =
+            if r.record - prev >= 0 && r.record - prev <= 1
+            then t.config.transfer_ns
+            else t.config.seek_ns + t.config.transfer_ns
+          in
+          if n >= t.config.max_batch && cost + step > cap then
+            (List.rev acc, rest)
+          else go (n + 1) (cost + step) r.record (r :: acc) tl
   in
-  let batch, rest = split t.config.max_batch [] sweep in
-  p.queue <- rest;
-  batch
+  go 0 0 (head - 1) [] sweep
+
+(* The requests a new sweep may draw from, and those it must leave
+   queued.  Deadline first: once any request has aged past
+   [deadline_ns] the sweep serves only expired requests, oldest region
+   of the queue — C-SCAN can orbit a hot region forever, this is the
+   starvation bound.  Otherwise reads go before write-behind: a VP is
+   blocked on every read while nobody waits for a write, and the
+   pending-write table keeps reordered readers coherent. *)
+let select_pool t p =
+  let blocked, avail =
+    List.partition (fun r -> Hashtbl.mem p.busy_records r.record) p.queue
+  in
+  if avail = [] then None
+  else begin
+    let now = t.now () in
+    let expired =
+      List.filter (fun r -> now - r.submitted >= t.config.deadline_ns) avail
+    in
+    match expired with
+    | _ :: _ ->
+        let fresh =
+          List.filter (fun r -> now - r.submitted < t.config.deadline_ns) avail
+        in
+        Some (expired, blocked @ fresh, true)
+    | [] ->
+        if not t.config.read_priority then Some (avail, blocked, false)
+        else begin
+          let reads, writes = List.partition is_read avail in
+          match reads with
+          | [] -> Some (avail, blocked, false)
+          | _ -> Some (reads, blocked @ writes, false)
+        end
+  end
 
 (* One seek per discontinuity, one transfer per record.  Same-record
    and adjacent-record requests chain without repositioning — that is
-   the merge the batch dispatch exists to harvest.  The arm keeps its
-   position between sweeps: a batch that picks up where the last one
-   ended ([p.head_pos]) continues without a seek, so a sequential
-   stream pays the repositioning once, not once per sweep. *)
-let batch_cost t p batch =
-  let cost = ref 0 and prev = ref (p.head_pos - 1) in
+   the merge the batch dispatch exists to harvest.  Each arm keeps its
+   position between sweeps: a batch that picks up where the way's last
+   one ended continues without a seek, so a sequential stream pays the
+   repositioning once, not once per sweep. *)
+let batch_cost t ~head batch =
+  let cost = ref 0 and prev = ref (head - 1) in
   List.iter
     (fun r ->
       if r.record - !prev <= 1 && r.record - !prev >= 0
@@ -171,6 +284,27 @@ let batch_cost t p batch =
     batch;
   !cost
 
+(* Circular forward distance from a way's head to the first record its
+   sweep would serve; 0 means the sweep continues without a seek. *)
+let way_distance t ~head sorted_pool =
+  let first_ge =
+    List.fold_left
+      (fun acc r ->
+        if r.record >= head then
+          match acc with
+          | Some b when b <= r.record -> acc
+          | _ -> Some r.record
+        else acc)
+      None sorted_pool
+  in
+  match first_ge with
+  | Some rec_ -> rec_ - head
+  | None ->
+      let mn =
+        List.fold_left (fun acc r -> min acc r.record) max_int sorted_pool
+      in
+      Disk.records_per_pack t.disk - head + mn
+
 let deliver_error (r : req) err =
   match r.op with
   | Read done_ -> done_ (Error err)
@@ -178,9 +312,11 @@ let deliver_error (r : req) err =
 
 let drop_pending_write t pack (r : req) =
   match Hashtbl.find_opt t.pending_writes (pack, r.record) with
-  | Some (wseq, _) when wseq = r.seq ->
-      Hashtbl.remove t.pending_writes (pack, r.record)
-  | _ -> ()
+  | Some imgs -> (
+      match List.filter (fun (wseq, _) -> wseq <> r.seq) imgs with
+      | [] -> Hashtbl.remove t.pending_writes (pack, r.record)
+      | rest -> Hashtbl.replace t.pending_writes (pack, r.record) rest)
+  | None -> ()
 
 let apply_write t pack (r : req) img ~acked =
   (* Skip a stale retried image a newer same-record write already
@@ -218,10 +354,18 @@ let rec execute_req ?(sync = false) t pack (r : req) =
           if Fault_inject.read_attempt_fails t.faults ~pack ~record:r.record
           then attempt_failed t pack r ~sync
           else
-            let img =
+            let buffered =
               match Hashtbl.find_opt t.pending_writes (pack, r.record) with
-              | Some (wseq, img) when wseq < r.seq -> Array.copy img
-              | _ -> Disk.read_record t.disk ~pack ~record:r.record
+              | Some imgs ->
+                  (* Newest-first, so the first entry older than the
+                     read is the image it must observe. *)
+                  List.find_opt (fun (wseq, _) -> wseq < r.seq) imgs
+              | None -> None
+            in
+            let img =
+              match buffered with
+              | Some (_, img) -> Array.copy img
+              | None -> Disk.read_record t.disk ~pack ~record:r.record
             in
             done_ (Ok img)
       | Write (img, done_) ->
@@ -284,61 +428,223 @@ let finish_batch ?(sync = false) t p batch cost =
   Multics_obs.Sink.add_latency t.obs ~name:"io.batch" cost;
   t.on_batch ~pack:p.id ~size ~cost_ns:cost
 
+let bar_records p batch =
+  List.iter
+    (fun r ->
+      let n =
+        match Hashtbl.find_opt p.busy_records r.record with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace p.busy_records r.record (n + 1))
+    batch
+
+let release_records p batch =
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt p.busy_records r.record with
+      | Some n when n > 1 -> Hashtbl.replace p.busy_records r.record (n - 1)
+      | Some _ -> Hashtbl.remove p.busy_records r.record
+      | None -> ())
+    batch
+
+(* Assign as many sweeps to free arms as the queue supports.  Way
+   choice is nearest-first: the free way whose head is closest (in
+   forward circular distance) to the first record the sweep would
+   serve, ties to the lowest way id — a continuation always wins, so a
+   sequential stream keeps its arm.  A way that just served a
+   sequential run and would now have to seek away instead holds for
+   [anticipate_ns], betting the stream's next request is imminent; the
+   hold is one-shot per streak and other ways still serve the far
+   work, so it costs at most one hold per stream death. *)
 let rec dispatch t p =
-  match take_batch t p with
-  | [] ->
-      p.busy <- false;
-      p.current <- None
-  | batch ->
-      let cost = batch_cost t p batch in
+  if p.depth > 0 then begin
+    (* Adaptive sweep bound: double under backlog, up to the cap.  The
+       shrink half lives in [launch] where the queue drains. *)
+    if p.depth > p.cur_max && p.cur_max < t.config.max_batch_cap then begin
+      p.cur_max <- min t.config.max_batch_cap (p.cur_max * 2);
+      t.grown <- t.grown + 1
+    end;
+    match select_pool t p with
+    | None -> ()
+    | Some (pool, rest, deadline_forced) ->
+        let sorted = List.sort by_record_seq pool in
+        (* A near request ends a hold successfully: the arm was right
+           to wait.  Distance 0 is the no-seek continuation the hold
+           was betting on. *)
+        Array.iter
+          (fun w ->
+            if w.holding && way_distance t ~head:w.head sorted = 0 then begin
+              w.holding <- false;
+              w.hold_gen <- w.hold_gen + 1
+            end)
+          p.ways;
+        let free =
+          Array.fold_right
+            (fun w acc -> if w.w_busy || w.holding then acc else w :: acc)
+            p.ways []
+        in
+        (* Write throttle: an unexpired write-only sweep never takes
+           the last free arm — one arm stays ready for the read that
+           blocks a processor the moment it arrives.  Deadline sweeps
+           are exempt (the starvation bound outranks read latency), as
+           are single-way packs (nothing to reserve). *)
+        if
+          (not deadline_forced)
+          && (not (List.exists is_read sorted))
+          && Array.length p.ways > 1
+          && List.length free <= 1
+        then ()
+        else
+        let rec choose = function
+          | [] -> ()
+          | ways ->
+              let best =
+                List.fold_left
+                  (fun acc w ->
+                    let d = way_distance t ~head:w.head sorted in
+                    match acc with
+                    | Some (bd, (bw : way)) when (bd, bw.wid) <= (d, w.wid) ->
+                        acc
+                    | _ -> Some (d, w))
+                  None ways
+              in
+              match best with
+              | None -> ()
+              | Some (d, w) ->
+                  if
+                    d > 0 && w.streak > 0 && t.config.anticipate_ns > 0
+                    && not deadline_forced
+                  then begin
+                    (* Hold this arm; maybe another free way takes the
+                       far sweep. *)
+                    w.holding <- true;
+                    w.hold_gen <- w.hold_gen + 1;
+                    t.holds <- t.holds + 1;
+                    Multics_obs.Sink.count t.obs "io.hold";
+                    let gen = w.hold_gen in
+                    t.schedule ~delay:t.config.anticipate_ns (fun () ->
+                        if w.holding && w.hold_gen = gen then begin
+                          w.holding <- false;
+                          w.streak <- 0;  (* the stream died; stop betting *)
+                          dispatch t p
+                        end);
+                    choose (List.filter (fun x -> x != w) ways)
+                  end
+                  else launch t p w ~sorted ~rest ~deadline_forced
+        in
+        choose free
+  end
+
+and launch t p w ~sorted ~rest ~deadline_forced =
+  let sweep = sweep_from ~head:w.head sorted in
+  (* Pure write sweeps stay at the baseline bound: adaptive growth
+     amortises seeks for a backlog somebody is waiting on, but a long
+     write sweep just occupies an arm readers may need — bounded
+     occupancy beats marginal seek savings when nobody blocks on the
+     result. *)
+  let cur_max =
+    if List.exists is_read sweep then p.cur_max else t.config.max_batch
+  in
+  let batch, overflow = take_capped t ~cur_max ~head:w.head sweep in
+  match batch with
+  | [] -> ()
+  | first :: _ ->
+      if deadline_forced then begin
+        t.deadline_batches <- t.deadline_batches + 1;
+        Multics_obs.Sink.count t.obs "io.deadline_batch"
+      end;
+      p.queue <- rest @ overflow;
+      p.depth <- p.depth - List.length batch;
+      if p.depth = 0 && p.cur_max > t.config.max_batch then begin
+        p.cur_max <- max t.config.max_batch (p.cur_max / 2);
+        t.shrunk <- t.shrunk + 1
+      end;
+      let cost = batch_cost t ~head:w.head batch in
+      let continued = first.record - (w.head - 1) >= 0
+                      && first.record - (w.head - 1) <= 1 in
+      w.streak <- (if continued then w.streak + 1 else 0);
       (match List.rev batch with
-      | last :: _ -> p.head_pos <- last.record + 1
+      | last :: _ -> w.head <- last.record + 1
       | [] -> ());
+      w.w_busy <- true;
+      bar_records p batch;
       let live = ref true in
       let id = t.batch_seq in
       t.batch_seq <- t.batch_seq + 1;
-      p.current <- Some (batch, cost, live, id);
+      p.inflight <- (batch, cost, live, id, w) :: p.inflight;
       Multics_obs.Sink.async_begin t.obs ~tid:p.id ~arg:(List.length batch)
         ~cat:"io" ~name:"batch" ~id ();
       t.schedule ~delay:cost (fun () ->
-          (* [live] goes false when quiesce already applied the sweep;
-             the stale completion event must then be a no-op. *)
+          (* [live] goes false when quiesce or crash already settled
+             the sweep; the stale completion event must be a no-op. *)
           if !live then begin
             live := false;
-            p.current <- None;
+            p.inflight <-
+              List.filter (fun (_, _, l, _, _) -> l != live) p.inflight;
+            release_records p batch;
+            w.w_busy <- false;
             Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io"
               ~name:"batch" ~id ();
             finish_batch t p batch cost;
             dispatch t p
-          end)
+          end);
+      (* More work and more arms may remain. *)
+      dispatch t p
+
+let kick t p =
+  if not p.kick_planted then begin
+    p.kick_planted <- true;
+    (* Delay 0: the dispatch runs after the current event handler, so
+       every request submitted at this instant lands in one sweep. *)
+    t.schedule ~delay:0 (fun () ->
+        p.kick_planted <- false;
+        dispatch t p)
+  end
 
 let submit t ~pack ~record op =
   let p = pack_state t pack in
   assert (record >= 0 && record < Disk.records_per_pack t.disk);
-  let r = { seq = t.seq; record; op; cancelled = false; attempts = 0 } in
+  let r =
+    { seq = t.seq; record; submitted = t.now (); op; cancelled = false;
+      attempts = 0 }
+  in
   t.seq <- t.seq + 1;
   Multics_obs.Sink.count t.obs "io.submit";
   Multics_obs.Sink.instant t.obs ~tid:p.id ~arg:record ~cat:"io"
     ~name:"submit" ();
-  p.queue <- p.queue @ [ r ];
-  let depth = List.length p.queue in
-  if depth > t.queue_peak then t.queue_peak <- depth;
-  if not p.busy then begin
-    p.busy <- true;
-    (* Delay 0: the dispatch runs after the current event handler, so
-       every request submitted at this instant lands in one sweep. *)
-    t.schedule ~delay:0 (fun () -> dispatch t p)
-  end;
+  p.queue <- r :: p.queue;
+  p.depth <- p.depth + 1;
+  if p.depth > t.queue_peak then t.queue_peak <- p.depth;
+  kick t p;
   r
 
 let submit_read t ~pack ~record ~done_ =
   t.reads <- t.reads + 1;
-  ignore (submit t ~pack ~record (Read done_))
+  (* Write-buffer read hit: the newest buffered image is exactly what
+     this read must observe (every pending write predates it), and it
+     is already in core — serve it without touching an arm.  Error
+     paths still queue so offline/dead handling stays in one place. *)
+  match Hashtbl.find_opt t.pending_writes (pack, record) with
+  | Some ((_, img) :: _)
+    when (not (pack_is_offline t pack))
+         && not (Disk.record_is_dead t.disk ~pack ~record) ->
+      t.buffer_hits <- t.buffer_hits + 1;
+      Multics_obs.Sink.count t.obs "io.buffer_hit";
+      let copy = Array.copy img in
+      t.schedule ~delay:0 (fun () -> done_ (Ok copy))
+  | _ -> ignore (submit t ~pack ~record (Read done_))
 
 let submit_write t ?done_ ~pack ~record img =
   t.writes <- t.writes + 1;
   let r = submit t ~pack ~record (Write (Array.copy img, done_)) in
-  Hashtbl.replace t.pending_writes (pack, record) (r.seq, Array.copy img)
+  let prev =
+    match Hashtbl.find_opt t.pending_writes (pack, record) with
+    | Some l -> l
+    | None -> []
+  in
+  Hashtbl.replace t.pending_writes (pack, record)
+    ((r.seq, Array.copy img) :: prev)
 
 let cancel_writes t ~pack ~record =
   let p = pack_state t pack in
@@ -350,9 +656,7 @@ let cancel_writes t ~pack ~record =
     | _ -> ()
   in
   List.iter cancel p.queue;
-  (match p.current with
-  | Some (batch, _, _, _) -> List.iter cancel batch
-  | None -> ());
+  List.iter (fun (batch, _, _, _, _) -> List.iter cancel batch) p.inflight;
   List.iter cancel p.retrying;
   Hashtbl.remove t.pending_writes (pack, record)
 
@@ -361,11 +665,11 @@ let read_now t ~pack ~record =
   else if Disk.record_is_dead t.disk ~pack ~record then Error Dead_record
   else
     match Hashtbl.find_opt t.pending_writes (pack, record) with
-    | Some (_, img) ->
+    | Some ((_, img) :: _) ->
         (* Count the transfer the caller is paying for. *)
         ignore (Disk.read_record t.disk ~pack ~record);
         Ok (Array.copy img)
-    | None ->
+    | _ ->
         (* Inline bounded retry: the blocking shim cannot wait out a
            backoff, so it burns its attempts back to back. *)
         let rec go attempts =
@@ -414,14 +718,18 @@ let write_now t ~pack ~record img =
 let quiesce t =
   Array.iter
     (fun p ->
-      (match p.current with
-      | Some (batch, cost, live, id) when !live ->
-          live := false;
-          Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io" ~name:"batch"
-            ~id ();
-          finish_batch ~sync:true t p batch cost
-      | _ -> ());
-      p.current <- None;
+      List.iter
+        (fun (batch, cost, live, id, w) ->
+          if !live then begin
+            live := false;
+            Multics_obs.Sink.async_end t.obs ~tid:p.id ~cat:"io" ~name:"batch"
+              ~id ();
+            finish_batch ~sync:true t p batch cost
+          end;
+          w.w_busy <- false)
+        p.inflight;
+      p.inflight <- [];
+      Hashtbl.reset p.busy_records;
       (* Backoff-parked requests can't wait out their delay either;
          finish them inline with the bounded sync retry. *)
       let parked = p.retrying in
@@ -433,19 +741,33 @@ let quiesce t =
              that stale firing cannot deliver a second completion. *)
           r.cancelled <- true)
         parked;
+      (* Drain the queue in plain elevator order on arm 0: deadline
+         and read preference are about who waits, and at quiesce nobody
+         does. *)
+      let w = p.ways.(0) in
       let rec drain () =
-        match take_batch t p with
+        match List.sort by_record_seq p.queue with
         | [] -> ()
-        | batch ->
-            let cost = batch_cost t p batch in
+        | sorted ->
+            let sweep = sweep_from ~head:w.head sorted in
+            let batch, overflow = split_batch p.cur_max [] sweep in
+            p.queue <- overflow;
+            p.depth <- p.depth - List.length batch;
+            let cost = batch_cost t ~head:w.head batch in
             (match List.rev batch with
-            | last :: _ -> p.head_pos <- last.record + 1
+            | last :: _ -> w.head <- last.record + 1
             | [] -> ());
             finish_batch ~sync:true t p batch cost;
             drain ()
       in
       drain ();
-      p.busy <- false)
+      Array.iter
+        (fun w ->
+          w.w_busy <- false;
+          w.holding <- false;
+          w.hold_gen <- w.hold_gen + 1;
+          w.streak <- 0)
+        p.ways)
     t.packs
 
 let crash t ~surviving_writes =
@@ -461,9 +783,10 @@ let crash t ~surviving_writes =
   Array.iter
     (fun p ->
       List.iter (collect p.id) p.queue;
-      (match p.current with
-      | Some (batch, _, live, _) when !live -> List.iter (collect p.id) batch
-      | _ -> ());
+      List.iter
+        (fun (batch, _, live, _, _) ->
+          if !live then List.iter (collect p.id) batch)
+        p.inflight;
       List.iter (collect p.id) p.retrying)
     t.packs;
   let ordered =
@@ -486,23 +809,31 @@ let crash t ~surviving_writes =
   Array.iter
     (fun p ->
       p.queue <- [];
-      (match p.current with
-      | Some (_, _, live, _) -> live := false
-      | None -> ());
-      p.current <- None;
+      p.depth <- 0;
+      List.iter (fun (_, _, live, _, _) -> live := false) p.inflight;
+      p.inflight <- [];
       p.retrying <- [];
-      p.busy <- false)
+      Hashtbl.reset p.busy_records;
+      Array.iter
+        (fun w ->
+          w.w_busy <- false;
+          w.holding <- false;
+          w.hold_gen <- w.hold_gen + 1;
+          w.streak <- 0)
+        p.ways)
     t.packs;
   Hashtbl.reset t.pending_writes;
   List.length ordered
 
-let queue_depth t ~pack = List.length (pack_state t pack).queue
+let queue_depth t ~pack = (pack_state t pack).depth
 
 let stats t =
   { s_reads = t.reads; s_writes = t.writes; s_batches = t.batches;
     s_merges = t.merges; s_max_batch = t.max_batch_seen;
     s_queue_peak = t.queue_peak; s_busy_ns = t.busy_ns;
-    s_cancelled = t.cancelled; s_retries = t.retries; s_gave_up = t.gave_up }
+    s_cancelled = t.cancelled; s_retries = t.retries; s_gave_up = t.gave_up;
+    s_deadline_batches = t.deadline_batches; s_holds = t.holds;
+    s_grown = t.grown; s_shrunk = t.shrunk; s_buffer_hits = t.buffer_hits }
 
 let mean_batch s =
   if s.s_batches = 0 then 0.0

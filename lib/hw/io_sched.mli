@@ -1,17 +1,65 @@
-(** Per-pack disk request queues with elevator (C-SCAN) ordering.
+(** Per-pack disk request queues with elevator (C-SCAN) ordering,
+    deadline scheduling, and multi-actuator concurrency.
 
     The seed serviced every record transfer synchronously at one flat
     latency.  This module is the asynchronous disk subsystem: callers
     submit read/write requests against a pack; the scheduler collects
     them into bounded batches, orders each batch by record number in a
-    circular sweep from the current head position, merges adjacent
+    circular sweep from an arm's head position, merges adjacent
     records into one chained transfer, and delivers completions through
     the machine's event queue.
 
+    Four policies ride on the basic elevator:
+
+    - {b Deadline}: a request older than [deadline_ns] preempts the
+      sweep — the next batch serves only expired requests, in elevator
+      order among themselves.  C-SCAN can orbit a hot region forever
+      under sustained load; this is the starvation bound.
+    - {b Read priority}: when nothing has expired, a sweep takes
+      queued reads before write-behind — a processor is blocked on
+      every read, nobody waits for a write, and the pending-write
+      table keeps any reordered reader coherent.
+    - {b Adaptive batching}: the sweep bound starts at [max_batch],
+      doubles while the backlog exceeds it (up to [max_batch_cap]) and
+      halves back as the queue drains, so a flood is absorbed in long
+      seek-amortising sweeps without letting one lucky stream hog an
+      unbounded turn.
+    - {b Ways}: each pack has [pack_ways] independent actuators with
+      their own head positions.  A new sweep goes to the free arm
+      nearest (forward circular distance) its first record, ties to
+      the lowest arm id, so a sequential stream keeps its arm while
+      the others absorb random traffic.  An arm that would have to
+      seek away right after serving a sequential run instead {e holds}
+      for [anticipate_ns] (one-shot per streak), betting the stream's
+      next request is imminent — the classic anticipatory-scheduling
+      bet, bounded by the hold length.
+
+    Two guards keep deferred writes from crowding out reads: an
+    unexpired write-only sweep never takes a pack's {e last} free arm
+    (one actuator is always in reserve for the next read; a
+    deadline-forced sweep is exempt — the starvation bound wins — as
+    are single-actuator packs, where the rule would block writes
+    entirely), and
+    pure-write sweeps stay at the baseline [max_batch] rather than the
+    adaptive bound, so a write flood cannot earn itself longer turns.
+    A read of a record with a pending write-behind is served straight
+    from the buffered image ([s_buffer_hits]) without occupying an arm
+    at all.
+
     Determinism: ordering is decided only by the queue discipline —
-    the (record, submission-sequence) sort within a sweep — and by the
-    event queue's insertion-order tie-break.  No wall-clock input
-    anywhere, so runs are reproducible.
+    the (record, submission-sequence) sort within a sweep, the
+    deadline/read-priority pool selection, the nearest-arm rule — and
+    by the event queue's insertion-order tie-break.  No wall-clock
+    input anywhere, so runs are reproducible.
+
+    Coherence across concurrent arms: a record with an in-flight
+    request is barred from new sweeps until that batch completes, so
+    same-record requests execute in submission order even when
+    different-record requests overlap arbitrarily.  Setting
+    [pack_ways = 1], [max_batch_cap = max_batch],
+    [read_priority = false], a large [deadline_ns] and
+    [anticipate_ns = 0] recovers the single-arm pure-elevator
+    scheduler exactly (test/test_io.ml pins that configuration).
 
     Latency model: a batch costs one seek per discontinuity plus one
     transfer per record.  An isolated single-record request therefore
@@ -19,13 +67,15 @@
     [io_latency_ns] — the synchronous cost model is a special case of
     the batched one, so no path double-charges.
 
-    Coherence: the scheduler keeps a per-pack table of
-    submitted-but-unapplied writes.  Reads (queued or immediate) of a
-    record with a pending earlier write are served from that buffer, so
-    write-behind never lets a reader observe stale disk contents.  The
-    synchronous shims [read_now]/[write_now] go through the same table,
-    which is what keeps the old blocking API bit-identical to the
-    asynchronous one.
+    Coherence: the scheduler keeps a per-record buffer of every
+    submitted-but-unapplied write image.  A read (queued or immediate)
+    of a record with pending earlier writes is served the newest
+    buffered image older than itself, so write-behind — and the
+    read-priority and multi-way reordering above — never lets a reader
+    observe stale disk contents or data from its future.  The
+    synchronous shims [read_now]/[write_now] go through the same
+    buffer, which is what keeps the old blocking API bit-identical to
+    the asynchronous one.
 
     Errors: every completion is a [result].  Transient faults from the
     machine's {!Fault_inject} plan are retried in place with bounded
@@ -39,7 +89,15 @@
 type t
 
 type config = {
-  max_batch : int;  (** most requests dispatched in one sweep *)
+  max_batch : int;  (** baseline sweep bound *)
+  max_batch_cap : int;
+      (** adaptive ceiling; [= max_batch] disables growth *)
+  deadline_ns : int;
+      (** age at which a request preempts the sweep; bounds starvation *)
+  anticipate_ns : int;
+      (** sequential-stream hold length; [0] disables anticipation *)
+  pack_ways : int;  (** independent actuators per pack *)
+  read_priority : bool;  (** serve queued reads before write-behind *)
   seek_ns : int;  (** head reposition to a non-adjacent record *)
   transfer_ns : int;  (** one record transfer *)
   retry_limit : int;
@@ -53,7 +111,12 @@ val default_config : config
 val config_of_disk : Disk.t -> config
 (** Splits the disk's flat record latency into seek and transfer so
     that [seek_ns + transfer_ns = Disk.io_latency_ns]; retries back off
-    starting at one transfer time. *)
+    starting at one transfer time.  Policy defaults: 8 ways, read
+    priority on, deadline at 256 flat latencies (the write-expiry
+    scale of the classic deadline scheduler), batches adapting up to
+    4x [max_batch], anticipation off — holding an arm costs more than
+    a seek saves when reads already have priority; set [anticipate_ns]
+    explicitly to opt in. *)
 
 type io_error =
   | Dead_record
@@ -165,6 +228,12 @@ type stats = {
   s_cancelled : int;  (** writes dropped by {!cancel_writes}/supersede *)
   s_retries : int;  (** failed attempts that were retried *)
   s_gave_up : int;  (** requests that exhausted the retry budget *)
+  s_deadline_batches : int;  (** sweeps forced by an expired request *)
+  s_holds : int;  (** anticipatory holds taken *)
+  s_grown : int;  (** adaptive sweep-bound doublings *)
+  s_shrunk : int;  (** adaptive sweep-bound halvings *)
+  s_buffer_hits : int;
+      (** reads served from the write-behind buffer without an arm *)
 }
 
 val stats : t -> stats

@@ -46,6 +46,24 @@ let decode w =
 let read mem a = decode (Phys_mem.read mem a)
 let write mem a t = Phys_mem.write mem a (encode t)
 
+(* Raw-word probes for the translation fast path: the CPU reads the
+   PTW once and tests bits in place, building no record on the hit
+   path.  Positions as in the layout comment; [decode (encode t) = t]
+   pins the two views together. *)
+let raw_arg w = Word.extract w ~pos:0 ~len:18
+let raw_present w = Word.bit w 18
+let raw_modified w = Word.bit w 19
+let raw_used w = Word.bit w 20
+let raw_locked w = Word.bit w 21
+let raw_unallocated w = Word.bit w 22
+let raw_valid w = Word.bit w 23
+let raw_damaged w = Word.bit w 24
+let raw_lock w = Word.set_bit w 21 true
+let raw_clear_used w = Word.set_bit w 20 false
+
+let raw_mark_accessed w ~write =
+  Word.set_bit (if write then Word.set_bit w 19 true else w) 20 true
+
 let pp ppf t =
   Format.fprintf ppf "ptw{arg=%d%s%s%s%s%s%s%s}" t.arg
     (if t.valid then " valid" else "")

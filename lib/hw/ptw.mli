@@ -54,4 +54,28 @@ val decode : Word.t -> t
 val read : Phys_mem.t -> Addr.abs -> t
 val write : Phys_mem.t -> Addr.abs -> t -> unit
 
+(** Raw-word probes for the translation fast path: test bits of the
+    fetched word in place instead of decoding a record per reference.
+    Semantically identical to going through {!decode}. *)
+
+val raw_arg : Word.t -> int
+val raw_present : Word.t -> bool
+val raw_modified : Word.t -> bool
+val raw_used : Word.t -> bool
+val raw_locked : Word.t -> bool
+val raw_unallocated : Word.t -> bool
+val raw_valid : Word.t -> bool
+val raw_damaged : Word.t -> bool
+
+val raw_lock : Word.t -> Word.t
+(** The word with the descriptor-lock bit set. *)
+
+val raw_clear_used : Word.t -> Word.t
+(** The word with [used] cleared — the clock hand's second-chance
+    write-back. *)
+
+val raw_mark_accessed : Word.t -> write:bool -> Word.t
+(** The word with [used] set, and [modified] too when [write] — the
+    per-reference bookkeeping every translation writes back. *)
+
 val pp : Format.formatter -> t -> unit

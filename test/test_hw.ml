@@ -327,6 +327,80 @@ let test_event_order () =
   check (Alcotest.list Alcotest.int) "fifo within a tick" [ 1; 2; 3 ]
     (List.rev !log)
 
+(* The time wheel's contract: pop order is exactly (time, insertion
+   seq) — what the previous Map-based queue produced.  Drive the wheel
+   and a reference model (a sorted association list keyed by that pair)
+   through random add/pop interleavings and require identical times,
+   identical payloads, and an agreeing [next_time] at every step.
+   Deltas up to 2^21 cross several wheel levels, so cascades and the
+   epoch settle path are exercised, not just slot 0. *)
+let prop_event_queue_model =
+  let module M = Map.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  QCheck.Test.make ~name:"event queue matches reference map model" ~count:200
+    QCheck.(list (option (int_bound (1 lsl 21))))
+    (fun ops ->
+      let q = Hw.Event_queue.create () in
+      let model = ref M.empty in
+      let cur = ref 0 in
+      let seq = ref 0 in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let fired = ref (-1) in
+      List.iter
+        (fun op ->
+          if !ok then
+            match op with
+            | Some delta ->
+                let t = !cur + delta in
+                let id = !next_id in
+                incr next_id;
+                Hw.Event_queue.add q ~time:t (fun () -> fired := id);
+                model := M.add (t, !seq) id !model;
+                incr seq
+            | None -> (
+                let expected = M.min_binding_opt !model in
+                (match (Hw.Event_queue.next_time q, expected) with
+                | Some t, Some ((mt, _), _) when t = mt -> ()
+                | None, None -> ()
+                | _ -> ok := false);
+                match (Hw.Event_queue.pop q, expected) with
+                | Some (t, h), Some (((mt, _) as key), mid) ->
+                    h ();
+                    if t <> mt || !fired <> mid then ok := false;
+                    model := M.remove key !model;
+                    cur := t
+                | None, None -> ()
+                | _ -> ok := false))
+        ops;
+      (* Drain whatever the interleaving left behind. *)
+      let rec drain () =
+        if !ok then
+          match (Hw.Event_queue.pop q, M.min_binding_opt !model) with
+          | Some (t, h), Some (((mt, _) as key), mid) ->
+              h ();
+              if t <> mt || !fired <> mid then ok := false;
+              model := M.remove key !model;
+              drain ()
+          | None, None -> ()
+          | _ -> ok := false
+      in
+      drain ();
+      !ok && Hw.Event_queue.is_empty q)
+
+let test_event_queue_past_add () =
+  let q = Hw.Event_queue.create () in
+  Hw.Event_queue.add q ~time:100 (fun () -> ());
+  (match Hw.Event_queue.pop q with
+  | Some (100, _) -> ()
+  | _ -> Alcotest.fail "expected the event at 100");
+  Alcotest.check_raises "add before cursor"
+    (Invalid_argument "Event_queue.add: time precedes an already-popped event")
+    (fun () -> Hw.Event_queue.add q ~time:99 (fun () -> ()))
+
 let test_machine_run () =
   let machine = Hw.Machine.create Hw.Hw_config.legacy_multics in
   let fired = ref [] in
@@ -376,5 +450,8 @@ let tests =
     Alcotest.test_case "disk emptiest" `Quick test_disk_emptiest;
     Alcotest.test_case "vtoc" `Quick test_vtoc;
     Alcotest.test_case "event order" `Quick test_event_order;
+    qcheck prop_event_queue_model;
+    Alcotest.test_case "event queue rejects past add" `Quick
+      test_event_queue_past_add;
     Alcotest.test_case "machine run" `Quick test_machine_run;
     Alcotest.test_case "machine run until" `Quick test_machine_run_until ]

@@ -59,11 +59,18 @@ let test_elevator_order () =
    adjacent records chain for free, and a batch that continues at the
    arm's position pays no initial seek. *)
 
+(* The single-arm pure-elevator configuration: every new policy off.
+   The cost-model and bound tests pin the original scheduler exactly
+   under this config; the policy tests below turn the knobs back on
+   one at a time. *)
+let legacy ~max_batch =
+  { Hw.Io_sched.max_batch; max_batch_cap = max_batch;
+    deadline_ns = max_int; anticipate_ns = 0; pack_ways = 1;
+    read_priority = false; seek_ns = 1_000; transfer_ns = 100;
+    retry_limit = 3; retry_backoff_ns = 100 }
+
 let test_batch_cost_model () =
-  let config =
-    { Hw.Io_sched.max_batch = 8; seek_ns = 1_000; transfer_ns = 100;
-      retry_limit = 3; retry_backoff_ns = 100 }
-  in
+  let config = legacy ~max_batch:8 in
   let machine, _disk, io = rig ~config () in
   let costs = ref [] in
   Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size:_ ~cost_ns ->
@@ -87,10 +94,7 @@ let test_batch_cost_model () =
    remainder, and the queue depth statistic sees the backlog. *)
 
 let test_batch_bounds () =
-  let config =
-    { Hw.Io_sched.max_batch = 4; seek_ns = 1_000; transfer_ns = 100;
-      retry_limit = 3; retry_backoff_ns = 100 }
-  in
+  let config = legacy ~max_batch:4 in
   let machine, _disk, io = rig ~config () in
   let sizes = ref [] in
   Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size ~cost_ns:_ ->
@@ -174,6 +178,138 @@ let test_quiesce () =
   Hw.Machine.run machine;
   let s = Hw.Io_sched.stats io in
   check Alcotest.int "applied exactly once" 1 s.Hw.Io_sched.s_batches
+
+(* ------------------------------------------------------------------ *)
+(* Policy knobs: the deadline starvation bound, adaptive batch sizing,
+   and the write-buffer read fast path. *)
+
+(* Under read priority on a single arm, a self-sustaining read stream
+   would starve a queued write forever; the deadline preempts the sweep
+   and bounds the wait.  The stream refills the queue from inside each
+   completion, so no dispatch ever sees an empty read pool — the write
+   lands only because it expires. *)
+let test_deadline_starvation_bound () =
+  let deadline = 10_000 in
+  let config =
+    { Hw.Io_sched.max_batch = 4; max_batch_cap = 4; deadline_ns = deadline;
+      anticipate_ns = 0; pack_ways = 1; read_priority = true;
+      seek_ns = 1_000; transfer_ns = 100; retry_limit = 3;
+      retry_backoff_ns = 100 }
+  in
+  let machine, disk, io = rig ~config () in
+  for r = 0 to 40 do
+    Hw.Disk.write_record disk ~pack:0 ~record:r (page [ r ])
+  done;
+  let write_applied_at = ref (-1) in
+  Hw.Io_sched.set_on_apply io (fun ~pack:_ ~record ~acked:_ _ ->
+      if record = 50 && !write_applied_at < 0 then
+        write_applied_at := Hw.Machine.now machine);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:50 (page [ 777 ]);
+  let rounds = ref 0 in
+  let rec next_read i =
+    Hw.Io_sched.submit_read io ~pack:0 ~record:(i mod 40) ~done_:(fun r ->
+        ignore (expect r);
+        incr rounds;
+        if !rounds < 200 then next_read (i + 1))
+  in
+  next_read 0;
+  Hw.Machine.run machine;
+  check Alcotest.int "write landed" 777
+    (Hw.Disk.read_record disk ~pack:0 ~record:50).(0);
+  check Alcotest.bool "not before its deadline" true
+    (!write_applied_at >= deadline);
+  (* One read batch may be in flight at expiry, then the forced sweep
+     itself: two sweep costs of slack past the deadline. *)
+  check Alcotest.bool "but within the starvation bound" true
+    (!write_applied_at <= deadline + (2 * 1_100));
+  check Alcotest.bool "served by a deadline-forced sweep" true
+    ((Hw.Io_sched.stats io).Hw.Io_sched.s_deadline_batches >= 1)
+
+(* A backlog doubles the sweep bound up to the cap; draining the queue
+   halves it back.  20 reads against max_batch=2, cap=8: the first
+   dispatch grows 2->4, the second 4->8, then 8+8 drain the rest. *)
+let test_adaptive_batch_grow_shrink () =
+  let config =
+    { Hw.Io_sched.max_batch = 2; max_batch_cap = 8; deadline_ns = max_int;
+      anticipate_ns = 0; pack_ways = 1; read_priority = false;
+      seek_ns = 1_000; transfer_ns = 100; retry_limit = 3;
+      retry_backoff_ns = 100 }
+  in
+  let machine, disk, io = rig ~config () in
+  for r = 0 to 19 do
+    Hw.Disk.write_record disk ~pack:0 ~record:r (page [ r ])
+  done;
+  let sizes = ref [] in
+  Hw.Io_sched.set_on_batch io (fun ~pack:_ ~size ~cost_ns:_ ->
+      sizes := size :: !sizes);
+  for r = 0 to 19 do
+    Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun r ->
+        ignore (expect r))
+  done;
+  Hw.Machine.run machine;
+  check Alcotest.(list int) "sweep bound doubled to the cap" [ 4; 8; 8 ]
+    (List.rev !sizes);
+  let s = Hw.Io_sched.stats io in
+  check Alcotest.int "two doublings" 2 s.Hw.Io_sched.s_grown;
+  check Alcotest.int "halved on drain" 1 s.Hw.Io_sched.s_shrunk;
+  check Alcotest.int "largest sweep at the cap" 8 s.Hw.Io_sched.s_max_batch
+
+(* A read of a record with a pending write-behind never needs an arm:
+   it is served the buffered image at once, before any batch lands. *)
+let test_write_buffer_read_hit () =
+  let machine, disk, io = rig () in
+  Hw.Disk.write_record disk ~pack:0 ~record:5 (page [ 1 ]);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:5 (page [ 9 ]);
+  let order = ref [] in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:5 ~done_:(fun r ->
+      order := ("hit", (expect r).(0)) :: !order);
+  Hw.Io_sched.submit_read io ~pack:0 ~record:6 ~done_:(fun r ->
+      ignore (expect r);
+      order := ("arm", 0) :: !order);
+  Hw.Machine.run machine;
+  check
+    Alcotest.(list (pair string int))
+    "buffered image, delivered before the sweep"
+    [ ("hit", 9); ("arm", 0) ]
+    (List.rev !order);
+  check Alcotest.int "counted as a buffer hit" 1
+    (Hw.Io_sched.stats io).Hw.Io_sched.s_buffer_hits;
+  check Alcotest.int "write-behind still lands" 9
+    (Hw.Disk.read_record disk ~pack:0 ~record:5).(0)
+
+(* Cancellation and the quiesce barrier under the multi-way deadline
+   configuration — the paths the C2/C4 benches rely on. *)
+let test_cancel_quiesce_multiway () =
+  let config =
+    { Hw.Io_sched.max_batch = 4; max_batch_cap = 8; deadline_ns = 50_000;
+      anticipate_ns = 0; pack_ways = 4; read_priority = true;
+      seek_ns = 1_000; transfer_ns = 100; retry_limit = 3;
+      retry_backoff_ns = 100 }
+  in
+  let machine, disk, io = rig ~config () in
+  Hw.Disk.write_record disk ~pack:0 ~record:2 (page [ 22 ]);
+  Hw.Disk.write_record disk ~pack:0 ~record:10 (page [ 10 ]);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:1 (page [ 11 ]);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:2 (page [ 666 ]);
+  Hw.Io_sched.submit_write io ~pack:0 ~record:3 (page [ 33 ]);
+  let reads = ref 0 in
+  Hw.Io_sched.submit_read io ~pack:0 ~record:10 ~done_:(fun r ->
+      check Alcotest.int "read data" 10 (expect r).(0);
+      incr reads);
+  Hw.Io_sched.cancel_writes io ~pack:0 ~record:2;
+  Hw.Io_sched.quiesce io;
+  check Alcotest.int "settled writes on the platter" 11
+    (Hw.Disk.read_record disk ~pack:0 ~record:1).(0);
+  check Alcotest.int "cancelled write never landed" 22
+    (Hw.Disk.read_record disk ~pack:0 ~record:2).(0);
+  check Alcotest.int "third write landed" 33
+    (Hw.Disk.read_record disk ~pack:0 ~record:3).(0);
+  check Alcotest.int "read completed at the barrier" 1 !reads;
+  (* Already-scheduled dispatch/completion events must now be no-ops. *)
+  Hw.Machine.run machine;
+  check Alcotest.int "read completed exactly once" 1 !reads;
+  check Alcotest.int "cancellation counted" 1
+    (Hw.Io_sched.stats io).Hw.Io_sched.s_cancelled
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection: transient errors are retried behind the caller's
@@ -360,6 +496,14 @@ let tests =
     Alcotest.test_case "cancel before free ordering" `Quick
       test_cancel_before_free_ordering;
     Alcotest.test_case "quiesce" `Quick test_quiesce;
+    Alcotest.test_case "deadline starvation bound" `Quick
+      test_deadline_starvation_bound;
+    Alcotest.test_case "adaptive batch grow/shrink" `Quick
+      test_adaptive_batch_grow_shrink;
+    Alcotest.test_case "write-buffer read hit" `Quick
+      test_write_buffer_read_hit;
+    Alcotest.test_case "cancel+quiesce multiway" `Quick
+      test_cancel_quiesce_multiway;
     Alcotest.test_case "transient retry" `Quick test_transient_retry;
     Alcotest.test_case "dead record" `Quick test_dead_record;
     Alcotest.test_case "pack offline" `Quick test_pack_offline;
