@@ -21,6 +21,7 @@
 module K = Multics_kernel
 module Check = Multics_check
 module Choice = Multics_choice.Choice
+module Par = Multics_par.Par
 
 let sec = "C5"
 
@@ -112,6 +113,54 @@ let coverage () =
   Bench_util.recordi ~section:sec ~metric:"kernel_random_decisions"
     ~unit:"count" k_stats.Check.Explore.decisions
 
+(* The domain run-farm: the same random search over the kernel
+   harness at 1, 2 and 4 domains.  Two claims: the outcome (stats and
+   all) is byte-identical whatever the domain count — the farm's
+   determinism contract — and, given hardware to run on, wall-clock
+   throughput scales.  The speedup assertion is gated on the host's
+   core count so a single-core CI runner measures without failing. *)
+let par_scaling () =
+  Format.printf "-- par: domain farm, schedules/s at 1/2/4 domains@.";
+  let kernel_sys = Check.Harness.kernel_system () in
+  let runs = 24 in
+  let outcome_bytes o = Format.asprintf "%a" Check.Explore.pp_outcome o in
+  let measure domains =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Check.Explore.check_random ~domains ~runs kernel_sys in
+    let secs = Unix.gettimeofday () -. t0 in
+    (match outcome with
+    | Check.Explore.Passed _ -> ()
+    | Check.Explore.Failed _ ->
+        Format.printf "%a@." Check.Explore.pp_outcome outcome;
+        fail "bench_check: kernel workload failed the oracle under the farm");
+    (outcome, float_of_int runs /. Float.max 1e-6 secs)
+  in
+  let o1, rate1 = measure 1 in
+  let o2, rate2 = measure 2 in
+  let o4, rate4 = measure 4 in
+  List.iter
+    (fun (domains, o, rate) ->
+      Format.printf "  domains=%d: %a — %.0f schedules/s@." domains
+        Check.Explore.pp_outcome o rate;
+      Bench_util.record ~section:sec
+        ~metric:(Printf.sprintf "par_domains%d_rate" domains)
+        ~unit:"schedules/s" rate)
+    [ (1, o1, rate1); (2, o2, rate2); (4, o4, rate4) ];
+  if outcome_bytes o1 <> outcome_bytes o2 || outcome_bytes o1 <> outcome_bytes o4
+  then fail "bench_check: outcome differs across domain counts";
+  let speedup = rate4 /. Float.max 1e-6 rate1 in
+  Format.printf "  speedup 4v1: %.2fx (host offers %d domains)@." speedup
+    (Par.available ());
+  Bench_util.record ~section:sec ~metric:"par_speedup_4v1_rate" ~unit:"x"
+    speedup;
+  (* Scaling needs cores: demand the issue's 2x only where four
+     domains can actually run in parallel, and any gain at all on a
+     two-core host.  A single core measures identity only. *)
+  if Par.available () >= 4 && speedup < 2.0 then
+    fail "bench_check: 4-domain farm below 2x the single-domain rate";
+  if Par.available () >= 2 && Par.available () < 4 && speedup < 1.2 then
+    fail "bench_check: farm shows no speedup on a multicore host"
+
 let detection () =
   Format.printf "-- detection: seeded lost-wakeup bug@.";
   let buggy = Check.Harness.eventcount_system ~bug:true ~events:2 () in
@@ -134,6 +183,7 @@ let run () =
   Bench_util.section sec "schedule exploration: identity, coverage, detection";
   identity ();
   coverage ();
+  par_scaling ();
   detection ();
   Bench_util.write_section_metrics ~section:sec ~path:"BENCH_check_c5.json";
   Format.printf "@.C5 ok.@."

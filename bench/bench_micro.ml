@@ -64,6 +64,35 @@ let kernel_workload () =
        (Bench_util.file_writer ~dir:">home" ~name:"f" ~pages:6));
   assert (K.Kernel.run_to_completion k)
 
+(* The fault path end to end: write a file bigger than the pageable
+   core so its head pages are evicted to disk, then touch every page
+   back in.  Each re-touch is a missing-page fault through
+   [service_missing_page] (with sequential read-ahead prefetching
+   alongside) — the path PR 7 converted to raw PTW bit probes. *)
+let fault_path_readback () =
+  let config =
+    { K.Kernel.small_config with
+      K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 34;
+      core_frames = 24 }
+  in
+  let k = Bench_util.boot_new ~config () in
+  ignore
+    (K.Kernel.spawn k ~pname:"w"
+       (Bench_util.file_writer ~dir:">home" ~name:"f" ~pages:16));
+  assert (K.Kernel.run_to_completion k);
+  let reread =
+    Array.concat
+      [ [| K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+        Array.init 16 (fun pageno ->
+            K.Workload.Touch { seg_reg = 0; pageno; offset = 0; write = false });
+        [| K.Workload.Terminate |] ]
+  in
+  ignore (K.Kernel.spawn k ~pname:"r" reread);
+  assert (K.Kernel.run_to_completion k);
+  (* The read-back really went through the fault path. *)
+  assert (K.Page_frame.faults_served (K.Kernel.page_frame k) > 0);
+  assert (K.Page_frame.page_reads (K.Kernel.page_frame k) > 0)
+
 let legacy_workload () =
   let s = Bench_util.boot_old ~config:L.Old_supervisor.small_config () in
   ignore
@@ -144,6 +173,8 @@ let tests =
     Test.make ~name:"sync: eventcount 8 waiters" (Staged.stage eventcount_cycle);
     Test.make ~name:"kernel: boot" (Staged.stage kernel_boot);
     Test.make ~name:"P4 inner: new-kernel writer" (Staged.stage kernel_workload);
+    Test.make ~name:"pfm: fault+read-ahead readback"
+      (Staged.stage fault_path_readback);
     Test.make ~name:"P4 inner: legacy writer" (Staged.stage legacy_workload);
     Test.make ~name:"eq: fill+drain 1e4" (Staged.stage (eq_fill_drain 10_000));
     Test.make ~name:"eq: fill+drain 1e5" (Staged.stage (eq_fill_drain 100_000));
@@ -165,6 +196,7 @@ let metric_slugs =
     ("multics sync: eventcount 8 waiters", "eventcount_cycle");
     ("multics kernel: boot", "kernel_boot");
     ("multics P4 inner: new-kernel writer", "kernel_writer");
+    ("multics pfm: fault+read-ahead readback", "pfm_fault_readback");
     ("multics P4 inner: legacy writer", "legacy_writer");
     ("multics eq: fill+drain 1e4", "eq_fill_drain_1e4");
     ("multics eq: fill+drain 1e5", "eq_fill_drain_1e5");

@@ -10,11 +10,25 @@
    4. The exhaustive strategy drives a real (small) kernel through a
       ping-pong workload across dozens of distinct schedules.
 
-   Run: dune exec examples/explore_demo.exe *)
+   Run: dune exec examples/explore_demo.exe
+   Add --domains N to fan the searches out over N domains; the output
+   is byte-identical whatever N, which CI exploits as a determinism
+   gate (it diffs --domains 1 against --domains 2). *)
 
 module Check = Multics_check
 
 let banner title = Format.printf "@.== %s ==@." title
+
+let domains =
+  let rec scan = function
+    | "--domains" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 -> d
+        | _ -> failwith "explore_demo: --domains expects a positive integer")
+    | _ :: rest -> scan rest
+    | [] -> Multics_par.Par.default_domains ()
+  in
+  scan (Array.to_list Sys.argv)
 
 let () =
   banner "default strategy is the stock schedule";
@@ -24,18 +38,18 @@ let () =
 
   banner "exhaustive search, correct consumer";
   Format.printf "%a@." Check.Explore.pp_outcome
-    (Check.Explore.check_dfs ~max_runs:200 sys);
+    (Check.Explore.check_dfs ~domains ~max_runs:200 sys);
 
   banner "random schedules, correct consumer";
   Format.printf "%a@." Check.Explore.pp_outcome
-    (Check.Explore.check_random ~runs:40 sys);
+    (Check.Explore.check_random ~domains ~runs:40 sys);
 
   banner "exhaustive search, seeded lost-wakeup bug";
   let buggy = Check.Harness.eventcount_system ~bug:true ~events:2 () in
   Format.printf "%a@." Check.Explore.pp_outcome
-    (Check.Explore.check_dfs ~max_runs:200 buggy);
+    (Check.Explore.check_dfs ~domains ~max_runs:200 buggy);
 
   banner "small kernel, ping-pong workload, exhaustive (bounded)";
   let kernel_sys = Check.Harness.kernel_system () in
   Format.printf "%a@." Check.Explore.pp_outcome
-    (Check.Explore.check_dfs ~max_runs:40 ~max_depth:12 kernel_sys)
+    (Check.Explore.check_dfs ~domains ~max_runs:40 ~max_depth:12 kernel_sys)

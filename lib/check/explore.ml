@@ -1,4 +1,5 @@
 module Choice = Multics_choice.Choice
+module Par = Multics_par.Par
 
 type system = {
   sys_name : string;
@@ -103,45 +104,68 @@ let check_default sys =
   if problems = [] then Passed stats
   else fail_with sys ~stats ~problems ~events ~seed:None
 
-let check_random ?(runs = 50) ?(seed = 1) sys =
-  let seen = Hashtbl.create 64 in
-  let rec go i acc_decisions =
-    if i >= runs then
-      Passed
-        { runs;
-          distinct = Hashtbl.length seen;
-          decisions = acc_decisions;
-          pruned = 0;
-          frontier_left = 0 }
-    else
-      let s = seed + i in
-      let problems, events, decisions =
-        run_once sys (fun () -> Choice.random ~seed:s ())
-      in
-      Hashtbl.replace seen (signature events) ();
-      let acc_decisions = acc_decisions + decisions in
-      if problems = [] then go (i + 1) acc_decisions
-      else
-        let stats =
-          { runs = i + 1;
-            distinct = Hashtbl.length seen;
-            decisions = acc_decisions;
-            pruned = 0;
-            frontier_left = 0 }
+(* Random search over the domain pool: seed [seed + i] is task [i] of
+   the farm.  Every seed always runs — accounting is a pure function of
+   the seed range, never of where the first violation happened to land
+   — and the merge walks tasks in index order, so stats and the
+   counterexample (lowest violating seed) are byte-identical whatever
+   [domains] is. *)
+let check_random ?(domains = 1) ?(runs = 50) ?(seed = 1) sys =
+  let per_seed =
+    Par.run ~domains ~tasks:runs (fun i ->
+        let s = seed + i in
+        let problems, events, decisions =
+          run_once sys (fun () -> Choice.random ~seed:s ())
         in
-        fail_with sys ~stats ~problems ~events ~seed:(Some s)
+        (s, problems, events, decisions))
   in
-  go 0 0
+  let seen = Hashtbl.create 64 in
+  let acc_decisions = ref 0 in
+  let failure = ref None in
+  Array.iter
+    (fun (s, problems, events, decisions) ->
+      Hashtbl.replace seen (signature events) ();
+      acc_decisions := !acc_decisions + decisions;
+      if problems <> [] && !failure = None then
+        failure := Some (s, problems, events))
+    per_seed;
+  let stats =
+    { runs;
+      distinct = Hashtbl.length seen;
+      decisions = !acc_decisions;
+      pruned = 0;
+      frontier_left = 0 }
+  in
+  match !failure with
+  | None -> Passed stats
+  | Some (s, problems, events) ->
+      fail_with sys ~stats ~problems ~events ~seed:(Some s)
 
-let check_dfs ?(max_runs = 500) ?max_depth sys =
-  let depth_ok i =
-    match max_depth with None -> true | Some d -> i < d
-  in
-  let seen = Hashtbl.create 256 in
-  let frontier = ref [ [] ] in  (* scripts still to execute; LIFO *)
+(* One bounded walk over a subtree of the choice tree.  Positions where
+   [branch_ok] holds are expanded into the local frontier (LIFO, so the
+   walk stays depth-first); positions where [defer_ok] holds instead
+   push the branched script onto [w_deferred] for a later walk — the
+   frontier-split used to parallelize the search.  The sleep-set-lite
+   state ([seen], the per-position [expanded] tables) is local to the
+   walk, so concurrent walks on different domains share nothing. *)
+type walk = {
+  w_runs : int;
+  w_decisions : int;
+  w_pruned : int;
+  w_sigs : string list;  (* distinct signatures, first-seen order *)
+  w_left : int;  (* local frontier left unexplored by the budget *)
+  w_deferred : int list list;  (* scripts split off for later walks *)
+  w_failure : (string list * Choice.event list) option;
+}
+
+let walk_tree sys ~budget ~branch_ok ~defer_ok ~roots =
+  let seen = Hashtbl.create 64 in
+  let sigs = ref [] in
+  let deferred = ref [] in
+  let frontier = ref roots in  (* scripts still to execute; LIFO *)
   let runs = ref 0 and decisions = ref 0 and pruned = ref 0 in
   let result = ref None in
-  while !result = None && !frontier <> [] && !runs < max_runs do
+  while !result = None && !frontier <> [] && !runs < budget do
     match !frontier with
     | [] -> assert false
     | script :: rest ->
@@ -151,7 +175,11 @@ let check_dfs ?(max_runs = 500) ?max_depth sys =
         in
         incr runs;
         decisions := !decisions + d;
-        Hashtbl.replace seen (signature events) ();
+        let sg = signature events in
+        if not (Hashtbl.mem seen sg) then begin
+          Hashtbl.replace seen sg ();
+          sigs := sg :: !sigs
+        end;
         if problems <> [] then result := Some (problems, events)
         else begin
           (* Branch on every position this script did not force, deepest
@@ -163,7 +191,8 @@ let check_dfs ?(max_runs = 500) ?max_depth sys =
           in
           let forced = List.length script in
           for i = forced to Array.length evs - 1 do
-            if depth_ok i then begin
+            let here = branch_ok i and defer = defer_ok i in
+            if here || defer then begin
               let ev = evs.(i) in
               let ids = ev.Choice.ev_ids in
               (* Sleep-set-lite: alternatives that name an element
@@ -176,24 +205,97 @@ let check_dfs ?(max_runs = 500) ?max_depth sys =
                   if Hashtbl.mem expanded ids.(alt) then incr pruned
                   else begin
                     Hashtbl.replace expanded ids.(alt) ();
-                    frontier := (chosen_prefix i @ [ alt ]) :: !frontier
+                    let branched = chosen_prefix i @ [ alt ] in
+                    if here then frontier := branched :: !frontier
+                    else deferred := branched :: !deferred
                   end
               done
             end
           done
         end
   done;
-  let stats =
-    { runs = !runs;
-      distinct = Hashtbl.length seen;
-      decisions = !decisions;
-      pruned = !pruned;
-      frontier_left = List.length !frontier }
+  { w_runs = !runs;
+    w_decisions = !decisions;
+    w_pruned = !pruned;
+    w_sigs = List.rev !sigs;
+    w_left = List.length !frontier;
+    w_deferred = List.rev !deferred;
+    w_failure = !result }
+
+(* Frontier-split DFS.  Phase 1 explores the choice tree sequentially,
+   branching only at positions below [split_depth]; branches at deeper
+   positions become subtree roots.  Phase 2 walks each subtree under
+   its own budget slice — on the domain pool, since subtrees share no
+   state — and the merge visits subtrees in the deterministic order
+   phase 1 generated them: summed stats, unioned signatures, and the
+   first counterexample by lowest subtree index.  The work done, and
+   therefore every byte of the outcome, depends only on the arguments,
+   never on [domains]. *)
+let check_dfs ?(domains = 1) ?(split_depth = 2) ?(max_runs = 500) ?max_depth
+    sys =
+  let depth_ok i =
+    match max_depth with None -> true | Some d -> i < d
   in
-  match !result with
-  | None -> Passed stats
+  let p1 =
+    walk_tree sys ~budget:max_runs
+      ~branch_ok:(fun i -> i < split_depth && depth_ok i)
+      ~defer_ok:(fun i -> i >= split_depth && depth_ok i)
+      ~roots:[ [] ]
+  in
+  let subtrees = Array.of_list p1.w_deferred in
+  let n_subtrees = Array.length subtrees in
+  let remaining = max 0 (max_runs - p1.w_runs) in
+  match p1.w_failure with
   | Some (problems, events) ->
+      let stats =
+        { runs = p1.w_runs;
+          distinct = List.length p1.w_sigs;
+          decisions = p1.w_decisions;
+          pruned = p1.w_pruned;
+          frontier_left = p1.w_left + n_subtrees }
+      in
       fail_with sys ~stats ~problems ~events ~seed:None
+  | None ->
+      (* Budget slices are a pure function of (max_runs, phase-1 work,
+         subtree count): the first [n_run] subtrees get
+         ceil(remaining / n_run) runs each, the rest stay frontier. *)
+      let n_run = min n_subtrees remaining in
+      let walks =
+        if n_run = 0 then [||]
+        else
+          let per = max 1 ((remaining + n_run - 1) / n_run) in
+          Par.run ~domains ~tasks:n_run (fun i ->
+              walk_tree sys ~budget:per ~branch_ok:depth_ok
+                ~defer_ok:(fun _ -> false)
+                ~roots:[ subtrees.(i) ])
+      in
+      let seen = Hashtbl.create 256 in
+      List.iter (fun sg -> Hashtbl.replace seen sg ()) p1.w_sigs;
+      let runs = ref p1.w_runs
+      and decisions = ref p1.w_decisions
+      and pruned = ref p1.w_pruned
+      and left = ref (p1.w_left + (n_subtrees - n_run)) in
+      let failure = ref None in
+      Array.iter
+        (fun w ->
+          runs := !runs + w.w_runs;
+          decisions := !decisions + w.w_decisions;
+          pruned := !pruned + w.w_pruned;
+          left := !left + w.w_left;
+          List.iter (fun sg -> Hashtbl.replace seen sg ()) w.w_sigs;
+          if !failure = None then failure := w.w_failure)
+        walks;
+      let stats =
+        { runs = !runs;
+          distinct = Hashtbl.length seen;
+          decisions = !decisions;
+          pruned = !pruned;
+          frontier_left = !left }
+      in
+      (match !failure with
+      | None -> Passed stats
+      | Some (problems, events) ->
+          fail_with sys ~stats ~problems ~events ~seed:None)
 
 let pp_counterexample ppf events =
   List.iteri

@@ -20,6 +20,13 @@
       identity duplicates one already expanded at that position cannot
       lead to a new schedule and is skipped.
 
+    Because every run is an independent pure function of its script or
+    seed, both searches parallelize over the {!Multics_par.Par} domain
+    farm via their [?domains] argument.  The work performed and the
+    outcome produced are pure functions of the search arguments —
+    [domains] only changes wall-clock time, never a byte of the result
+    (test/test_par.ml holds the line).
+
     A failing run's choice script is shrunk ({!minimize}) and replayed
     ({!replay}) to produce a minimal counterexample whose events line up
     with the kernel's trace timeline. *)
@@ -56,17 +63,35 @@ val check_default : system -> outcome
     deterministic path but is consulted and recorded, so a pass here
     certifies the generalized path agrees with the stock kernel. *)
 
-val check_random : ?runs:int -> ?seed:int -> system -> outcome
+val check_random :
+  ?domains:int -> ?runs:int -> ?seed:int -> system -> outcome
 (** [runs] (default 50) schedules from seeds [seed], [seed+1], ...
-    (default seed 1).  Stops at the first violation, shrinks it, and
-    reports the offending seed. *)
+    (default seed 1), sharded across [domains] (default 1) pool
+    domains.  Every seed in the range is executed — stats account the
+    whole range — and the violation with the lowest seed is the one
+    shrunk and reported, so the outcome is byte-identical for every
+    [domains] value. *)
 
-val check_dfs : ?max_runs:int -> ?max_depth:int -> system -> outcome
+val check_dfs :
+  ?domains:int ->
+  ?split_depth:int ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  system ->
+  outcome
 (** Bounded exhaustive search: depth-first over the choice tree,
     branching on every undetermined position of each trace (positions
-    beyond [max_depth], default unlimited, are not branched).  Stops at
-    the first violation or after [max_runs] (default 500) schedules;
-    [frontier_left] reports how much tree remained. *)
+    beyond [max_depth], default unlimited, are not branched), stopping
+    after roughly [max_runs] (default 500) schedules; [frontier_left]
+    reports how much tree remained.
+
+    The search is frontier-split: a sequential prefix walk branches
+    only below [split_depth] (default 2); deeper branches become
+    subtree roots explored independently — in parallel across
+    [domains] (default 1), each walk with its own sleep-set state and
+    a budget slice fixed by the argument values.  Merged stats and the
+    first counterexample (lowest subtree index, so shrinking stays
+    exact) are byte-identical for every [domains] value. *)
 
 val replay : system -> script:int list -> string list * Choice.event list
 (** Re-execute one schedule from its choice script; returns the oracle

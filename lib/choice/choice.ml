@@ -68,15 +68,28 @@ let taken t = List.rev t.trace
 let choices t = List.rev_map (fun ev -> ev.ev_chosen) t.trace
 let decisions t = t.n_decisions
 
+(* The shared [default] is the one strategy value reachable from two
+   kernels at once (every create-time [?choice] argument defaults to
+   it), so kernels running on different domains may consult it
+   concurrently.  [pick] never writes through an inert strategy, and
+   the two mutators below refuse to either — the inert default is
+   immutable in practice, which is what makes sharing it safe. *)
 let reset t =
-  t.trace <- [];
-  t.n_decisions <- 0;
   match t.policy with
-  | Inert | Fixed0 -> ()
-  | Random r -> r.state <- lcg_next (r.seed land 0x3FFFFFFF)
-  | Script s -> s.cursor <- 0
+  | Inert -> ()
+  | Fixed0 ->
+      t.trace <- [];
+      t.n_decisions <- 0
+  | Random r ->
+      t.trace <- [];
+      t.n_decisions <- 0;
+      r.state <- lcg_next (r.seed land 0x3FFFFFFF)
+  | Script s ->
+      t.trace <- [];
+      t.n_decisions <- 0;
+      s.cursor <- 0
 
-let set_obs t sink = t.obs <- sink
+let set_obs t sink = if t.policy <> Inert then t.obs <- sink
 
 let pp_event ppf ev =
   Format.fprintf ppf "%s: %d/%d (id %d)" ev.ev_domain ev.ev_chosen

@@ -30,7 +30,11 @@ type event = {
 val default : t
 (** The shared inert strategy: always alternative 0 (the schedule the
     deterministic machine picks on its own), never recording.  This is
-    the only [t] for which {!is_active} is [false]. *)
+    the only [t] for which {!is_active} is [false].  It is also
+    immutable — {!pick} never writes through it, and {!reset} and
+    {!set_obs} are no-ops on it — so kernels booted on different
+    domains can share it without interference (the run-farm in
+    [lib/par] depends on this). *)
 
 val record_default : unit -> t
 (** The default policy (always 0) but active: choice points are
@@ -72,12 +76,13 @@ val decisions : t -> int
 
 val reset : t -> unit
 (** Forget recorded decisions and rewind a script to its start, so one
-    strategy value can drive several runs. *)
+    strategy value can drive several runs.  A no-op on {!default}. *)
 
 val set_obs : t -> Multics_obs.Sink.t -> unit
 (** Route choice-trace telemetry into the system's sink: each decision
     bumps the ["choice.pick"] counter and, in [Full] mode, records an
     instant event (cat ["check"], name = domain, arg = chosen index) so
-    counterexample timelines show where the schedule diverged. *)
+    counterexample timelines show where the schedule diverged.  A no-op
+    on {!default}, which never emits telemetry. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -456,11 +456,15 @@ let maybe_read_ahead t ~ptw_abs =
            for i = 1 to t.read_ahead do
              let target = ptw_abs + i in
              if target < pt.pt_base + pt.pt_words then begin
-               let ptw = Hw.Ptw.read (mem t) target in
+               (* Raw probes: the common outcome (page present, or not
+                  worth prefetching) needs four bit tests of the
+                  fetched word, not a decoded record. *)
+               let w = Hw.Phys_mem.read (mem t) target in
                if
-                 ptw.Hw.Ptw.valid && (not ptw.Hw.Ptw.present)
-                 && (not ptw.Hw.Ptw.unallocated)
-                 && (not ptw.Hw.Ptw.locked)
+                 Hw.Ptw.raw_valid w
+                 && (not (Hw.Ptw.raw_present w))
+                 && (not (Hw.Ptw.raw_unallocated w))
+                 && (not (Hw.Ptw.raw_locked w))
                  && not (Hashtbl.mem t.transits target)
                then
                  if t.free_count > t.low_water then (
@@ -478,7 +482,7 @@ let maybe_read_ahead t ~ptw_abs =
                        then Sync.Eventcount.advance t.cleaner;
                        ignore
                          (start_read t ~ptw_abs:target ~frame
-                            ~record_handle:ptw.Hw.Ptw.arg ~cell:pt.cell
+                            ~record_handle:(Hw.Ptw.raw_arg w) ~cell:pt.cell
                             ~prefetch:true))
                  else t.prefetch_dropped <- t.prefetch_dropped + 1
              end
@@ -495,15 +499,18 @@ let service_missing_page t ~caller ~ptw_abs =
       maybe_read_ahead t ~ptw_abs;
       join_transit t transit
   | None ->
-      let ptw = Hw.Ptw.read (mem t) ptw_abs in
-      if ptw.Hw.Ptw.present then Retry
-      else if ptw.Hw.Ptw.damaged then begin
+      (* Raw probes: every missing-page fault lands here, and the
+         decision needs two bit tests and the record field of the
+         fetched word, not a decoded record. *)
+      let w = Hw.Phys_mem.read (mem t) ptw_abs in
+      if Hw.Ptw.raw_present w then Retry
+      else if Hw.Ptw.raw_damaged w then begin
         (* The paper's damaged-segment switch at page granularity: the
            touching process gets a fault, never the lost data. *)
         Multics_obs.Sink.count t.obs "pfm.damaged_ref";
         Damaged
           (Printf.sprintf "page damaged (record %o lost to media error)"
-             ptw.Hw.Ptw.arg)
+             (Hw.Ptw.raw_arg w))
       end
       else begin
         match acquire_frame t ~inline:true with
@@ -511,7 +518,7 @@ let service_missing_page t ~caller ~ptw_abs =
             (* Every frame pinned or in transit: wait for any release. *)
             Wait (t.frees_ec, Sync.Eventcount.read t.frees_ec + 1)
         | Some frame ->
-            let record_handle = ptw.Hw.Ptw.arg in
+            let record_handle = Hw.Ptw.raw_arg w in
             let cell =
               match lookup_pt t ptw_abs with
               | Some pt -> pt.cell

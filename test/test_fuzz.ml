@@ -352,6 +352,56 @@ let prop_fuzz_fault_plans_deterministic =
     QCheck.(int_bound 10_000)
     (fun seed -> disk_checksum (chaos_run seed) = disk_checksum (chaos_run seed))
 
+(* ------------------------------------------------------------------ *)
+(* Farmed sweeps: the seeded fault-plan and random-schedule suites fan
+   out over the domain pool.  Each task boots its own kernel from its
+   seed alone, so the farm's self-containment contract applies; the
+   sweep at 4 domains must reproduce the 1-domain sweep exactly. *)
+
+module Par = Multics_par.Par
+
+let fault_plan_fingerprint seed =
+  let k = chaos_run seed in
+  (seed, K.Invariants.check k, disk_checksum k)
+
+let test_farmed_fault_plans () =
+  (* [chaos_horizon] is a lazy; force it on this domain before any
+     worker can race to. *)
+  ignore (Lazy.force chaos_horizon);
+  let sweep domains = Par.run ~domains ~tasks:12 fault_plan_fingerprint in
+  let solo = sweep 1 in
+  let farmed = sweep 4 in
+  Array.iter
+    (fun (seed, problems, _) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "fault plan %d leaves invariants intact" seed)
+        [] problems)
+    solo;
+  Alcotest.(check bool) "fault-plan sweep: domains 1 = 4" true (solo = farmed)
+
+let schedule_fingerprint seed =
+  (* Programs built inside the task, from nothing shared. *)
+  let k = quiescent_scheduled seed (chaos_programs ()) in
+  ( seed,
+    K.Invariants.check k,
+    K.Kernel.now k,
+    K.Kernel.denials k,
+    K.Page_frame.evictions (K.Kernel.page_frame k) )
+
+let test_farmed_schedules () =
+  let sweep domains =
+    Par.run ~domains ~tasks:10 (fun i -> schedule_fingerprint (1 + (997 * i)))
+  in
+  let solo = sweep 1 in
+  let farmed = sweep 4 in
+  Array.iter
+    (fun (seed, problems, _, _, _) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "schedule seed %d leaves invariants intact" seed)
+        [] problems)
+    solo;
+  Alcotest.(check bool) "schedule sweep: domains 1 = 4" true (solo = farmed)
+
 let tests =
   [ qcheck prop_fuzz_new_kernel;
     qcheck prop_fuzz_invariants;
@@ -363,4 +413,8 @@ let tests =
     qcheck prop_fuzz_schedule_invariants;
     qcheck prop_fuzz_schedule_deterministic;
     qcheck prop_fuzz_fault_plans;
-    qcheck prop_fuzz_fault_plans_deterministic ]
+    qcheck prop_fuzz_fault_plans_deterministic;
+    Alcotest.test_case "fuzz: farmed fault-plan sweep, domains 1 = 4" `Slow
+      test_farmed_fault_plans;
+    Alcotest.test_case "fuzz: farmed schedule sweep, domains 1 = 4" `Slow
+      test_farmed_schedules ]
