@@ -93,6 +93,25 @@ let fault_path_readback () =
   assert (K.Page_frame.faults_served (K.Kernel.page_frame k) > 0);
   assert (K.Page_frame.page_reads (K.Kernel.page_frame k) > 0)
 
+(* Request-context allocation: the per-request cost the tentpole adds
+   to every gate entry, login and fault.  In [Off] mode it must be a
+   constant-time no-op with zero allocation; in [Counters] mode it is
+   a few array writes (amortized over the doubling growth). *)
+let ctx_alloc_off =
+  let sink = Multics_obs.Sink.create ~mode:Multics_obs.Sink.Off
+      ~now:(fun () -> 0) () in
+  fun () ->
+    for _ = 1 to 1024 do
+      ignore (Multics_obs.Sink.new_ctx sink ~origin:"req" ())
+    done
+
+let ctx_alloc_on () =
+  let sink = Multics_obs.Sink.create ~mode:Multics_obs.Sink.Counters
+      ~now:(fun () -> 0) () in
+  for _ = 1 to 1024 do
+    ignore (Multics_obs.Sink.new_ctx sink ~origin:"req" ())
+  done
+
 let legacy_workload () =
   let s = Bench_util.boot_old ~config:L.Old_supervisor.small_config () in
   ignore
@@ -176,6 +195,9 @@ let tests =
     Test.make ~name:"pfm: fault+read-ahead readback"
       (Staged.stage fault_path_readback);
     Test.make ~name:"P4 inner: legacy writer" (Staged.stage legacy_workload);
+    Test.make ~name:"obs: 1024 ctx allocs (off)" (Staged.stage ctx_alloc_off);
+    Test.make ~name:"obs: 1024 ctx allocs (counters)"
+      (Staged.stage ctx_alloc_on);
     Test.make ~name:"eq: fill+drain 1e4" (Staged.stage (eq_fill_drain 10_000));
     Test.make ~name:"eq: fill+drain 1e5" (Staged.stage (eq_fill_drain 100_000));
     Test.make ~name:"eq: fill+drain 1e6"
@@ -198,6 +220,8 @@ let metric_slugs =
     ("multics P4 inner: new-kernel writer", "kernel_writer");
     ("multics pfm: fault+read-ahead readback", "pfm_fault_readback");
     ("multics P4 inner: legacy writer", "legacy_writer");
+    ("multics obs: 1024 ctx allocs (off)", "ctx_alloc_off_1024");
+    ("multics obs: 1024 ctx allocs (counters)", "ctx_alloc_on_1024");
     ("multics eq: fill+drain 1e4", "eq_fill_drain_1e4");
     ("multics eq: fill+drain 1e5", "eq_fill_drain_1e5");
     ("multics eq: fill+drain 1e6", "eq_fill_drain_1e6");

@@ -47,8 +47,8 @@ type run = {
   r_kernel : K.Kernel.t;
 }
 
-let run_mode ~label mode =
-  let config = { base_config with K.Kernel.trace = mode } in
+let run_mode ~label ?(ctx = true) mode =
+  let config = { base_config with K.Kernel.trace = mode; ctx } in
   let k = Bench_util.boot_new ~config () in
   ignore
     (K.Kernel.spawn k ~pname:"writer"
@@ -139,11 +139,17 @@ let run () =
   let off = run_mode ~label:"off" Obs.Sink.Off in
   let counters = run_mode ~label:"counters" Obs.Sink.Counters in
   let full = run_mode ~label:"full" Obs.Sink.Full in
+  (* Request-context tracking must be as free as the rest of the sink:
+     the same counters-mode run with ctx off is the control. *)
+  let ctx_off = run_mode ~label:"ctx-off" ~ctx:false Obs.Sink.Counters in
   check_same "final simulated clock" (fun r -> r.r_clock) off counters;
   check_same "final simulated clock" (fun r -> r.r_clock) off full;
   check_same "disk contents" (fun r -> r.r_disk) off counters;
   check_same "disk contents" (fun r -> r.r_disk) off full;
-  Format.printf "  off/counters/full clocks and disks identical@.@.";
+  check_same "final simulated clock" (fun r -> r.r_clock) ctx_off counters;
+  check_same "disk contents" (fun r -> r.r_disk) ctx_off counters;
+  Format.printf
+    "  off/counters/full clocks and disks identical (ctx on or off)@.@.";
   let transits, batches = check_nesting full.r_kernel in
   export_trace full.r_kernel ~path:"BENCH_trace_c3.json";
   Format.printf "@.%s@." (K.Kernel.histo_report full.r_kernel);
@@ -165,7 +171,21 @@ let run () =
   Bench_util.recordi ~section:sec ~metric:"clock_full_ns" full.r_clock;
   Bench_util.recordi ~section:sec ~metric:"clock_skew_ns"
     (full.r_clock - off.r_clock);
+  Bench_util.recordi ~section:sec ~metric:"clock_ctx_off_ns" ctx_off.r_clock;
+  Bench_util.recordi ~section:sec ~metric:"clock_ctx_on_ns" counters.r_clock;
+  Bench_util.recordi ~section:sec ~metric:"ctx_skew_ns"
+    (counters.r_clock - ctx_off.r_clock);
+  Bench_util.recordi ~section:sec ~metric:"ctx_count" ~unit:"count"
+    (Obs.Sink.ctx_count (K.Kernel.obs full.r_kernel));
   Bench_util.recordi ~section:sec ~metric:"ring_transit_pairs" ~unit:"count"
     transits;
   Bench_util.recordi ~section:sec ~metric:"ring_batch_pairs" ~unit:"count"
-    batches
+    batches;
+  (* The always-on flight recorder's dump, persisted for CI to byte-diff
+     across double runs: its determinism is part of the contract. *)
+  let dump = K.Kernel.flight_dump full.r_kernel in
+  let oc = open_out "BENCH_flight_c3.txt" in
+  output_string oc dump;
+  close_out oc;
+  Format.printf "  flight dump -> BENCH_flight_c3.txt (%d bytes)@."
+    (String.length dump)

@@ -61,11 +61,85 @@ let () =
   output_string oc (K.Kernel.chrome_trace k);
   close_out oc;
 
-  let ring = Obs.Sink.buf (K.Kernel.obs k) in
+  let obs = K.Kernel.obs k in
+  let ring = Obs.Sink.buf obs in
   Format.printf "ran to %s; ring holds %d events (%d dropped)@."
     (Printf.sprintf "%.1f us" (float_of_int (K.Kernel.now k) /. 1e3))
     (Obs.Trace_buf.length ring)
     (Obs.Trace_buf.dropped ring);
   Format.printf "%s@." (K.Kernel.histo_report k);
-  Format.printf "wrote %s — open it in chrome://tracing or ui.perfetto.dev@."
+
+  (* Explain a request: every trace event carries a request context —
+     an id allocated at the gate, login or fault that began the work,
+     linked to its parent.  Walk the reader's tree: its root context,
+     each child's origin (fault kinds, gates, read-ahead spawned on
+     its behalf), and the causal critical path — the chain of contexts
+     whose last event decided when the request finished. *)
+  let reader_root =
+    (* The last user root: the writer's process was created first, the
+       reader's second. *)
+    let best = ref 0 in
+    for id = 1 to Obs.Sink.ctx_count obs do
+      if Obs.Sink.ctx_origin obs id = "user" && Obs.Sink.ctx_parent obs id = 0
+      then best := id
+    done;
+    !best
+  in
+  if reader_root <> 0 then begin
+    Format.printf "@.request tree under ctx %d (%s):@." reader_root
+      (Obs.Sink.ctx_origin obs reader_root);
+    let children = Hashtbl.create 64 in
+    for id = 1 to Obs.Sink.ctx_count obs do
+      let p = Obs.Sink.ctx_parent obs id in
+      Hashtbl.replace children p (id :: Option.value ~default:[] (Hashtbl.find_opt children p))
+    done;
+    let origin_counts = Hashtbl.create 16 in
+    let rec walk id =
+      List.iter
+        (fun c ->
+          let o = Obs.Sink.ctx_origin obs c in
+          Hashtbl.replace origin_counts o
+            (1 + Option.value ~default:0 (Hashtbl.find_opt origin_counts o));
+          walk c)
+        (List.rev (Option.value ~default:[] (Hashtbl.find_opt children id)))
+    in
+    walk reader_root;
+    Hashtbl.fold (fun o n acc -> (o, n) :: acc) origin_counts []
+    |> List.sort compare
+    |> List.iter (fun (o, n) -> Format.printf "  %4d x %s@." n o);
+    let print_path ctx =
+      List.iter
+        (fun (id, first, last) ->
+          Format.printf "  ctx %-5d %-16s %d..%d@." id
+            (Obs.Sink.ctx_origin obs id) first last)
+        (Obs.Trace_export.critical_path
+           ~parent_of:(Obs.Sink.ctx_parent obs)
+           ring ~ctx)
+    in
+    Format.printf "critical path of the request (ctx, first..last ns):@.";
+    print_path reader_root;
+    (* Zoom in on one page fault: pick the one with the deepest path —
+       a fault whose read-ahead child finished after the demand read
+       shows the prefetch as the decisive work. *)
+    let best = ref 0 and best_len = ref 0 in
+    for id = 1 to Obs.Sink.ctx_count obs do
+      if Obs.Sink.ctx_origin obs id = "missing_page"
+         && Obs.Sink.ctx_root obs id = reader_root
+      then begin
+        let len =
+          List.length
+            (Obs.Trace_export.critical_path
+               ~parent_of:(Obs.Sink.ctx_parent obs)
+               ring ~ctx:id)
+        in
+        if len > !best_len then begin best := id; best_len := len end
+      end
+    done;
+    if !best <> 0 then begin
+      Format.printf "critical path of one page fault:@.";
+      print_path !best
+    end
+  end;
+
+  Format.printf "@.wrote %s — open it in chrome://tracing or ui.perfetto.dev@."
     path

@@ -4,6 +4,7 @@ module Par = Multics_par.Par
 type system = {
   sys_name : string;
   sys_run : Choice.t -> string list;
+  sys_flight : (unit -> string) option;
 }
 
 type stats = {
@@ -22,6 +23,8 @@ type outcome =
       f_script : int list;
       f_events : Choice.event list;
       f_seed : int option;
+      f_flight : string;
+          (* flight-recorder dump of the minimal failing replay *)
     }
 
 (* A schedule's identity: the full decoded decision sequence.  Two
@@ -87,12 +90,17 @@ let fail_with sys ~stats ~problems ~events ~seed =
   let script = List.map (fun ev -> ev.Choice.ev_chosen) events in
   let minimal, trials = minimize sys ~script in
   let _, min_events = replay sys ~script:minimal in
+  (* The flight thunk reads the system's most recent run — which is the
+     minimal replay we just did, so the dump ships the causal trace of
+     the shrunk counterexample, not of the noisy first failure. *)
+  let flight = match sys.sys_flight with Some f -> f () | None -> "" in
   Failed
     { f_stats = { stats with runs = stats.runs + trials + 1 };
       f_problems = problems;
       f_script = minimal;
       f_events = min_events;
-      f_seed = seed }
+      f_seed = seed;
+      f_flight = flight }
 
 let check_default sys =
   let problems, events, decisions =
@@ -318,4 +326,7 @@ let pp_outcome ppf = function
       (match f.f_seed with
       | Some s -> Format.fprintf ppf "  (found by seed %d)@." s
       | None -> ());
-      pp_counterexample ppf f.f_events
+      pp_counterexample ppf f.f_events;
+      if f.f_flight <> "" then
+        Format.fprintf ppf "  %s@."
+          (String.concat "\n  " (String.split_on_char '\n' f.f_flight))

@@ -38,6 +38,12 @@ type system = {
   sys_run : Choice.t -> string list;
       (** Boot fresh state under the strategy, run to quiescence, and
           return oracle violations (empty = this schedule is safe). *)
+  sys_flight : (unit -> string) option;
+      (** Read the flight-recorder dump of the system's most recent
+          run.  The explorer calls it right after the final minimal
+          replay, so a counterexample ships with the causal trace of
+          the shrunk failing schedule.  [None] for systems without a
+          sink. *)
 }
 
 type stats = {
@@ -56,6 +62,9 @@ type outcome =
       f_script : int list;  (** minimal counterexample choice script *)
       f_events : Choice.event list;  (** the script's decoded schedule *)
       f_seed : int option;  (** seed, when the random strategy found it *)
+      f_flight : string;
+          (** flight-recorder dump of the minimal failing replay, with
+              causal contexts; [""] when the system has no sink *)
     }
 
 val check_default : system -> outcome

@@ -5,16 +5,25 @@ module Choice = Multics_choice.Choice
 
 let step_cost = 100
 
-let run_eventcount ?(bug = false) ?(events = 2) choice =
+let run_eventcount_full ?(bug = false) ?(events = 2) choice =
   let hw = Hw.Hw_config.with_cpus Hw.Hw_config.kernel_multics 1 in
   let machine = Hw.Machine.create ~disk_packs:1 ~records_per_pack:8 hw in
+  (* A Counters sink arms the flight recorder: [Vp.bind] roots a
+     context per VP and the eventcount instants carry them, so a
+     counterexample's dump shows WHO waited and WHO advanced. *)
+  let obs =
+    Multics_obs.Sink.create ~mode:Multics_obs.Sink.Counters
+      ~now:(fun () -> Hw.Machine.now machine)
+      ()
+  in
+  Hw.Machine.set_obs machine obs;
   let meter = K.Meter.create () in
   let tracer = K.Tracer.create () in
   let core = K.Core_segment.create ~machine ~meter ~reserved_frames:4 in
   let vp =
     K.Vp.create ~choice ~machine ~meter ~tracer ~core ~n_vps:2 ()
   in
-  let ec = Sync.Eventcount.create ~name:"harness" ~choice () in
+  let ec = Sync.Eventcount.create ~name:"harness" ~obs ~choice () in
   let produced = ref 0 in
   K.Vp.bind vp ~vp_id:0 ~name:"producer" ~step:(fun _ ->
       if !produced >= events then K.Vp.Stopped step_cost
@@ -60,11 +69,23 @@ let run_eventcount ?(bug = false) ?(events = 2) choice =
       problems :=
         Printf.sprintf "vp %d: wired state word disagrees" i :: !problems
   done;
-  !problems
+  (* A violated run deserves the same automatic dump point as the
+     kernel's invariant checker. *)
+  if !problems <> [] then Multics_obs.Sink.note_dump obs ~reason:"invariant";
+  (!problems, Multics_obs.Sink.flight_dump obs)
+
+let run_eventcount ?bug ?events choice =
+  fst (run_eventcount_full ?bug ?events choice)
 
 let eventcount_system ?bug ?events () =
+  let flight = ref "" in
   { Explore.sys_name = "eventcount";
-    sys_run = (fun c -> run_eventcount ?bug ?events c) }
+    sys_run =
+      (fun c ->
+        let problems, dump = run_eventcount_full ?bug ?events c in
+        flight := dump;
+        problems);
+    sys_flight = Some (fun () -> !flight) }
 
 (* A ping-pong pair: each process advances the other's eventcount and
    waits on its own, with a little paging traffic in between. *)
@@ -78,6 +99,7 @@ let pingpong_program ~me ~peer ~rounds =
 
 let kernel_system ?config ?(n_procs = 2) () =
   let base = Option.value ~default:K.Kernel.small_config config in
+  let flight = ref "" in
   let run choice =
     let kernel = K.Kernel.boot { base with K.Kernel.choice = Some choice } in
     let n = max 2 n_procs in
@@ -89,6 +111,9 @@ let kernel_system ?config ?(n_procs = 2) () =
            (pingpong_program ~me ~peer ~rounds:3))
     done;
     ignore (K.Kernel.run_to_completion kernel);
-    Oracle.check kernel
+    let problems = Oracle.check kernel in
+    flight := K.Kernel.flight_dump kernel;
+    problems
   in
-  { Explore.sys_name = "kernel-pingpong"; sys_run = run }
+  { Explore.sys_name = "kernel-pingpong"; sys_run = run;
+    sys_flight = Some (fun () -> !flight) }

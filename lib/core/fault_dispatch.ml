@@ -29,6 +29,14 @@ let handle t ~proc fault =
   t.handled <- t.handled + 1;
   Meter.charge t.meter ~manager:name Cost.Pl1 Cost.fault_entry;
   Multics_obs.Sink.count t.obs "fault.handled";
+  (* A fault is a request entry point: open a context under the faulting
+     process so the page read, its retries and any read-ahead spawned on
+     its behalf chain back to this fault. *)
+  let parent = Multics_obs.Sink.current t.obs in
+  let ctx =
+    Multics_obs.Sink.new_ctx t.obs ~origin:(Hw.Fault.kind_name fault) ()
+  in
+  Multics_obs.Sink.set_current t.obs ctx;
   let sp =
     Multics_obs.Sink.span_begin t.obs ~cat:"fault"
       ~name:(Hw.Fault.kind_name fault) ()
@@ -67,6 +75,13 @@ let handle t ~proc fault =
         Error (Printf.sprintf "bounds fault: seg %d word %o" segno wordno)
   in
   Multics_obs.Sink.span_end t.obs ~histo:"fault.handle" sp;
+  (* On [Wait] the fault context stays ambient: the VP dispatcher
+     captures it when the step returns, so the eventcount registration
+     for the page transit carries this fault's id.  On the synchronous
+     outcomes the request is over — restore the caller's context. *)
+  (match outcome with
+  | Wait _ -> ()
+  | Retry | Error _ -> Multics_obs.Sink.set_current t.obs parent);
   outcome
 
 let faults_handled t = t.handled

@@ -46,12 +46,20 @@ let call t ~name:gate_name ~caller_ring f =
         t.total <- t.total + 1;
         Meter.charge t.meter ~manager:name Cost.Pl1 Cost.gate_crossing;
         Multics_obs.Sink.count t.obs "gate.call";
+        (* Every gate entry opens a request context under whatever was
+           ambient (the calling process), so kernel work done on the
+           caller's behalf — including async I/O it spawns — chains
+           back to this call. *)
+        let parent = Multics_obs.Sink.current t.obs in
+        let ctx = Multics_obs.Sink.new_ctx t.obs ~origin:gate_name () in
+        Multics_obs.Sink.set_current t.obs ctx;
         let sp =
           Multics_obs.Sink.span_begin t.obs ~cat:"gate" ~name:gate_name ()
         in
         let result = f () in
         ignore (deliver_signals t);
         Multics_obs.Sink.span_end t.obs ~histo:"gate.call" sp;
+        Multics_obs.Sink.set_current t.obs parent;
         Ok result
       end
 

@@ -143,4 +143,8 @@ let check kernel =
       | _ -> ())
     (Quota_cell.registered quota);
 
+  (* A violated invariant is exactly what the flight recorder exists
+     for: snapshot it so the report ships with the final events. *)
+  if !problems <> [] then
+    Multics_obs.Sink.note_dump (Kernel.obs kernel) ~reason:"invariant";
   List.rev !problems

@@ -22,6 +22,7 @@ type config = {
   io_config : Hw.Io_sched.config option;
   read_ahead : int;
   trace : Multics_obs.Sink.mode;
+  ctx : bool;
   faults : Hw.Fault_inject.t;
   choice : Multics_choice.Choice.t option;
 }
@@ -34,6 +35,7 @@ let default_config =
     use_cleaner_daemon = true; root_quota = 2048; use_path_cache = true;
     use_io_sched = true; io_config = None; read_ahead = 2;
     trace = Multics_obs.Sink.Counters;
+    ctx = true;
     faults = Hw.Fault_inject.none;
     choice = None }
 
@@ -114,11 +116,22 @@ let rec boot_internal ?previous_disk cfg =
      the meter or schedules events — which is why switching [cfg.trace]
      cannot move simulated time (bench C3 asserts exactly that). *)
   let obs =
-    Multics_obs.Sink.create ~mode:cfg.trace
+    Multics_obs.Sink.create ~mode:cfg.trace ~ctx:cfg.ctx
       ~now:(fun () -> Hw.Machine.now machine)
       ()
   in
   Hw.Machine.set_obs machine obs;
+  Meter.register_users meter (fun () -> Multics_obs.Sink.by_user obs);
+  (* SLO watchdogs: simulated-time latency thresholds on the service
+     histograms.  Purely observational — a breach bumps a counter and
+     drops an instant in the flight ring, never touching the clock. *)
+  Multics_obs.Sink.set_slo obs ~histo:"pfm.page_read"
+    ~threshold_ns:40_000_000;
+  Multics_obs.Sink.set_slo obs ~histo:"lock.hold:ptl"
+    ~threshold_ns:40_000_000;
+  Multics_obs.Sink.set_slo obs ~histo:"io.queue_age"
+    ~threshold_ns:250_000_000;
+  Multics_obs.Sink.set_slo obs ~histo:"as.login" ~threshold_ns:30_000_000;
   (* An active strategy's picks become trace instants, so a recorded
      counterexample lines up with the kernel's own timeline. *)
   (match cfg.choice with
@@ -139,6 +152,9 @@ let rec boot_internal ?previous_disk cfg =
   | Some (at_ns, surviving_writes) ->
       Hw.Machine.schedule_at machine ~time:at_ns (fun () ->
           ignore (Volume.crash volume ~surviving_writes);
+          (* Last gasp: snapshot the flight recorder so the post-mortem
+             sees the final events before the clock freezes. *)
+          Multics_obs.Sink.note_dump obs ~reason:"halt";
           Hw.Machine.halt machine)
   | None -> ());
   let quota =
@@ -696,9 +712,35 @@ let dependency_audit t =
 
 let meter_snapshot t = Meter.snapshot t.meter
 
+let pp_slos ppf t =
+  match Multics_obs.Sink.slos t.obs with
+  | [] -> ()
+  | slos ->
+      Format.fprintf ppf "  slo watchdogs (threshold in simulated ns):@.";
+      List.iter
+        (fun (s : Multics_obs.Sink.slo_view) ->
+          if s.Multics_obs.Sink.sv_breaches = 0 then
+            Format.fprintf ppf "    %-16s <= %-10d ok@."
+              s.Multics_obs.Sink.sv_histo s.Multics_obs.Sink.sv_threshold
+          else
+            Format.fprintf ppf
+              "    %-16s <= %-10d %d breaches, worst %d, last %d at t=%d \
+               ctx=%d@."
+              s.Multics_obs.Sink.sv_histo s.Multics_obs.Sink.sv_threshold
+              s.Multics_obs.Sink.sv_breaches s.Multics_obs.Sink.sv_worst
+              s.Multics_obs.Sink.sv_last_ns s.Multics_obs.Sink.sv_last_t
+              s.Multics_obs.Sink.sv_last_ctx)
+        slos
+
+let slo_report t = Format.asprintf "%a" pp_slos t
+
 let trace_report t =
-  Format.asprintf "%a" Multics_obs.Trace_export.pp_timeline
+  Format.asprintf "%a%a" Multics_obs.Trace_export.pp_timeline
     (Multics_obs.Sink.buf t.obs)
+    pp_slos t
+
+let flight_dump t = Multics_obs.Sink.flight_dump t.obs
+let last_flight_dump t = Multics_obs.Sink.last_dump t.obs
 
 let pp_histos ppf t =
   match Multics_obs.Sink.histos t.obs with
@@ -790,6 +832,16 @@ let pp_report ppf t =
         (100.0 *. Meter.hit_rate c))
     (Meter.cache_stats t.meter);
   pp_histos ppf t;
+  pp_slos ppf t;
+  (match Meter.by_user t.meter with
+  | [] -> ()
+  | users ->
+      Format.fprintf ppf "  usage by user:@.";
+      List.iter
+        (fun (user, (cpu_ns, ios)) ->
+          Format.fprintf ppf "    %-16s %8d us cpu %6d ios@." user
+            (cpu_ns / 1000) ios)
+        users);
   Format.fprintf ppf "  kernel time by manager:@.";
   List.iter
     (fun (manager, ns) ->

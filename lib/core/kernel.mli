@@ -42,9 +42,15 @@ type config = {
           a segment; [0] disables read-ahead. *)
   trace : Multics_obs.Sink.mode;
       (** Observability: [Off] records nothing, [Counters] (the
-          default) keeps counters and latency histograms, [Full] also
-          records the event ring for timeline export.  Never affects
-          simulated time or disk contents. *)
+          default) keeps counters, latency histograms and the flight
+          ring, [Full] also records the event ring for timeline
+          export.  Never affects simulated time or disk contents. *)
+  ctx : bool;
+      (** Track request contexts: causal ids allocated at gate entry,
+          login and fault, propagated through dispatch, queues, locks
+          and I/O completions so every trace event joins back to the
+          request it serves.  [true] by default; clock- and
+          disk-neutral either way (bench C3's ctx rows assert it). *)
   faults : Multics_hw.Fault_inject.t;
       (** Deterministic fault plan for the disk subsystem (the default
           is the empty plan, which leaves every run bit-identical to a
@@ -201,11 +207,28 @@ val dependency_audit : t -> Multics_depgraph.Conformance.t
 (** Observed cross-manager calls vs. the declared graph of {!Registry}. *)
 
 val meter_snapshot : t -> Meter.snapshot
-(** Freeze the cost meter for later {!Meter.diff} delta assertions. *)
+(** Freeze the cost meter for later {!Meter.diff} delta assertions.
+    [snap_users] carries per-user attribution (cpu ns and I/Os joined
+    from request contexts back to accounting principals). *)
 
 val trace_report : t -> string
 (** The event ring as a human-readable timeline (empty unless the
-    config asked for [Full] tracing). *)
+    config asked for [Full] tracing), followed by the SLO watchdog
+    summary. *)
+
+val slo_report : t -> string
+(** Just the SLO watchdog summary: one line per armed watchdog with
+    breach count, worst latency and the last breach's instant and
+    blamed context. *)
+
+val flight_dump : t -> string
+(** The always-on flight recorder's current contents, rendered
+    deterministically (one line per event with its causal chain).
+    Non-empty whenever tracing is not [Off]. *)
+
+val last_flight_dump : t -> (string * string) option
+(** [(reason, dump)] snapshotted at the last automatic dump point —
+    kernel halt, salvager entry or invariant violation. *)
 
 val histo_report : t -> string
 (** Every latency histogram — page-read transits, I/O batches, VP

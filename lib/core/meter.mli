@@ -47,17 +47,29 @@ val cache_stats : t -> (string * cache_stats) list
 val hit_rate : cache_stats -> float
 (** Hits over lookups; 0 when there were no lookups. *)
 
+val register_users : t -> (unit -> (string * (int * int)) list) -> unit
+(** Register the per-user attribution source ([(user, (cpu_ns, ios))],
+    sorted by user) — the kernel wires the observability sink's
+    request-context join here so {!snapshot} can report usage by
+    accounting principal. *)
+
+val by_user : t -> (string * (int * int)) list
+(** The registered attribution, [[]] when none is registered. *)
+
 type snapshot = {
   snap_total : int;
   snap_managers : (string * int) list;  (** sorted by manager name *)
+  snap_users : (string * (int * int)) list;
+      (** per-user [(cpu_ns, ios)], sorted by user; empty unless
+          attribution is registered *)
 }
 
 val snapshot : t -> snapshot
 (** Freeze the totals, for later per-manager delta assertions. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
-(** Per-manager deltas between two snapshots; managers whose total did
-    not move are omitted. *)
+(** Per-manager deltas between two snapshots; managers or users whose
+    totals did not move are omitted. *)
 
 val reset : t -> unit
 (** Clears meters; registered caches stay registered. *)

@@ -26,6 +26,7 @@ type transit = {
   frame : int;
   mutable prefetch : bool;  (* no demand fault has joined yet *)
   t_start : int;  (* sink clock at read submission *)
+  t_ctx : int;  (* request context of the fault/read-ahead behind the read *)
   ptl : Sync.Lock.t;
       (* The per-transit page-table lock, held for the read's whole
          flight.  Purely accounting: its hold time is the transit
@@ -281,19 +282,26 @@ let evict_frame t frame =
       (* Write-behind: queue the flush on the pack's elevator and free
          the frame now.  The scheduler's write buffer keeps any reader
          of the record coherent until the sweep lands.  A terminal
-         write failure spares the record (or damages the page). *)
-      if t.use_io_sched then
-        Volume.write_record_async t.volume ~caller:name ~handle:old_handle
-          ~done_:(function
-            | Ok () -> ()
-            | Error err ->
-                handle_write_failure t ~ptw_abs ~old_handle img err)
-          img
-      else begin
-        match Volume.write_page t.volume ~caller:name ~handle:old_handle img with
-        | Ok () -> ()
-        | Error err -> handle_write_failure t ~ptw_abs ~old_handle img err
-      end
+         write failure spares the record (or damages the page).  The
+         flush is work spawned on behalf of whoever forced the
+         eviction: a child context chains it back. *)
+      let prev = Multics_obs.Sink.current t.obs in
+      let wb_ctx = Multics_obs.Sink.new_ctx t.obs ~origin:"write_behind" () in
+      Multics_obs.Sink.set_current t.obs wb_ctx;
+      Multics_obs.Sink.attribute t.obs ~ctx:wb_ctx ~cpu_ns:0 ~ios:1;
+      (if t.use_io_sched then
+         Volume.write_record_async t.volume ~caller:name ~handle:old_handle
+           ~done_:(function
+             | Ok () -> ()
+             | Error err ->
+                 handle_write_failure t ~ptw_abs ~old_handle img err)
+           img
+       else
+         match Volume.write_page t.volume ~caller:name ~handle:old_handle img
+         with
+         | Ok () -> ()
+         | Error err -> handle_write_failure t ~ptw_abs ~old_handle img err);
+      Multics_obs.Sink.set_current t.obs prev
     end;
     Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:e.record_handle)
   end;
@@ -402,14 +410,22 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
   ignore (Sync.Lock.try_acquire ptl ~owner:name);
   let transit =
     { ec; expected = 1; frame; prefetch;
-      t_start = Multics_obs.Sink.now t.obs; ptl }
+      t_start = Multics_obs.Sink.now t.obs; ptl;
+      t_ctx = Multics_obs.Sink.current t.obs }
   in
   Hashtbl.replace t.transits ptw_abs transit;
   charge t Cost.disk_io_setup;
   t.page_reads <- t.page_reads + 1;
+  Multics_obs.Sink.attribute t.obs ~ctx:transit.t_ctx ~cpu_ns:0 ~ios:1;
   Multics_obs.Sink.async_begin t.obs ~cat:"pfm" ~name:"page_read" ~id:ptw_abs
     ~arg:(if prefetch then 1 else 0) ();
   let finish result =
+    (* Completion runs on behalf of the request that started the read:
+       its context owns the descriptor fixups, the latency sample (so
+       the page-fault SLO watchdog blames the right fault) and the
+       eventcount advance. *)
+    let prev_ctx = Multics_obs.Sink.current t.obs in
+    Multics_obs.Sink.set_current t.obs transit.t_ctx;
     (match result with
     | Ok img ->
         Hw.Phys_mem.write_frame (mem t) frame img;
@@ -430,7 +446,8 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
       (Multics_obs.Sink.now t.obs - transit.t_start);
     Sync.Lock.release ptl;
     (match result with Error _ -> release_frame t frame | Ok _ -> ());
-    Sync.Eventcount.advance ec
+    Sync.Eventcount.advance ec;
+    Multics_obs.Sink.set_current t.obs prev_ctx
   in
   if t.use_io_sched then
     Volume.read_record_async t.volume ~caller:name ~handle:record_handle
@@ -476,6 +493,15 @@ let maybe_read_ahead t ~ptw_abs =
                        charge t Cost.frame_alloc;
                        t.prefetch_issued <- t.prefetch_issued + 1;
                        Multics_obs.Sink.count t.obs "pfm.read_ahead";
+                       (* The prefetch is work spawned on behalf of the
+                          faulting request: give it a child context so
+                          its whole read chains back to the fault. *)
+                       let prev = Multics_obs.Sink.current t.obs in
+                       let pf_ctx =
+                         Multics_obs.Sink.new_ctx t.obs ~origin:"read_ahead"
+                           ()
+                       in
+                       Multics_obs.Sink.set_current t.obs pf_ctx;
                        Multics_obs.Sink.instant t.obs ~cat:"pfm"
                          ~name:"read_ahead" ~arg:target ();
                        if t.use_cleaner_daemon && t.free_count <= t.low_water
@@ -483,7 +509,8 @@ let maybe_read_ahead t ~ptw_abs =
                        ignore
                          (start_read t ~ptw_abs:target ~frame
                             ~record_handle:(Hw.Ptw.raw_arg w) ~cell:pt.cell
-                            ~prefetch:true))
+                            ~prefetch:true);
+                       Multics_obs.Sink.set_current t.obs prev)
                  else t.prefetch_dropped <- t.prefetch_dropped + 1
              end
            done);
@@ -612,15 +639,18 @@ let fault_in_sync t ~caller ~ptw_abs =
 
 let flush_page t ~caller ~ptw_abs =
   Tracer.call t.tracer ~from:caller ~to_:name;
-  let ptw = Hw.Ptw.read (mem t) ptw_abs in
-  if not ptw.Hw.Ptw.present then begin
+  (* Raw probes: shutdown/checkpoint walk every descriptor through
+     here, and the decision needs one bit test and the frame field of
+     the fetched word, not a decoded record. *)
+  let w = Hw.Phys_mem.read (mem t) ptw_abs in
+  if not (Hw.Ptw.raw_present w) then begin
     (* Scanning an absent PTW is one descriptor read. *)
     charge t (Cost.ptw_update / 4);
     `Not_present
   end
   else begin
     charge t Cost.kernel_call;
-    let frame = ptw.Hw.Ptw.arg in
+    let frame = Hw.Ptw.raw_arg w in
     let e = t.frames.(frame) in
     let record = e.record_handle in
     let zero = Hw.Phys_mem.frame_is_zero (mem t) frame in
@@ -655,11 +685,20 @@ let cleaner_step t _vp =
         !cleaned < limit && e.used_by >= 0 && (not e.pinned)
         && e.record_handle >= 0
       then begin
-        let ptw = Hw.Ptw.read (mem t) e.used_by in
-        if ptw.Hw.Ptw.modified && not ptw.Hw.Ptw.used then begin
+        (* Raw descriptor probes: the daemon scans two bits per frame,
+           so decoding a record per pass made it the idle loop's
+           densest allocator. *)
+        let w = Hw.Phys_mem.read (mem t) e.used_by in
+        if Hw.Ptw.raw_modified w && not (Hw.Ptw.raw_used w) then begin
           let img = Hw.Phys_mem.read_frame (mem t) frame in
           let old_handle = e.record_handle in
           let ptw_abs = e.used_by in
+          let prev = Multics_obs.Sink.current t.obs in
+          let wb_ctx =
+            Multics_obs.Sink.new_ctx t.obs ~origin:"write_behind" ()
+          in
+          Multics_obs.Sink.set_current t.obs wb_ctx;
+          Multics_obs.Sink.attribute t.obs ~ctx:wb_ctx ~cpu_ns:0 ~ios:1;
           if t.use_io_sched then
             Volume.write_record_async t.volume ~caller:name ~handle:old_handle
               ~done_:(function
@@ -678,7 +717,8 @@ let cleaner_step t _vp =
             Meter.charge_raw t.meter ~manager:"page_cleaner_daemon"
               (Volume.io_latency_ns t.volume)
           end;
-          Hw.Ptw.write (mem t) e.used_by { ptw with Hw.Ptw.modified = false };
+          Multics_obs.Sink.set_current t.obs prev;
+          Hw.Phys_mem.write (mem t) e.used_by (Hw.Ptw.raw_clear_modified w);
           t.page_writes <- t.page_writes + 1;
           t.pages_cleaned <- t.pages_cleaned + 1;
           incr cleaned

@@ -23,6 +23,9 @@ let pp_finding ppf f =
     (if f.f_repairable then "" else " (needs operator)")
 
 let scan kernel =
+  (* The salvager runs because something went wrong — snapshot the
+     flight recorder before the scan perturbs any state. *)
+  Multics_obs.Sink.note_dump (Kernel.obs kernel) ~reason:"salvage";
   let findings = ref [] in
   let note f_kind f_repairable fmt =
     Format.kasprintf

@@ -50,7 +50,7 @@ let to_trace_buf t ~now ~buf =
     Multics_obs.Trace_buf.record buf
       { Multics_obs.Trace_buf.ev_time = now;
         ev_phase = Multics_obs.Trace_buf.Counter; ev_cat = cat;
-        ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = value }
+        ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = value; ev_ctx = 0 }
   in
   List.iter
     (fun (from, to_, count) ->

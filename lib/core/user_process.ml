@@ -22,6 +22,7 @@ type proc = {
   mutable actions_done : int;
   mutable isa : Hw.Isa.state option;
   state_uid : Ids.uid;
+  p_ctx : int;  (* root request context; origin = accounting principal *)
 }
 
 type interp_outcome =
@@ -181,6 +182,14 @@ let user_step t (vp : Vp.vp) =
           | Some f -> f
           | None -> fun _ -> Failed ("no interpreter installed", 0)
         in
+        (* The process's root context is ambient for the action: gate
+           calls and faults open children under it, and anything the
+           action leaves current (a fault awaiting its page) is
+           captured by the VP dispatcher when this step returns. *)
+        Multics_obs.Sink.set_current t.obs p.p_ctx;
+        let note_cpu cost =
+          Multics_obs.Sink.attribute t.obs ~ctx:p.p_ctx ~cpu_ns:cost ~ios:0
+        in
         (* Fold the hardware's translation time (descriptor walks vs.
            associative-memory hits) into the step's simulated cost. *)
         let xl0 = p.vcpu.Hw.Cpu.xl_ns in
@@ -202,21 +211,25 @@ let user_step t (vp : Vp.vp) =
             p.pc <- p.pc + 1;
             p.quantum <- p.quantum - 1;
             p.cpu_ns <- p.cpu_ns + cost;
+            note_cpu cost;
             p.actions_done <- p.actions_done + 1;
             Vp.Continue cost
         | Again cost ->
             p.quantum <- p.quantum - 1;
             p.cpu_ns <- p.cpu_ns + cost;
+            note_cpu cost;
             Vp.Continue cost
         | Blocked_page (ec, value, cost) ->
             p.fault_count <- p.fault_count + 1;
             p.cpu_ns <- p.cpu_ns + cost;
+            note_cpu cost;
             (* Keep the VP: transit waits are short and re-loading would
                cost more than it saves. *)
             Vp.Wait (ec, value, cost)
         | Blocked_user (ec, value, cost) ->
             p.pc <- p.pc + 1;
             p.cpu_ns <- p.cpu_ns + cost;
+            note_cpu cost;
             ignore (Meter.take_pending t.meter);
             unload t vp.Vp.vp_id pid;
             p.pstate <- P_blocked;
@@ -237,6 +250,7 @@ let user_step t (vp : Vp.vp) =
             Vp.Continue (cost + Meter.take_pending t.meter)
         | Finished cost ->
             p.cpu_ns <- p.cpu_ns + cost;
+            note_cpu cost;
             p.pstate <- P_done;
             t.completed <- t.completed + 1;
             ignore (Meter.take_pending t.meter);
@@ -244,6 +258,7 @@ let user_step t (vp : Vp.vp) =
             reap t p;
             Vp.Continue (cost + Meter.take_pending t.meter)
         | Failed (msg, cost) ->
+            note_cpu cost;
             p.pstate <- P_failed msg;
             t.failed_count <- t.failed_count + 1;
             ignore (Meter.take_pending t.meter);
@@ -302,7 +317,14 @@ let create_process t ~caller ~pname ~principal ~label ~trusted ~ring ~program =
     { pid; pname; principal; label; trusted; ring; vcpu; program; pc = 0;
       regs = Array.make Workload.n_registers (-1); pstate = P_ready;
       quantum = 0; cpu_ns = 0; fault_count = 0; actions_done = 0; isa = None;
-      state_uid }
+      state_uid;
+      (* The process's root context: everything done on its behalf —
+         gate calls, faults, the I/O they spawn — chains to this id,
+         whose origin is the accounting principal, so per-user
+         attribution is a root lookup. *)
+      p_ctx =
+        Multics_obs.Sink.new_ctx t.obs ~parent:0 ~origin:principal.Acl.user ()
+    }
   in
   Hashtbl.replace t.procs_tbl pid p;
   make_ready t pid;

@@ -37,6 +37,10 @@ type proc = {
   mutable isa : Multics_hw.Isa.state option;
       (** live machine-code execution, carried across dispatch steps *)
   state_uid : Ids.uid;  (** the process-state segment *)
+  p_ctx : int;
+      (** root request context; its origin is the accounting principal,
+          so every event done on the process's behalf joins back to the
+          user for attribution *)
 }
 
 (** What one interpreted action did; produced by the kernel facade's

@@ -13,6 +13,7 @@ type vp = {
   mutable bound_to : string option;
   mutable steps : int;
   mutable waits : int;
+  mutable vp_ctx : int;  (* root request context while bound; 0 = none *)
 }
 
 type cpu_slot = {
@@ -50,7 +51,8 @@ let create ?(choice = Choice.default) ~machine ~meter ~tracer ~core ~n_vps () =
   { machine; meter; tracer; obs = Hw.Machine.obs machine;
     vps =
       Array.init n_vps (fun vp_id ->
-          { vp_id; vp_state = `Idle; bound_to = None; steps = 0; waits = 0 });
+          { vp_id; vp_state = `Idle; bound_to = None; steps = 0; waits = 0;
+            vp_ctx = 0 });
     step_fns = Array.make n_vps None;
     cpus =
       Array.init (Array.length machine.Hw.Machine.cpus) (fun cpu_id ->
@@ -91,6 +93,7 @@ let bind t ~vp_id ~name:bound ~step =
   if v.vp_state <> `Idle then
     invalid_arg (Printf.sprintf "Vp.bind: vp %d not idle" vp_id);
   v.bound_to <- Some bound;
+  v.vp_ctx <- Multics_obs.Sink.new_ctx t.obs ~parent:0 ~origin:bound ();
   t.step_fns.(vp_id) <- Some step;
   set_state t v `Ready
 
@@ -172,6 +175,13 @@ and run_cpu t cpu =
         | Some f -> f
         | None -> fun _ -> Stopped 0
       in
+      (* The VP's root context is ambient for the step; the step itself
+         may install a finer one (the running process, a gate call, a
+         fault).  Whatever is current when the step returns is captured
+         and re-installed around the deferred completion, so eventcount
+         registrations in [finish] carry the request that blocked. *)
+      let ctx0 = Multics_obs.Sink.current t.obs in
+      if v.vp_ctx <> 0 then Multics_obs.Sink.set_current t.obs v.vp_ctx;
       (* The span brackets the step's simulated duration: it closes in
          the completion event, so ["vp.step"] sees the step cost the
          dispatcher charges, not the zero width of one event handler. *)
@@ -182,6 +192,8 @@ and run_cpu t cpu =
       ignore (Meter.take_pending t.meter);
       let result = step v in
       v.steps <- v.steps + 1;
+      let step_ctx = Multics_obs.Sink.current t.obs in
+      Multics_obs.Sink.set_current t.obs ctx0;
       let kernel_cost = Meter.take_pending t.meter in
       let base_cost =
         match result with
@@ -190,8 +202,11 @@ and run_cpu t cpu =
       let total = max 1 (base_cost + kernel_cost + switch_cost) in
       cpu.busy_ns <- cpu.busy_ns + total;
       Hw.Machine.schedule t.machine ~delay:total (fun () ->
+          let amb = Multics_obs.Sink.current t.obs in
+          Multics_obs.Sink.set_current t.obs step_ctx;
           Multics_obs.Sink.span_end t.obs ~histo:"vp.step" sp;
           finish t v result;
+          Multics_obs.Sink.set_current t.obs amb;
           run_cpu t cpu)
 
 and finish t v result =
@@ -200,6 +215,7 @@ and finish t v result =
   | Stopped _ ->
       set_state t v `Idle;
       v.bound_to <- None;
+      v.vp_ctx <- 0;
       t.step_fns.(v.vp_id) <- None
   | Wait (ec, value, _) ->
       v.waits <- v.waits + 1;

@@ -28,6 +28,9 @@ type vp = {
   mutable bound_to : string option;  (** manager or process label *)
   mutable steps : int;
   mutable waits : int;
+  mutable vp_ctx : int;
+      (** root request context allocated at bind; ambient while the VP
+          steps, cleared on [Stopped] *)
 }
 
 type t

@@ -49,6 +49,7 @@ type req = {
   record : int;
   submitted : int;  (* simulated instant of submission, for the deadline *)
   op : op;
+  req_ctx : int;  (* request context captured at submit *)
   mutable cancelled : bool;
   mutable attempts : int;  (* consecutive failed attempts *)
 }
@@ -338,7 +339,12 @@ let apply_write t pack (r : req) img ~acked =
    themselves with exponential backoff charged to the simulated clock. *)
 let rec execute_req ?(sync = false) t pack (r : req) =
   if not r.cancelled then begin
-    if pack_is_offline t pack then begin
+    (* The completion runs on behalf of whoever submitted: re-install
+       the context captured at submit around delivery (and any retry
+       bookkeeping), then restore. *)
+    let prev_ctx = Multics_obs.Sink.current t.obs in
+    Multics_obs.Sink.set_current t.obs r.req_ctx;
+    (if pack_is_offline t pack then begin
       if (match r.op with Write _ -> true | Read _ -> false) then
         drop_pending_write t pack r;
       Multics_obs.Sink.count t.obs "io.offline_fail";
@@ -375,7 +381,8 @@ let rec execute_req ?(sync = false) t pack (r : req) =
             apply_write t pack r img ~acked:true;
             drop_pending_write t pack r;
             (match done_ with Some f -> f (Ok ()) | None -> ())
-          end
+          end);
+    Multics_obs.Sink.set_current t.obs prev_ctx
   end
 
 and attempt_failed t pack (r : req) ~sync =
@@ -392,6 +399,7 @@ and attempt_failed t pack (r : req) ~sync =
   else begin
     t.retries <- t.retries + 1;
     Multics_obs.Sink.count t.obs "io.retry";
+    Multics_obs.Sink.instant t.obs ~arg:r.record ~cat:"io" ~name:"retry" ();
     if sync then execute_req ~sync t pack r
     else begin
       let p = pack_state t pack in
@@ -575,6 +583,17 @@ and launch t p w ~sorted ~rest ~deadline_forced =
       p.inflight <- (batch, cost, live, id, w) :: p.inflight;
       Multics_obs.Sink.async_begin t.obs ~tid:p.id ~arg:(List.length batch)
         ~cat:"io" ~name:"batch" ~id ();
+      (* Queue age: how long each request waited for an arm, sampled at
+         dispatch under the request's own context so the I/O SLO
+         watchdog blames the right requester. *)
+      List.iter
+        (fun (r : req) ->
+          let prev = Multics_obs.Sink.current t.obs in
+          Multics_obs.Sink.set_current t.obs r.req_ctx;
+          Multics_obs.Sink.add_latency t.obs ~name:"io.queue_age"
+            (t.now () - r.submitted);
+          Multics_obs.Sink.set_current t.obs prev)
+        batch;
       t.schedule ~delay:cost (fun () ->
           (* [live] goes false when quiesce or crash already settled
              the sweep; the stale completion event must be a no-op. *)
@@ -606,7 +625,8 @@ let submit t ~pack ~record op =
   let p = pack_state t pack in
   assert (record >= 0 && record < Disk.records_per_pack t.disk);
   let r =
-    { seq = t.seq; record; submitted = t.now (); op; cancelled = false;
+    { seq = t.seq; record; submitted = t.now (); op;
+      req_ctx = Multics_obs.Sink.current t.obs; cancelled = false;
       attempts = 0 }
   in
   t.seq <- t.seq + 1;
@@ -632,7 +652,12 @@ let submit_read t ~pack ~record ~done_ =
       t.buffer_hits <- t.buffer_hits + 1;
       Multics_obs.Sink.count t.obs "io.buffer_hit";
       let copy = Array.copy img in
-      t.schedule ~delay:0 (fun () -> done_ (Ok copy))
+      let ctx = Multics_obs.Sink.current t.obs in
+      t.schedule ~delay:0 (fun () ->
+          let prev = Multics_obs.Sink.current t.obs in
+          Multics_obs.Sink.set_current t.obs ctx;
+          done_ (Ok copy);
+          Multics_obs.Sink.set_current t.obs prev)
   | _ -> ignore (submit t ~pack ~record (Read done_))
 
 let submit_write t ?done_ ~pack ~record img =

@@ -60,6 +60,7 @@ let raw_valid w = Word.bit w 23
 let raw_damaged w = Word.bit w 24
 let raw_lock w = Word.set_bit w 21 true
 let raw_clear_used w = Word.set_bit w 20 false
+let raw_clear_modified w = Word.set_bit w 19 false
 
 let raw_mark_accessed w ~write =
   Word.set_bit (if write then Word.set_bit w 19 true else w) 20 true

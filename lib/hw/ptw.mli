@@ -74,6 +74,10 @@ val raw_clear_used : Word.t -> Word.t
 (** The word with [used] cleared — the clock hand's second-chance
     write-back. *)
 
+val raw_clear_modified : Word.t -> Word.t
+(** The word with [modified] cleared — the cleaner's write-back after
+    flushing the page image. *)
+
 val raw_mark_accessed : Word.t -> write:bool -> Word.t
 (** The word with [used] set, and [modified] too when [write] — the
     per-reference bookkeeping every translation writes back. *)

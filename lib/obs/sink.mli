@@ -1,32 +1,48 @@
 (** The kernel-wide observability sink.
 
-    One sink per system instance collects three kinds of telemetry,
-    gated by a single mode knob:
+    One sink per system instance collects telemetry, gated by a single
+    mode knob:
 
     - {b counters} — named monotonic counts ([Counters] and [Full]);
     - {b latency histograms} — log2 {!Histo}s keyed by name
       ([Counters] and [Full]);
     - {b the event ring} — a bounded {!Trace_buf} of timestamped
-      span/instant/async events ([Full] only).
+      span/instant/async events ([Full] only);
+    - {b the flight recorder} — a small, always-on ring of the same
+      events, recorded in [Counters] too, cheap enough to leave armed
+      in production runs and snapshotted on halt/salvage/violation;
+    - {b request contexts} — small integer causal ids allocated at
+      request entry points and stamped on every event ([ev_ctx]), with
+      parent links so a request's full causal chain (read-ahead,
+      write-behind, retries spawned on its behalf) reconstructs;
+    - {b SLO watchdogs} — simulated-time latency thresholds attached
+      to histograms; a breach emits a structured ["slo"] anomaly event
+      and is summarized by {!slos};
+    - {b per-user attribution} — cpu/IO usage accumulated against the
+      root context's origin (the accounting principal).
 
     Everything is a no-op in [Off] mode: [span_begin] returns a shared
-    dead span, nothing allocates, nothing is written.  The sink NEVER
-    touches the cost meter or the event queue, so enabling tracing
-    cannot perturb simulated time — the property bench C3 asserts. *)
+    dead span, [new_ctx] returns 0, nothing allocates, nothing is
+    written.  The sink NEVER touches the cost meter or the event
+    queue, so enabling tracing cannot perturb simulated time — the
+    property bench C3 asserts. *)
 
 type mode =
   | Off  (** record nothing *)
-  | Counters  (** counters and histograms, no event ring *)
-  | Full  (** everything, including the event ring *)
+  | Counters  (** counters, histograms and the flight ring *)
+  | Full  (** everything, including the big event ring *)
 
 type t
 
 type span
 (** An open synchronous span.  Opaque; close it with {!span_end}. *)
 
-val create : ?mode:mode -> ?capacity:int -> now:(unit -> int) -> unit -> t
+val create :
+  ?mode:mode -> ?capacity:int -> ?flight_capacity:int -> ?ctx:bool ->
+  now:(unit -> int) -> unit -> t
 (** [now] supplies simulated-time timestamps (wire it to the machine
-    clock).  Default mode [Counters], default ring capacity 16384. *)
+    clock).  Default mode [Counters], default ring capacity 16384,
+    default flight-ring capacity 256, context tracking on ([ctx]). *)
 
 val disabled : unit -> t
 (** A permanently-[Off] sink for components built without one. *)
@@ -42,6 +58,38 @@ val recording : t -> bool
 
 val now : t -> int
 
+(* Request contexts *)
+
+val new_ctx : t -> ?parent:int -> origin:string -> unit -> int
+(** Allocate a causal context.  [parent] defaults to {!current} (pass
+    [~parent:0] for a root); [origin] names what created it — the gate
+    or fault name for children, the accounting principal or daemon
+    name for roots.  Returns 0 (and allocates nothing) when [Off] or
+    when the sink was created with [~ctx:false]. *)
+
+val current : t -> int
+(** The context ambient at this instant; stamped on every event. *)
+
+val set_current : t -> int -> unit
+(** Install the ambient context.  Callers crossing an asynchronous
+    boundary (queue, eventcount, lock handoff, I/O completion) capture
+    {!current} at enqueue and re-install it around the dequeued work,
+    restoring the previous value after. *)
+
+val ctx_count : t -> int
+(** Contexts allocated so far (ids are [1..ctx_count]). *)
+
+val ctx_parent : t -> int -> int
+(** Parent id, 0 for roots and unknown ids. *)
+
+val ctx_root : t -> int -> int
+(** Topmost ancestor (itself for roots); 0 for unknown ids. *)
+
+val ctx_origin : t -> int -> string
+
+val ctx_chain : t -> int -> int list
+(** [id; parent; ...; root], empty for 0. *)
+
 (* Counters *)
 
 val count : t -> string -> unit
@@ -51,7 +99,7 @@ val count : t -> string -> unit
 val counters : t -> (string * int) list
 (** In first-use order. *)
 
-(* Spans and events (ring; [Full] only except for span timing) *)
+(* Spans and events (big ring [Full] only; flight ring when counting) *)
 
 val null_span : span
 
@@ -61,8 +109,8 @@ val span_begin : t -> ?tid:int -> cat:string -> name:string -> unit -> span
     feed a histogram. *)
 
 val span_end : t -> ?histo:string -> span -> unit
-(** Close a span: records the [Span_end] event when [Full], and adds
-    the duration to histogram [histo] when given and counting. *)
+(** Close a span: records the [Span_end] event, and adds the duration
+    to histogram [histo] when given and counting. *)
 
 val instant : t -> ?tid:int -> ?arg:int -> cat:string -> name:string -> unit -> unit
 
@@ -83,9 +131,56 @@ val histo : t -> name:string -> Histo.t
 (** The named histogram, created on first use. *)
 
 val add_latency : t -> name:string -> int -> unit
-(** [Histo.add (histo t ~name) ns] when counting; no-op when [Off]. *)
+(** [Histo.add (histo t ~name) ns] when counting; no-op when [Off].
+    Checks the named SLO watchdog, if one is installed. *)
 
 val histos : t -> Histo.t list
 (** In first-use order. *)
+
+(* SLO watchdogs *)
+
+type slo_view = {
+  sv_histo : string;
+  sv_threshold : int;  (** simulated ns *)
+  sv_breaches : int;
+  sv_worst : int;  (** worst breaching latency seen *)
+  sv_last_ns : int;  (** latency of the most recent breach *)
+  sv_last_t : int;  (** simulated instant of the most recent breach *)
+  sv_last_ctx : int;  (** context blamed for the most recent breach *)
+}
+
+val set_slo : t -> histo:string -> threshold_ns:int -> unit
+(** Arm (or re-arm) a watchdog on the named histogram: any sample
+    strictly above [threshold_ns] counts as a breach, bumps
+    ["slo.breach"], and emits an [Instant] event with category ["slo"]
+    carrying the latency and the ambient context. *)
+
+val slos : t -> slo_view list
+(** In install order. *)
+
+(* Flight recorder *)
+
+val flight : t -> Trace_buf.t
+(** The always-on ring of final events ([Counters] and [Full]). *)
+
+val flight_dump : t -> string
+(** Deterministic text rendering of the flight ring: one line per
+    event with its causal chain ([ctx=id:origin<-parent:origin<-...]). *)
+
+val note_dump : t -> reason:string -> unit
+(** Snapshot {!flight_dump} as the last dump (kernel halt, salvager
+    entry, invariant violation); bumps ["flight.dump"]. *)
+
+val last_dump : t -> (string * string) option
+(** [(reason, dump)] of the most recent {!note_dump}. *)
+
+(* Per-user attribution *)
+
+val attribute : t -> ctx:int -> cpu_ns:int -> ios:int -> unit
+(** Accumulate usage against the root origin of [ctx] (no-op for
+    ctx 0 and untracked sinks). *)
+
+val by_user : t -> (string * (int * int)) list
+(** [(user, (cpu_ns, ios))], sorted by user for deterministic output. *)
 
 val buf : t -> Trace_buf.t

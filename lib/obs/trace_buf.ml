@@ -8,11 +8,12 @@ type event = {
   ev_tid : int;
   ev_id : int;
   ev_arg : int;
+  ev_ctx : int;
 }
 
 let nil_event =
   { ev_time = 0; ev_phase = Instant; ev_cat = ""; ev_name = ""; ev_tid = 0;
-    ev_id = 0; ev_arg = 0 }
+    ev_id = 0; ev_arg = 0; ev_ctx = 0 }
 
 type t = {
   cap : int;

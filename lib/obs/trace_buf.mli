@@ -21,6 +21,7 @@ type event = {
   ev_tid : int;  (** track: CPU id for VP steps, pack for disk, else 0 *)
   ev_id : int;  (** pairing key for async begin/end *)
   ev_arg : int;  (** free payload (record, ptw address, count, ...) *)
+  ev_ctx : int;  (** request context serving this event; 0 = none *)
 }
 
 type t

@@ -33,7 +33,40 @@ let pp_timeline ppf buf =
       | Async_begin | Async_end -> Format.fprintf ppf " id=%d" ev.ev_id
       | _ -> ());
       if ev.ev_arg <> 0 then Format.fprintf ppf " arg=%d" ev.ev_arg;
+      if ev.ev_ctx <> 0 then Format.fprintf ppf " ctx=%d" ev.ev_ctx;
       Format.fprintf ppf "@.")
+
+(* Per-context [first; last] event-time envelopes over the whole
+   buffer, then the causal critical path of one request: the chain of
+   contexts from [ctx] down to whichever descendant finished last —
+   the work that determined the request's completion time. *)
+let critical_path ~parent_of buf ~ctx =
+  let envelope : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  Trace_buf.iter buf (fun ev ->
+      if ev.ev_ctx > 0 then
+        match Hashtbl.find_opt envelope ev.ev_ctx with
+        | None -> Hashtbl.replace envelope ev.ev_ctx (ev.ev_time, ev.ev_time)
+        | Some (first, last) ->
+            Hashtbl.replace envelope ev.ev_ctx
+              (min first ev.ev_time, max last ev.ev_time));
+  let rec under id = id = ctx || (id > 0 && under (parent_of id)) in
+  let leaf, _ =
+    Hashtbl.fold
+      (fun id (_, last) ((_, best_last) as best) ->
+        if under id && (last > best_last || (last = best_last && id < fst best))
+        then (id, last)
+        else best)
+      envelope (ctx, min_int)
+  in
+  let rec walk id acc =
+    let acc =
+      match Hashtbl.find_opt envelope id with
+      | Some (first, last) -> (id, first, last) :: acc
+      | None -> (id, 0, 0) :: acc
+    in
+    if id = ctx then acc else walk (parent_of id) acc
+  in
+  if ctx <= 0 then [] else walk leaf []
 
 let escape s =
   let b = Buffer.create (String.length s) in
@@ -85,9 +118,16 @@ let chrome_json ?(counters = []) buf =
           Buffer.add_string b
             (Printf.sprintf ",\"args\":{\"value\":%d}" ev.ev_arg)
       | _ ->
-          if ev.ev_arg <> 0 then
+          let fields =
+            (if ev.ev_arg <> 0 then [ Printf.sprintf "\"arg\":%d" ev.ev_arg ]
+             else [])
+            @
+            if ev.ev_ctx <> 0 then [ Printf.sprintf "\"ctx\":%d" ev.ev_ctx ]
+            else []
+          in
+          if fields <> [] then
             Buffer.add_string b
-              (Printf.sprintf ",\"args\":{\"arg\":%d}" ev.ev_arg));
+              (Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)));
       Buffer.add_string b "}");
   List.iter
     (fun (name, value) ->

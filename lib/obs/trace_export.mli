@@ -6,7 +6,16 @@
 
 val pp_timeline : Format.formatter -> Trace_buf.t -> unit
 (** Chronological listing; synchronous spans indent by nesting depth on
-    their track, async spans print with their pairing id. *)
+    their track, async spans print with their pairing id; events
+    stamped with a request context print [ctx=N]. *)
+
+val critical_path :
+  parent_of:(int -> int) -> Trace_buf.t -> ctx:int -> (int * int * int) list
+(** The causal critical path of request [ctx]: among [ctx] and its
+    descendants (per [parent_of], e.g. [Sink.ctx_parent]), find the
+    context whose last event is latest — the work that determined the
+    request's completion — and walk back up to [ctx].  Returns one
+    [(ctx, first_event_ns, last_event_ns)] per hop, [ctx] first. *)
 
 val chrome_json :
   ?counters:(string * int) list -> Trace_buf.t -> string

@@ -60,33 +60,50 @@ let authenticate t ~user ~password =
       else Error `Bad_password
 
 let login t ~user ~password ~program =
-  (* Terminal dialogue and argument parsing: login-server work. *)
-  charge_server t (3 * K.Cost.directory_entry_op);
-  (match t.variant with
-  | Monolithic -> ()
-  | Split ->
-      (* The server, in an outer ring, crosses into the authentication
-         core and again for process creation: the 3% the paper
-         measured. *)
-      K.Meter.charge (meter t) ~manager:"login_server" K.Cost.Pl1
-        (2 * K.Cost.ring_crossing));
-  match authenticate t ~user ~password with
-  | Error e ->
-      t.failure_count <- t.failure_count + 1;
-      Accounting.note_failure t.acct ~user;
-      Error e
-  | Ok entry ->
-      charge_server t K.Cost.accounting_update;
-      let pid =
-        K.Kernel.spawn t.kernel
-          ~principal:{ K.Acl.user; project = "users" }
-          ~label:entry.ue_clearance ~ring:5 ~pname:(user ^ ".proc") program
-      in
-      t.login_count <- t.login_count + 1;
-      Accounting.note_login t.acct ~user;
-      Hashtbl.replace t.sessions pid
-        { s_user = user; s_start = K.Kernel.now t.kernel; s_pid = pid };
-      Ok pid
+  (* A login is a request entry point: open a root context under the
+     user's name so everything done on its behalf — authentication,
+     process creation, the spawned process's own root — has a causal
+     anchor, and meter the whole dialogue against the "as.login" SLO.
+     Login runs inline (the simulated clock does not advance), so the
+     latency sample is the metered-cost delta across the call. *)
+  let obs = K.Kernel.obs t.kernel in
+  let prev_ctx = Multics_obs.Sink.current obs in
+  let ctx = Multics_obs.Sink.new_ctx obs ~parent:0 ~origin:user () in
+  Multics_obs.Sink.set_current obs ctx;
+  let cost0 = K.Meter.total (meter t) in
+  let result =
+    (* Terminal dialogue and argument parsing: login-server work. *)
+    charge_server t (3 * K.Cost.directory_entry_op);
+    (match t.variant with
+    | Monolithic -> ()
+    | Split ->
+        (* The server, in an outer ring, crosses into the authentication
+           core and again for process creation: the 3% the paper
+           measured. *)
+        K.Meter.charge (meter t) ~manager:"login_server" K.Cost.Pl1
+          (2 * K.Cost.ring_crossing));
+    match authenticate t ~user ~password with
+    | Error e ->
+        t.failure_count <- t.failure_count + 1;
+        Accounting.note_failure t.acct ~user;
+        Error e
+    | Ok entry ->
+        charge_server t K.Cost.accounting_update;
+        let pid =
+          K.Kernel.spawn t.kernel
+            ~principal:{ K.Acl.user; project = "users" }
+            ~label:entry.ue_clearance ~ring:5 ~pname:(user ^ ".proc") program
+        in
+        t.login_count <- t.login_count + 1;
+        Accounting.note_login t.acct ~user;
+        Hashtbl.replace t.sessions pid
+          { s_user = user; s_start = K.Kernel.now t.kernel; s_pid = pid };
+        Ok pid
+  in
+  Multics_obs.Sink.add_latency obs ~name:"as.login"
+    (K.Meter.total (meter t) - cost0);
+  Multics_obs.Sink.set_current obs prev_ctx;
+  result
 
 let logout t ~pid =
   charge_server t K.Cost.accounting_update;
@@ -94,9 +111,20 @@ let logout t ~pid =
   | None -> ()
   | Some s ->
       let p = K.User_process.proc (K.Kernel.user_process t.kernel) pid in
+      (* Page I/Os done on the user's behalf, joined from the sink's
+         request-context attribution (reads the user triggered plus
+         write-behinds and read-aheads spawned for them). *)
+      let ios =
+        match
+          List.assoc_opt s.s_user
+            (Multics_obs.Sink.by_user (K.Kernel.obs t.kernel))
+        with
+        | Some (_cpu, ios) -> ios
+        | None -> 0
+      in
       Accounting.note_usage t.acct ~user:s.s_user
         ~connect_ns:(K.Kernel.now t.kernel - s.s_start)
-        ~cpu_ns:p.K.User_process.cpu_ns ~pages:0;
+        ~cpu_ns:p.K.User_process.cpu_ns ~pages:ios;
       Hashtbl.remove t.sessions pid
 
 let accounting t = t.acct

@@ -5,6 +5,7 @@ type waiter = {
   notify : unit -> unit;
   since : int;
   w_seq : int;  (* registration order; the choice point's stable id *)
+  w_ctx : int;  (* request context captured at await *)
 }
 
 type t = {
@@ -31,13 +32,19 @@ let create ?(name = "ec") ?histo ?obs ?(choice = Choice.default) () =
 let name t = t.ec_name
 let read t = t.value
 
+(* The wakeup runs on behalf of the waiter: re-install the context it
+   captured at [await] around the latency sample, the wakeup event and
+   the notification itself, so the causal chain crosses the wait. *)
 let fire t w =
+  let prev = Multics_obs.Sink.current t.ec_obs in
+  Multics_obs.Sink.set_current t.ec_obs w.w_ctx;
   if Multics_obs.Sink.counting t.ec_obs then begin
     Multics_obs.Sink.add_latency t.ec_obs ~name:t.ec_histo
       (Multics_obs.Sink.now t.ec_obs - w.since);
     Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wakeup" ()
   end;
-  w.notify ()
+  w.notify ();
+  Multics_obs.Sink.set_current t.ec_obs prev
 
 (* Fire the ready waiters one at a time in strategy order: each pick
    removes one waiter from the remaining set, and a fired notification
@@ -57,6 +64,8 @@ let advance t =
   t.value <- t.value + 1;
   t.advance_count <- t.advance_count + 1;
   Multics_obs.Sink.count t.ec_obs "ec.advance";
+  Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_advance"
+    ~arg:t.value ();
   let ready, still =
     List.partition (fun w -> w.threshold <= t.value) t.pending
   in
@@ -70,11 +79,12 @@ let await t ~value ~notify =
   if t.value >= value then true
   else begin
     Multics_obs.Sink.count t.ec_obs "ec.wait";
+    Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wait" ~arg:value ();
     let w_seq = t.wait_seq in
     t.wait_seq <- w_seq + 1;
     t.pending <-
       { threshold = value; notify; since = Multics_obs.Sink.now t.ec_obs;
-        w_seq }
+        w_seq; w_ctx = Multics_obs.Sink.current t.ec_obs }
       :: t.pending;
     false
   end

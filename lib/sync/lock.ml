@@ -5,6 +5,7 @@ type waiter = {
   wq_notify : unit -> unit;
   wq_since : int;
   wq_seq : int;  (* enqueue order; the choice point's stable id *)
+  wq_ctx : int;  (* request context captured at enqueue *)
 }
 
 type t = {
@@ -53,7 +54,8 @@ let acquire_or_wait t ~owner ~notify =
     t.wait_seq <- wq_seq + 1;
     t.queue <-
       { wq_owner = owner; wq_notify = notify;
-        wq_since = Multics_obs.Sink.now t.lk_obs; wq_seq }
+        wq_since = Multics_obs.Sink.now t.lk_obs; wq_seq;
+        wq_ctx = Multics_obs.Sink.current t.lk_obs }
       :: t.queue;
     false
   end
@@ -89,9 +91,15 @@ let release t =
           t.held_since <- now;
           t.acquisitions <- t.acquisitions + 1;
           Multics_obs.Sink.count t.lk_obs "lock.acquire";
+          (* The handoff runs on behalf of the waiter: its context,
+             captured at enqueue, owns the wait sample and the
+             notification. *)
+          let prev = Multics_obs.Sink.current t.lk_obs in
+          Multics_obs.Sink.set_current t.lk_obs w.wq_ctx;
           Multics_obs.Sink.add_latency t.lk_obs ~name:t.lk_wait
             (now - w.wq_since);
-          w.wq_notify ())
+          w.wq_notify ();
+          Multics_obs.Sink.set_current t.lk_obs prev)
 
 let holder t = t.owner
 let held_since t = t.held_since

@@ -190,6 +190,35 @@ let test_recorded_default_bit_identical () =
   check Alcotest.bool "strategy was really consulted" true
     (Choice.decisions recorder > 0)
 
+(* The acceptance bar for the flight recorder: the seeded lost-wakeup
+   counterexample ships with a causal dump of the minimal failing
+   schedule, whose events carry context chains that reconstruct the
+   race — the consumer's wait registered under its own root, and the
+   producer's advances never reaching the threshold. *)
+let test_counterexample_flight_dump () =
+  let buggy = Check.Harness.eventcount_system ~bug:true ~events:2 () in
+  match Check.Explore.check_dfs ~max_runs:200 buggy with
+  | Check.Explore.Passed _ -> Alcotest.fail "seeded lost wakeup not found"
+  | Check.Explore.Failed { f_flight; _ } ->
+      let has affix = Astring.String.is_infix ~affix f_flight in
+      check Alcotest.bool "dump attached" true (f_flight <> "");
+      check Alcotest.bool "dump is a flight recording" true
+        (has "flight recorder:");
+      (* The race's two sides, each causally attributed to its VP. *)
+      check Alcotest.bool "consumer's wait recorded" true (has "ec_wait");
+      check Alcotest.bool "producer's advances recorded" true
+        (has "ec_advance");
+      check Alcotest.bool "wait attributed to the consumer" true
+        (has ":consumer");
+      check Alcotest.bool "advance attributed to the producer" true
+        (has ":producer");
+      (* Determinism: replaying the same minimal schedule reproduces
+         the identical dump, byte for byte. *)
+      (match Check.Explore.check_dfs ~max_runs:200 buggy with
+      | Check.Explore.Failed { f_flight = again; _ } ->
+          check Alcotest.string "dump is deterministic" f_flight again
+      | Check.Explore.Passed _ -> Alcotest.fail "bug vanished on re-run")
+
 let test_minimize_no_longer () =
   let buggy = Check.Harness.eventcount_system ~bug:true ~events:2 () in
   match Check.Explore.check_random ~runs:100 ~seed:1 buggy with
@@ -224,4 +253,6 @@ let tests =
     Alcotest.test_case "explore: recorded default bit-identical" `Quick
       test_recorded_default_bit_identical;
     Alcotest.test_case "explore: minimize shrinks" `Quick
-      test_minimize_no_longer ]
+      test_minimize_no_longer;
+    Alcotest.test_case "explore: counterexample ships flight dump" `Quick
+      test_counterexample_flight_dump ]

@@ -22,7 +22,8 @@ let rig ?(mode = Obs.Sink.Full) () =
 
 let ev t name =
   { Obs.Trace_buf.ev_time = t; ev_phase = Obs.Trace_buf.Instant;
-    ev_cat = "t"; ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = 0 }
+    ev_cat = "t"; ev_name = name; ev_tid = 0; ev_id = 0; ev_arg = 0;
+    ev_ctx = 0 }
 
 let test_ring_wraparound () =
   let buf = Obs.Trace_buf.create ~capacity:4 () in
@@ -279,6 +280,207 @@ let test_trace_clock_neutral () =
   check Alcotest.bool "chrome trace" true
     (String.length (K.Kernel.chrome_trace k) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Request contexts: allocation discipline and causal propagation. *)
+
+let test_ctx_off_allocation_free () =
+  let sink = Obs.Sink.create ~mode:Obs.Sink.Off ~now:(fun () -> 0) () in
+  ignore (Obs.Sink.new_ctx sink ~origin:"warmup" ());
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Obs.Sink.new_ctx sink ~origin:"req" ())
+  done;
+  let delta = Gc.minor_words () -. before in
+  (* A handful of words of slack for the boxed floats of the
+     measurement itself; the ctx path must contribute nothing. *)
+  check Alcotest.bool "allocation-free in Off mode" true (delta < 64.0);
+  check Alcotest.int "no ids handed out" 0 (Obs.Sink.ctx_count sink)
+
+let test_ctx_basics () =
+  let _, sink = rig ~mode:Obs.Sink.Counters () in
+  let root = Obs.Sink.new_ctx sink ~parent:0 ~origin:"alice" () in
+  Obs.Sink.set_current sink root;
+  let child = Obs.Sink.new_ctx sink ~origin:"hcs_$initiate" () in
+  let grand = Obs.Sink.new_ctx sink ~parent:child ~origin:"missing_page" () in
+  check Alcotest.int "parent defaulted to current" root
+    (Obs.Sink.ctx_parent sink child);
+  check Alcotest.int "root precomputed" root (Obs.Sink.ctx_root sink grand);
+  check (Alcotest.list Alcotest.int) "chain leaf to root"
+    [ grand; child; root ]
+    (Obs.Sink.ctx_chain sink grand);
+  check Alcotest.string "origin kept" "alice" (Obs.Sink.ctx_origin sink root);
+  Obs.Sink.set_current sink grand;
+  Obs.Sink.instant sink ~cat:"t" ~name:"stamped" ();
+  let evs = Obs.Trace_buf.events (Obs.Sink.flight sink) in
+  check Alcotest.bool "event stamped with ambient ctx" true
+    (List.exists (fun e -> e.Obs.Trace_buf.ev_ctx = grand) evs);
+  Obs.Sink.attribute sink ~ctx:grand ~cpu_ns:70 ~ios:2;
+  Obs.Sink.attribute sink ~ctx:child ~cpu_ns:30 ~ios:1;
+  check
+    Alcotest.(list (pair string (pair int int)))
+    "usage joined to the root origin"
+    [ ("alice", (100, 3)) ]
+    (Obs.Sink.by_user sink)
+
+(* The cramped machine from the I/O tests: 40 pageable frames, a
+   48-page file written then read back, so the read pass faults, the
+   elevator serves it, and read-ahead prefetches.  Every record's
+   first read fails once, so servicing also includes retries. *)
+let ctx_kernel () =
+  let faults = Hw.Fault_inject.create () in
+  for pack = 0 to 3 do
+    for record = 0 to 1023 do
+      Hw.Fault_inject.fail_reads faults ~pack ~record ~times:1
+    done
+  done;
+  let config =
+    { K.Kernel.default_config with
+      K.Kernel.hw = Hw.Hw_config.with_frames Hw.Hw_config.kernel_multics 64;
+      core_frames = 24; trace = Obs.Sink.Full; faults }
+  in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  ignore
+    (K.Kernel.spawn k ~pname:"writer"
+       (K.Workload.concat
+          [ [| K.Workload.Create_file { dir = ">home"; name = "f" };
+               K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+            K.Workload.sequential_write ~seg_reg:0 ~pages:48 ]));
+  check Alcotest.bool "writer completed" true (K.Kernel.run_to_completion k);
+  ignore
+    (K.Kernel.spawn k ~pname:"reader"
+       (K.Workload.concat
+          [ [| K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+            K.Workload.sequential_read ~seg_reg:0 ~pages:48 ]));
+  check Alcotest.bool "reader completed" true (K.Kernel.run_to_completion k);
+  k
+
+let test_ctx_propagation () =
+  let k = ctx_kernel () in
+  let obs = K.Kernel.obs k in
+  let events = Obs.Trace_buf.events (Obs.Sink.buf obs) in
+  let chain_has origin ctx =
+    List.exists
+      (fun id -> Obs.Sink.ctx_origin obs id = origin)
+      (Obs.Sink.ctx_chain obs ctx)
+  in
+  let rooted_in_user ctx =
+    Obs.Sink.ctx_origin obs (Obs.Sink.ctx_root obs ctx) = "user"
+  in
+  let find phase cat name =
+    List.filter
+      (fun e ->
+        e.Obs.Trace_buf.ev_phase = phase
+        && e.Obs.Trace_buf.ev_cat = cat
+        && e.Obs.Trace_buf.ev_name = name)
+      events
+  in
+  (* 1. The async page read carries the faulting request's context:
+     through the fault ctx up to the user's root. *)
+  let reads = find Obs.Trace_buf.Async_begin "pfm" "page_read" in
+  check Alcotest.bool "page reads traced" true (reads <> []);
+  let demand =
+    List.filter
+      (fun e ->
+        e.Obs.Trace_buf.ev_ctx <> 0
+        && chain_has "missing_page" e.Obs.Trace_buf.ev_ctx
+        && not (chain_has "read_ahead" e.Obs.Trace_buf.ev_ctx))
+      reads
+  in
+  check Alcotest.bool "demand read carries the fault ctx" true (demand <> []);
+  check Alcotest.bool "demand read joins to the user" true
+    (List.for_all (fun e -> rooted_in_user e.Obs.Trace_buf.ev_ctx) demand);
+  (* 2. A transient read error's retry still serves the same request. *)
+  let retries = find Obs.Trace_buf.Instant "io" "retry" in
+  check Alcotest.bool "retries traced" true (retries <> []);
+  check Alcotest.bool "some retry chains to a page fault" true
+    (List.exists
+       (fun e ->
+         e.Obs.Trace_buf.ev_ctx <> 0
+         && chain_has "missing_page" e.Obs.Trace_buf.ev_ctx
+         && rooted_in_user e.Obs.Trace_buf.ev_ctx)
+       retries);
+  (* 3. Read-ahead spawned on the request's behalf is a CHILD of the
+     faulting context, so attribution and causality both hold. *)
+  let prefetches = find Obs.Trace_buf.Instant "pfm" "read_ahead" in
+  check Alcotest.bool "read-ahead traced" true (prefetches <> []);
+  check Alcotest.bool "read-ahead is a child of the fault" true
+    (List.exists
+       (fun e ->
+         let ctx = e.Obs.Trace_buf.ev_ctx in
+         ctx <> 0
+         && Obs.Sink.ctx_origin obs ctx = "read_ahead"
+         && chain_has "missing_page" ctx
+         && rooted_in_user ctx)
+       prefetches);
+  (* 4. The join shows up in accounting: the default principal owns
+     both cpu time and I/Os. *)
+  let users = K.Meter.snapshot (K.Kernel.meter k) in
+  (match List.assoc_opt "user" users.K.Meter.snap_users with
+  | None -> Alcotest.fail "no per-user attribution row"
+  | Some (cpu_ns, ios) ->
+      check Alcotest.bool "cpu attributed" true (cpu_ns > 0);
+      check Alcotest.bool "ios attributed" true (ios > 0))
+
+(* Critical-path extraction over a hand-built causal tree: root 1 with
+   children 2 and 3; 3's work finishes last, so the path is 1 -> 3. *)
+let test_critical_path () =
+  let buf = Obs.Trace_buf.create ~capacity:16 () in
+  let stamp t ctx =
+    Obs.Trace_buf.record buf { (ev t "e") with Obs.Trace_buf.ev_ctx = ctx }
+  in
+  stamp 0 1;
+  stamp 10 2;
+  stamp 20 2;
+  stamp 15 3;
+  stamp 40 3;
+  stamp 30 1;
+  let parent_of = function 2 | 3 -> 1 | _ -> 0 in
+  check
+    Alcotest.(list (triple int int int))
+    "path is root then the late child"
+    [ (1, 0, 30); (3, 15, 40) ]
+    (Obs.Trace_export.critical_path ~parent_of buf ~ctx:1);
+  check
+    Alcotest.(list (triple int int int))
+    "a leaf's path is itself"
+    [ (2, 10, 20) ]
+    (Obs.Trace_export.critical_path ~parent_of buf ~ctx:2)
+
+(* ------------------------------------------------------------------ *)
+(* SLO watchdogs: breaches fire deterministically — same simulated
+   instant across two identical runs, and identical whatever the
+   domain count used to run them. *)
+
+let slo_signature () =
+  let k = ctx_kernel () in
+  let obs = K.Kernel.obs k in
+  (* Re-arm low thresholds so the cramped run is guaranteed to breach;
+     re-arming resets the view, so the signature is pure. *)
+  Obs.Sink.set_slo obs ~histo:"pfm.page_read" ~threshold_ns:1_000;
+  ignore
+    (K.Kernel.spawn k ~pname:"again"
+       (K.Workload.concat
+          [ [| K.Workload.Initiate { path = ">home>f"; reg = 0 } |];
+            K.Workload.sequential_read ~seg_reg:0 ~pages:48 ]));
+  check Alcotest.bool "completes" true (K.Kernel.run_to_completion k);
+  K.Kernel.slo_report k
+
+let test_slo_deterministic () =
+  let a = slo_signature () in
+  check Alcotest.bool "watchdogs fired" true
+    (Astring.String.is_infix ~affix:"breaches" a);
+  let b = slo_signature () in
+  check Alcotest.string "two runs, same breaches at the same instants" a b;
+  let under domains =
+    Multics_par.Par.run ~domains ~tasks:2 (fun _ -> slo_signature ())
+  in
+  check
+    Alcotest.(list string)
+    "domains 1 vs 4 byte-identical"
+    (Array.to_list (under 1))
+    (Array.to_list (under 4))
+
 let tests =
   [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
     Alcotest.test_case "histo bucket edges" `Quick test_histo_buckets;
@@ -295,4 +497,12 @@ let tests =
     Alcotest.test_case "tracer deterministic + bridge" `Quick
       test_tracer_deterministic;
     Alcotest.test_case "trace off/on clock equality" `Quick
-      test_trace_clock_neutral ]
+      test_trace_clock_neutral;
+    Alcotest.test_case "ctx alloc-free when off" `Quick
+      test_ctx_off_allocation_free;
+    Alcotest.test_case "ctx chains + attribution" `Quick test_ctx_basics;
+    Alcotest.test_case "ctx crosses faults, retries, read-ahead" `Quick
+      test_ctx_propagation;
+    Alcotest.test_case "critical path extraction" `Quick test_critical_path;
+    Alcotest.test_case "slo watchdogs deterministic" `Quick
+      test_slo_deterministic ]
