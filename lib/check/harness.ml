@@ -117,3 +117,105 @@ let kernel_system ?config ?(n_procs = 2) () =
   in
   { Explore.sys_name = "kernel-pingpong"; sys_run = run;
     sys_flight = Some (fun () -> !flight) }
+
+(* ------------------------------------------------------------------ *)
+(* The breaker harness: the I/O scheduler alone, under transient
+   faults, with the circuit breaker and jittered-backoff knobs armed.
+
+   One pack, one arm, three reads submitted in one instant — one
+   sweep.  Records 0 and 2 each fail their first attempt; record 1 is
+   clean.  The sweep's completions are serviced in strategy order
+   (domain ["io.deliver"]), and every retry's backoff draws its jitter
+   through ["io.backoff"] — so the explorer enumerates exactly the
+   overload plane's interleavings and nothing else.
+
+   The invariant side: at [breaker_threshold = 3] two transient
+   faults can never align into a trip, so whatever the order both
+   transients recover, all three reads deliver the right images, and
+   the breaker is closed at quiescence.
+
+   The seeded bug is a mis-tuned claim, not a code change: it drops
+   the threshold to the noise floor ([breaker_threshold = 2]) and
+   asserts the breaker still never trips on transient noise.  Under
+   the default sweep order the clean record's success lands between
+   the two failures and resets the consecutive-failure count — the
+   claim holds.  The explorer finds the delivery orders where the two
+   unrelated transients align, needlessly tripping the pack open (and
+   fast-failing the still-queued reads), and shrinks the schedule to
+   the minimal reorder. *)
+
+let run_breaker_full ?(bug = false) choice =
+  let hw = Hw.Hw_config.with_cpus Hw.Hw_config.kernel_multics 1 in
+  let machine = Hw.Machine.create ~disk_packs:1 ~records_per_pack:8 hw in
+  let obs =
+    Multics_obs.Sink.create ~mode:Multics_obs.Sink.Counters
+      ~now:(fun () -> Hw.Machine.now machine)
+      ()
+  in
+  Hw.Machine.set_obs machine obs;
+  let disk = machine.Hw.Machine.disk in
+  let faults = Hw.Fault_inject.create () in
+  Hw.Fault_inject.fail_reads faults ~pack:0 ~record:0 ~times:1;
+  Hw.Fault_inject.fail_reads faults ~pack:0 ~record:2 ~times:1;
+  let config =
+    { (Hw.Io_sched.config_of_disk disk) with
+      Hw.Io_sched.pack_ways = 1;
+      backoff_jitter = true;
+      retry_limit = 8;
+      breaker_threshold = (if bug then 2 else 3);
+      breaker_cooldown_ns = 2 * Hw.Disk.io_latency_ns disk }
+  in
+  let io =
+    Hw.Io_sched.create ~config ~faults ~choice
+      ~now:(fun () -> Hw.Machine.now machine)
+      ~disk ~schedule:(Hw.Machine.schedule machine) ()
+  in
+  Hw.Io_sched.set_obs io obs;
+  for r = 0 to 2 do
+    let img = Array.make Hw.Addr.page_size 0 in
+    img.(0) <- 100 + r;
+    Hw.Disk.write_record disk ~pack:0 ~record:r img
+  done;
+  let got = Array.make 3 None in
+  for r = 0 to 2 do
+    Hw.Io_sched.submit_read io ~pack:0 ~record:r ~done_:(fun res ->
+        got.(r) <- Some res)
+  done;
+  Hw.Machine.run machine;
+  let stats = Hw.Io_sched.stats io in
+  let problems = ref [] in
+  for r = 2 downto 0 do
+    match got.(r) with
+    | None ->
+        problems := Printf.sprintf "read %d never completed" r :: !problems
+    | Some (Error e) ->
+        problems :=
+          Format.asprintf "read %d failed: %a" r Hw.Io_sched.pp_io_error e
+          :: !problems
+    | Some (Ok img) ->
+        if img.(0) <> 100 + r then
+          problems := Printf.sprintf "read %d returned wrong image" r :: !problems
+  done;
+  (match Hw.Io_sched.breaker_state io ~pack:0 with
+  | `Closed -> ()
+  | `Open | `Half_open ->
+      problems := "breaker left open at quiescence" :: !problems);
+  if bug && stats.Hw.Io_sched.s_breaker_opens > 0 then
+    problems :=
+      Printf.sprintf "breaker tripped under transient noise (opened %d)"
+        stats.Hw.Io_sched.s_breaker_opens
+      :: !problems;
+  if !problems <> [] then Multics_obs.Sink.note_dump obs ~reason:"invariant";
+  (!problems, Multics_obs.Sink.flight_dump obs)
+
+let run_breaker ?bug choice = fst (run_breaker_full ?bug choice)
+
+let breaker_system ?bug () =
+  let flight = ref "" in
+  { Explore.sys_name = "io-breaker";
+    sys_run =
+      (fun c ->
+        let problems, dump = run_breaker_full ?bug c in
+        flight := dump;
+        problems);
+    sys_flight = Some (fun () -> !flight) }

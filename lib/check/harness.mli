@@ -31,3 +31,23 @@ val kernel_system :
     strategy, then checked with {!Oracle.check}.  [config] defaults to
     {!Multics_kernel.Kernel.small_config}; its [choice] field is
     overridden per run. *)
+
+val run_breaker : ?bug:bool -> Multics_choice.Choice.t -> string list
+(** One run of the breaker harness (default no bug); returns oracle
+    violations.  The I/O scheduler alone: one pack, one arm, three
+    reads in one sweep, records 0 and 2 transiently failing once, with
+    jittered backoff and a circuit breaker armed (threshold 3, safely
+    above the two-fault noise; [bug] drops it to the noise floor, 2).
+    The strategy's choices are exactly the overload plane's:
+    completion delivery order (["io.deliver"]) and retry jitter
+    (["io.backoff"]).  Always checked: both transients recover, all
+    three reads deliver the right images, and the breaker is closed at
+    quiescence.  [bug] additionally claims the breaker never trips on
+    transient noise — true in the default sweep order (the clean read
+    between the two failures resets the consecutive-failure count),
+    falsified by the delivery orders that align the two unrelated
+    transients: a schedule-dependent mis-tuning for the explorer to
+    find and shrink. *)
+
+val breaker_system : ?bug:bool -> unit -> Explore.system
+(** The breaker harness packaged for {!Explore}. *)

@@ -33,13 +33,24 @@ let deliver_signals t =
       | Upward_signal.Pack_offline { pack } ->
           Directory.note_pack_offline t.directory ~caller:name ~pack)
 
-let call t ~name:gate_name ~caller_ring f =
+let call t ?deadline ~name:gate_name ~caller_ring f =
   match Hashtbl.find_opt t.gates gate_name with
   | None -> Error `No_gate
   | Some info ->
       if caller_ring > info.g_max_ring then begin
         t.violations <- t.violations + 1;
         Error `Ring_violation
+      end
+      else if
+        (* Deadline checkpoint at the ring boundary: a request whose
+           deadline already passed is refused before any kernel work
+           is charged — the cheapest place to shed it. *)
+        Multics_obs.Sink.ctx_expired t.obs
+          ~now:(Multics_obs.Sink.now t.obs)
+          (Multics_obs.Sink.current t.obs)
+      then begin
+        Multics_obs.Sink.count t.obs "gate.timeout";
+        Error `Timed_out
       end
       else begin
         info.g_calls <- info.g_calls + 1;
@@ -51,7 +62,7 @@ let call t ~name:gate_name ~caller_ring f =
            caller's behalf — including async I/O it spawns — chains
            back to this call. *)
         let parent = Multics_obs.Sink.current t.obs in
-        let ctx = Multics_obs.Sink.new_ctx t.obs ~origin:gate_name () in
+        let ctx = Multics_obs.Sink.new_ctx t.obs ?deadline ~origin:gate_name () in
         Multics_obs.Sink.set_current t.obs ctx;
         let sp =
           Multics_obs.Sink.span_begin t.obs ~cat:"gate" ~name:gate_name ()

@@ -18,10 +18,16 @@ val define : t -> name:string -> max_ring:int -> unit
 (** Register a gate.  Gates with [max_ring >= 4] are user-callable. *)
 
 val call :
-  t -> name:string -> caller_ring:int -> (unit -> 'a) ->
-  ('a, [ `No_gate | `Ring_violation ]) result
+  t -> ?deadline:int -> name:string -> caller_ring:int -> (unit -> 'a) ->
+  ('a, [ `No_gate | `Ring_violation | `Timed_out ]) result
 (** Cross into ring 0 through the named gate, run the handler, deliver
-    pending upward signals, cross back. *)
+    pending upward signals, cross back.
+
+    The gate is a deadline checkpoint: if the ambient context's
+    deadline has already passed, the call is refused with [`Timed_out]
+    before any kernel work is charged.  [deadline] (an absolute
+    simulated instant) stamps the per-call child context; it inherits
+    (and can only tighten) the caller's. *)
 
 val deliver_signals : t -> int
 (** Drain upward signals outside any gate call (the fault path). *)

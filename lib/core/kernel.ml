@@ -3,6 +3,24 @@ module Sync = Multics_sync
 module Aim = Multics_aim
 module Dg = Multics_depgraph
 
+(* End-to-end overload control.  Every field has an inert value; the
+   whole record is optional, and [None] (the default) leaves the kernel
+   bit-identical to one without the plane. *)
+type overload_config = {
+  ov_deadline_ns : int;
+  ov_retry_budget : int;
+  ov_backoff_jitter : bool;
+  ov_breaker_threshold : int;
+  ov_breaker_cooldown_ns : int;
+  ov_brownout : bool;
+  ov_brownout_tick_ns : int;
+}
+
+let default_overload =
+  { ov_deadline_ns = 0; ov_retry_budget = 0; ov_backoff_jitter = false;
+    ov_breaker_threshold = 0; ov_breaker_cooldown_ns = 0; ov_brownout = false;
+    ov_brownout_tick_ns = 50_000_000 }
+
 type config = {
   hw : Hw.Hw_config.t;
   disk_packs : int;
@@ -25,6 +43,7 @@ type config = {
   ctx : bool;
   faults : Hw.Fault_inject.t;
   choice : Multics_choice.Choice.t option;
+  overload : overload_config option;
 }
 
 let default_config =
@@ -37,7 +56,8 @@ let default_config =
     trace = Multics_obs.Sink.Counters;
     ctx = true;
     faults = Hw.Fault_inject.none;
-    choice = None }
+    choice = None;
+    overload = None }
 
 let small_config =
   { default_config with
@@ -68,6 +88,15 @@ type t = {
   aim_audit : Aim.Audit.t;
   mutable started : bool;
   mutable denials : int;
+  mutable shed_calls : int;  (* gate calls refused by an expired deadline *)
+  mutable proc_timeouts : int;  (* processes terminated past their deadline *)
+  (* Brownout: the graceful-degradation ladder.  0 = full service; each
+     rung sheds the next-cheapest class of optional work. *)
+  mutable brownout_level : int;
+  mutable brownout_escalations : int;
+  mutable last_brownout_change : int;  (* simulated instant *)
+  mutable breach_snapshot : int;  (* slo breach total at last quiet tick *)
+  mutable on_brownout : (int -> unit) option;  (* services layer hook *)
 }
 
 let root_subject =
@@ -132,6 +161,8 @@ let rec boot_internal ?previous_disk cfg =
   Multics_obs.Sink.set_slo obs ~histo:"io.queue_age"
     ~threshold_ns:250_000_000;
   Multics_obs.Sink.set_slo obs ~histo:"as.login" ~threshold_ns:30_000_000;
+  Multics_obs.Sink.set_slo obs ~histo:"sched.ready_wait"
+    ~threshold_ns:20_000_000;
   (* An active strategy's picks become trace instants, so a recorded
      counterexample lines up with the kernel's own timeline. *)
   (match cfg.choice with
@@ -140,9 +171,29 @@ let rec boot_internal ?previous_disk cfg =
   let aim_audit = Aim.Audit.create () in
   let core = Core_segment.create ~machine ~meter ~reserved_frames:cfg.core_frames in
   let vp = Vp.create ?choice:cfg.choice ~machine ~meter ~tracer ~core ~n_vps:cfg.n_vps () in
+  (* The overload plane's I/O knobs (retry budgets, jittered backoff,
+     circuit breakers) ride on the I/O scheduler's config: merge them
+     into whatever the caller asked for.  [overload = None] leaves the
+     config untouched — bit-identical to a kernel without the plane. *)
+  let io_config =
+    match cfg.overload with
+    | None -> cfg.io_config
+    | Some ov ->
+        let base =
+          match cfg.io_config with
+          | Some c -> c
+          | None -> Hw.Io_sched.config_of_disk machine.Hw.Machine.disk
+        in
+        Some
+          { base with
+            Hw.Io_sched.retry_budget = ov.ov_retry_budget;
+            backoff_jitter = ov.ov_backoff_jitter;
+            breaker_threshold = ov.ov_breaker_threshold;
+            breaker_cooldown_ns = ov.ov_breaker_cooldown_ns }
+  in
   let volume =
     Volume.create ~faults:cfg.faults ?choice:cfg.choice
-      ?io_config:cfg.io_config ~machine ~meter ~tracer ()
+      ?io_config ~machine ~meter ~tracer ()
   in
   (* A scheduled power failure freezes the machine at its instant: the
      write-behind buffer tears and no further event runs.  Planted only
@@ -251,17 +302,100 @@ let rec boot_internal ?previous_disk cfg =
   let t =
     { cfg; machine; meter; tracer; obs; core; vp; volume; quota; page_frame;
       signals; segment; known; address_space; user_process; directory; gate;
-      name_space; fault_dispatch; aim_audit; started = false; denials = 0 }
+      name_space; fault_dispatch; aim_audit; started = false; denials = 0;
+      shed_calls = 0; proc_timeouts = 0; brownout_level = 0;
+      brownout_escalations = 0; last_brownout_change = 0; breach_snapshot = 0;
+      on_brownout = None }
   in
   User_process.set_interpreter user_process (interpreter t);
+  (match cfg.overload with
+  | Some ov when ov.ov_brownout -> arm_brownout t ov
+  | _ -> ());
   t
+
+(* ------------------------------------------------------------------ *)
+(* Brownout: graceful degradation under overload.  SLO breaches (from
+   the sink's watchdogs — simulated-time latency thresholds) escalate a
+   shedding ladder one rung at a time; a periodic tick with no new
+   breaches walks it back down.  Rungs, cheapest shed first:
+     1  read-ahead off            (prefetch is pure optional work)
+     2  elevator sweeps shrunk    (shorter batches, fairer queues)
+     3  cleaner daemon throttled  (fault path evicts inline)
+     4  logins shed by load class (whole sessions refused at the door)
+   Recovery applies the same rungs in reverse. *)
+
+and total_breaches t =
+  List.fold_left
+    (fun acc (s : Multics_obs.Sink.slo_view) ->
+      acc + s.Multics_obs.Sink.sv_breaches)
+    0
+    (Multics_obs.Sink.slos t.obs)
+
+and apply_brownout t level =
+  Page_frame.set_read_ahead_enabled t.page_frame (level < 1);
+  Volume.set_batch_ceiling t.volume (if level >= 2 then 0 else max_int);
+  Page_frame.set_cleaner_throttled t.page_frame (level >= 3);
+  (match t.on_brownout with Some f -> f level | None -> ());
+  Multics_obs.Sink.counter_event t.obs ~cat:"kernel" ~name:"brownout_level"
+    level
+
+and arm_brownout t ov =
+  assert (ov.ov_brownout_tick_ns > 0);
+  Multics_obs.Sink.set_on_breach t.obs (fun _histo ->
+      let now = Hw.Machine.now t.machine in
+      (* Rate-limit escalation to one rung per tick period: a single
+         convoy of late requests breaches many watchdogs at once, and
+         shedding needs a tick to show up in the latency signal. *)
+      if
+        t.brownout_level < 4
+        && (t.brownout_level = 0
+           || now - t.last_brownout_change >= ov.ov_brownout_tick_ns)
+      then begin
+        t.brownout_level <- t.brownout_level + 1;
+        t.brownout_escalations <- t.brownout_escalations + 1;
+        t.last_brownout_change <- now;
+        t.breach_snapshot <- total_breaches t;
+        Multics_obs.Sink.count t.obs "kernel.brownout_escalate";
+        apply_brownout t t.brownout_level
+      end);
+  (* The recovery tick: de-escalate one rung per quiet period.  The
+     tick re-arms itself only while processes are still running, so a
+     drained system's event queue still empties. *)
+  let rec tick () =
+    if not (Hw.Machine.halted t.machine) then begin
+      let breaches = total_breaches t in
+      if t.brownout_level > 0 && breaches = t.breach_snapshot then begin
+        t.brownout_level <- t.brownout_level - 1;
+        t.last_brownout_change <- Hw.Machine.now t.machine;
+        Multics_obs.Sink.count t.obs "kernel.brownout_recover";
+        apply_brownout t t.brownout_level
+      end;
+      t.breach_snapshot <- breaches;
+      if not (User_process.all_done t.user_process) then
+        Hw.Machine.schedule t.machine ~delay:ov.ov_brownout_tick_ns tick
+    end
+  in
+  Hw.Machine.schedule t.machine ~delay:ov.ov_brownout_tick_ns tick
 
 (* ------------------------------------------------------------------ *)
 (* The workload interpreter: executes one action of a user process. *)
 
 and interpreter t (p : User_process.proc) : User_process.interp_outcome =
   let action_base = 500 in
-  if p.User_process.pc >= Array.length p.User_process.program then
+  if
+    (* Dispatch is a deadline checkpoint: a process whose root context's
+       deadline has passed is terminated here rather than allowed to
+       keep faulting — the only place an expired request can be retired
+       for good (every other checkpoint only refuses one step, and a
+       shed page read would otherwise refault forever). *)
+    Multics_obs.Sink.ctx_expired t.obs ~now:(Hw.Machine.now t.machine)
+      p.User_process.p_ctx
+  then begin
+    t.proc_timeouts <- t.proc_timeouts + 1;
+    Multics_obs.Sink.count t.obs "kernel.proc_timeout";
+    User_process.Failed ("deadline expired", action_base)
+  end
+  else if p.User_process.pc >= Array.length p.User_process.program then
     User_process.Finished action_base
   else
     let subject = subject_of p in
@@ -480,6 +614,9 @@ and gate_call : 'a. t -> ring:int -> string -> (unit -> 'a) -> 'a option =
  fun t ~ring gate_name f ->
   match Gate.call t.gate ~name:gate_name ~caller_ring:ring f with
   | Ok v -> Some v
+  | Error `Timed_out ->
+      t.shed_calls <- t.shed_calls + 1;
+      None
   | Error (`No_gate | `Ring_violation) -> None
 
 and with_parent t ~subject ~ring ~path =
@@ -624,10 +761,31 @@ let load_program t ~path words =
     words
 
 let spawn t ?(principal = { Acl.user = "user"; project = "proj" })
-    ?(label = Aim.Label.system_low) ?(trusted = false) ?(ring = 5) ~pname
-    program =
-  User_process.create_process t.user_process ~caller:Registry.gate ~pname
-    ~principal ~label ~trusted ~ring ~program
+    ?(label = Aim.Label.system_low) ?(trusted = false) ?(ring = 5)
+    ?deadline_ns ~pname program =
+  (* The spawn is a request root: a relative deadline becomes the
+     process's absolute one.  Precedence: an explicit argument wins;
+     otherwise an ambient deadline (the caller — say a deadlined
+     login — is mid-request and the process belongs to it) is
+     inherited by [create_process]; the overload config's default
+     applies only to spawns arriving with neither. *)
+  let ambient =
+    Multics_obs.Sink.ctx_deadline t.obs (Multics_obs.Sink.current t.obs) > 0
+  in
+  let deadline_ns =
+    match deadline_ns with
+    | Some _ as d -> d
+    | None when ambient -> None
+    | None -> (
+        match t.cfg.overload with
+        | Some ov when ov.ov_deadline_ns > 0 -> Some ov.ov_deadline_ns
+        | _ -> None)
+  in
+  let deadline =
+    Option.map (fun d -> Hw.Machine.now t.machine + d) deadline_ns
+  in
+  User_process.create_process ?deadline t.user_process ~caller:Registry.gate
+    ~pname ~principal ~label ~trusted ~ring ~program
 
 let start t =
   if not t.started then begin
@@ -645,6 +803,11 @@ let run_to_completion ?(max_events = 2_000_000) t =
 
 let now t = Hw.Machine.now t.machine
 let denials t = t.denials
+let shed_calls t = t.shed_calls
+let proc_timeouts t = t.proc_timeouts
+let brownout_level t = t.brownout_level
+let brownout_escalations t = t.brownout_escalations
+let set_on_brownout t f = t.on_brownout <- Some f
 
 type cache_report = {
   tlb_hits : int;
@@ -686,6 +849,12 @@ type io_report = {
   io_spared : int;
   io_damaged : int;
   io_offline : int;
+  io_timeouts : int;
+  io_fast_fails : int;
+  io_budget_denied : int;
+  io_breaker_opens : int;
+  io_breaker_probes : int;
+  io_breaker_closes : int;
 }
 
 let io_stats t =
@@ -705,7 +874,13 @@ let io_stats t =
     io_dead_records = s.Hw.Io_sched.s_gave_up;
     io_spared = Volume.spared_records t.volume;
     io_damaged = Volume.damaged_pages t.volume;
-    io_offline = Volume.offline_signals t.volume }
+    io_offline = Volume.offline_signals t.volume;
+    io_timeouts = s.Hw.Io_sched.s_timeouts;
+    io_fast_fails = s.Hw.Io_sched.s_fast_fails;
+    io_budget_denied = s.Hw.Io_sched.s_budget_denied;
+    io_breaker_opens = s.Hw.Io_sched.s_breaker_opens;
+    io_breaker_probes = s.Hw.Io_sched.s_breaker_probes;
+    io_breaker_closes = s.Hw.Io_sched.s_breaker_closes }
 
 let dependency_audit t =
   Tracer.audit t.tracer ~declared:(Registry.declared_graph ())
@@ -816,6 +991,19 @@ let pp_report ppf t =
        damaged, %d packs offline@."
       io.io_retries io.io_dead_records io.io_spared io.io_damaged
       io.io_offline;
+  if
+    io.io_timeouts + io.io_fast_fails + io.io_budget_denied
+    + io.io_breaker_opens + t.shed_calls + t.proc_timeouts
+    + t.brownout_escalations
+    > 0
+  then
+    Format.fprintf ppf
+      "  overload: %d i/o timeouts, %d fast-fails, %d budget-denied; \
+       breakers %d opened %d probed %d closed; %d calls shed, %d processes \
+       timed out; brownout level %d after %d escalations@."
+      io.io_timeouts io.io_fast_fails io.io_budget_denied io.io_breaker_opens
+      io.io_breaker_probes io.io_breaker_closes t.shed_calls t.proc_timeouts
+      t.brownout_level t.brownout_escalations;
   Format.fprintf ppf
     "  vps: %d dispatches, %d switches, %d wakeup-waiting saves@."
     (Vp.dispatches t.vp) (Vp.context_switches t.vp)

@@ -10,6 +10,39 @@
     create directories and processes, [run] the event loop, read the
     statistics, audit the dependency structure. *)
 
+type overload_config = {
+  ov_deadline_ns : int;
+      (** Default end-to-end deadline (relative simulated ns) stamped on
+          every spawned process's root context; [0] = none.  Expired
+          requests are cancelled at the checkpoints: gate entry, I/O
+          submit, I/O dispatch, and process dispatch. *)
+  ov_retry_budget : int;
+      (** I/O retries allowed per request root before further failures
+          are shed as [Timed_out]; [0] = unlimited (the seed's
+          per-record retry limit still applies). *)
+  ov_backoff_jitter : bool;
+      (** Deterministic jittered exponential backoff between I/O
+          retries, drawn from the ["io.backoff"] choice point — the
+          explorer can enumerate it. *)
+  ov_breaker_threshold : int;
+      (** Consecutive I/O failures on one pack that trip its circuit
+          breaker; [0] disables breakers. *)
+  ov_breaker_cooldown_ns : int;
+      (** Simulated time an open breaker waits before the half-open
+          probe.  Must be positive when breakers are enabled. *)
+  ov_brownout : bool;
+      (** Arm the graceful-degradation ladder: SLO breaches shed
+          read-ahead, then elevator batch size, then the cleaner
+          daemon, then logins by load class; quiet ticks recover in
+          reverse. *)
+  ov_brownout_tick_ns : int;
+      (** Escalation rate limit and recovery tick period. *)
+}
+
+val default_overload : overload_config
+(** Every knob inert (and brownout off) except a 50 ms recovery tick;
+    override fields from here. *)
+
 type config = {
   hw : Multics_hw.Hw_config.t;
   disk_packs : int;
@@ -65,6 +98,12 @@ type config = {
           scheduler pick, eventcount wakeup order, lock handoff order,
           and I/O completion delivery order — the explorer in
           [Multics_check] drives these to search the schedule space. *)
+  overload : overload_config option;
+      (** End-to-end overload control: deadlines, retry budgets,
+          circuit breakers and brownout.  [None] (the default) is
+          bit-identical — same clocks, same disk images — to a kernel
+          without the plane (bench C6 asserts it, the same contract as
+          C3's ctx rows). *)
 }
 
 val default_config : config
@@ -147,8 +186,13 @@ val load_program :
 
 val spawn :
   t -> ?principal:Acl.principal -> ?label:Multics_aim.Label.t ->
-  ?trusted:bool -> ?ring:int -> pname:string -> Workload.program -> int
-(** Create a ready user process; returns its pid. *)
+  ?trusted:bool -> ?ring:int -> ?deadline_ns:int -> pname:string ->
+  Workload.program -> int
+(** Create a ready user process; returns its pid.  [deadline_ns]
+    (relative simulated time; default the overload config's
+    [ov_deadline_ns]) bounds the process end-to-end: past it, the
+    process is terminated at its next dispatch and its pending reads
+    are shed. *)
 
 val start : t -> unit
 (** Begin dispatching virtual processors. *)
@@ -165,6 +209,26 @@ val now : t -> int
 val denials : t -> int
 (** Access denials absorbed by workload actions (the process continues
     with an empty register). *)
+
+val shed_calls : t -> int
+(** Gate calls refused with [`Timed_out] because the calling context's
+    deadline had already passed. *)
+
+val proc_timeouts : t -> int
+(** Processes terminated at dispatch because their root context's
+    deadline had passed. *)
+
+val brownout_level : t -> int
+(** Current rung of the degradation ladder, 0 (full service) to 4
+    (shedding logins).  Always 0 unless the overload config armed
+    brownout. *)
+
+val brownout_escalations : t -> int
+
+val set_on_brownout : t -> (int -> unit) -> unit
+(** Hook called with the new level on every brownout change — how the
+    services layer above (the Answering Service) joins the ladder
+    without the kernel depending upward on it. *)
 
 type cache_report = {
   tlb_hits : int;  (** SDW associative-memory hits, all CPUs *)
@@ -197,6 +261,12 @@ type io_report = {
   io_spared : int;  (** pages re-homed to a fresh record on write error *)
   io_damaged : int;  (** pages lost — the VTOC damaged switch was set *)
   io_offline : int;  (** packs that stopped answering *)
+  io_timeouts : int;  (** requests cancelled by an expired deadline *)
+  io_fast_fails : int;  (** requests refused by an open circuit breaker *)
+  io_budget_denied : int;  (** retries refused by an empty retry budget *)
+  io_breaker_opens : int;
+  io_breaker_probes : int;  (** open -> half-open transitions *)
+  io_breaker_closes : int;  (** half-open probes that closed the breaker *)
 }
 
 val io_stats : t -> io_report

@@ -68,7 +68,7 @@ let gated_search t ~subject ~ring ~dir_uid ~component =
           ~name:component)
   with
   | Ok result -> result
-  | Error `No_gate | Error `Ring_violation -> `No_entry
+  | Error (`No_gate | `Ring_violation | `Timed_out) -> `No_entry
 
 let search t ~subject ~ring ~dir_uid ~component =
   if not t.use_cache then gated_search t ~subject ~ring ~dir_uid ~component
@@ -116,7 +116,7 @@ let initiate t ~subject ~ring ~path =
       with
       | Ok (Ok target) -> Ok target
       | Ok (Error `No_access) -> Error `No_access
-      | Error `No_gate | Error `Ring_violation -> Error `No_access)
+      | Error (`No_gate | `Ring_violation | `Timed_out) -> Error `No_access)
 
 let search_calls t = t.search_count
 let cache_hits t = t.cache_hits

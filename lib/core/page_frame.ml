@@ -60,6 +60,10 @@ type t = {
   low_water : int;
   high_water : int;
   mutable prev_fault_ptw : int;  (* sequentiality detector for read-ahead *)
+  (* Brownout levers: the overload controller flips these to shed
+     optional background work first, before anything user-visible. *)
+  mutable ra_enabled : bool;
+  mutable cleaner_throttled : bool;
   mutable faults_served : int;
   mutable page_reads : int;
   mutable page_writes : int;
@@ -104,6 +108,7 @@ let create ?choice ~machine ~meter ~tracer ~core ~volume ~quota
     low_water = max 2 (n / 16);
     high_water = max 4 (n / 8);
     prev_fault_ptw = min_int;
+    ra_enabled = true; cleaner_throttled = false;
     faults_served = 0; page_reads = 0; page_writes = 0; evictions = 0;
     zero_reclaims = 0; inline_evictions = 0; pages_cleaned = 0;
     prefetch_issued = 0; prefetch_hits = 0; prefetch_dropped = 0 }
@@ -172,7 +177,8 @@ let mark_page_damaged t ~ptw_abs ~record_handle err =
   | Hw.Io_sched.Pack_offline ->
       Volume.note_offline t.volume
         ~pack:(Hw.Disk.pack_of_handle record_handle)
-  | Hw.Io_sched.Dead_record -> ());
+  | Hw.Io_sched.Dead_record | Hw.Io_sched.Timed_out
+  | Hw.Io_sched.Breaker_open -> ());
   Multics_obs.Sink.count t.obs "pfm.damaged";
   Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.damaged_ptw ~record:record_handle);
   match lookup_pt t ptw_abs with
@@ -223,6 +229,12 @@ let handle_write_failure t ~ptw_abs ~old_handle img err =
   match err with
   | Hw.Io_sched.Pack_offline ->
       Volume.note_offline t.volume ~pack:(Hw.Disk.pack_of_handle old_handle);
+      damage ()
+  | Hw.Io_sched.Timed_out | Hw.Io_sched.Breaker_open ->
+      (* The overload plane dropped the flush (budget dry or breaker
+         open): the buffered image is gone, and unlike a dead record
+         the home pack is sick, so sparing onto it would not help.
+         Damage honestly — the salvager's story, not silent loss. *)
       damage ()
   | Hw.Io_sched.Dead_record -> (
       match Volume.spare_record t.volume ~caller:name ~old_handle img with
@@ -433,6 +445,28 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
         Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.in_core ~frame);
         e.pinned <- false;
         e.prefetched <- transit.prefetch
+    | Error (Hw.Io_sched.Timed_out | Hw.Io_sched.Breaker_open) ->
+        (* Shed, not lost: the platter still holds the page.  Restore
+           the on-disk descriptor so a later fault retries cleanly;
+           woken waiters re-fault and their own checkpoints decide
+           whether they still want it. *)
+        Multics_obs.Sink.count t.obs "pfm.read_shed";
+        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:record_handle);
+        e.pinned <- false
+    | Error Hw.Io_sched.Pack_offline
+      when Volume.breaker_state t.volume
+             ~pack:(Hw.Disk.pack_of_handle record_handle)
+           = `Open ->
+        (* The failure tripped the pack's circuit breaker: the system
+           expects the pack back (the half-open probe will tell).  A
+           read is idempotent, so treat the window as transient — raise
+           the offline signal but keep the page readable for the retry
+           after recovery, instead of damaging it. *)
+        Volume.note_offline t.volume
+          ~pack:(Hw.Disk.pack_of_handle record_handle);
+        Multics_obs.Sink.count t.obs "pfm.read_shed";
+        Hw.Ptw.write (mem t) ptw_abs (Hw.Ptw.on_disk ~record:record_handle);
+        e.pinned <- false
     | Error err ->
         (* The read failed terminally: the page is lost.  Damage the
            descriptor and give the frame back; woken waiters re-fault
@@ -464,7 +498,7 @@ let start_read t ~ptw_abs ~frame ~record_handle ~cell ~prefetch =
    never push it below the cleaner's low-water mark — under memory
    pressure they are dropped silently. *)
 let maybe_read_ahead t ~ptw_abs =
-  if t.read_ahead > 0 then begin
+  if t.read_ahead > 0 && t.ra_enabled then begin
     let sequential = t.prev_fault_ptw = ptw_abs - 1 in
     (if sequential then
        match lookup_pt t ptw_abs with
@@ -676,6 +710,14 @@ let cleaner_ec t = t.cleaner
    and lived outside the cost model). *)
 let cleaner_step t _vp =
   ignore (Meter.take_pending t.meter);
+  if t.cleaner_throttled then begin
+    (* Brownout: background cleaning is deferrable work.  The daemon
+       parks until the next wakeup; the fault path falls back to inline
+       eviction, trading latency there for less competing disk I/O. *)
+    Multics_obs.Sink.count t.obs "pfm.cleaner_throttled";
+    Vp.Wait (t.cleaner, Sync.Eventcount.read t.cleaner + 1, Cost.kernel_call)
+  end
+  else begin
   Multics_obs.Sink.count t.obs "pfm.cleaner_pass";
   let cleaned = ref 0 in
   let limit = if t.use_io_sched then 8 else 4 in
@@ -745,6 +787,12 @@ let cleaner_step t _vp =
   if !cleaned = 0 then
     Vp.Wait (t.cleaner, Sync.Eventcount.read t.cleaner + 1, cost)
   else Vp.Continue cost
+  end
+
+let set_read_ahead_enabled t on = t.ra_enabled <- on
+let read_ahead_enabled t = t.ra_enabled
+let set_cleaner_throttled t on = t.cleaner_throttled <- on
+let cleaner_throttled t = t.cleaner_throttled
 
 let faults_served t = t.faults_served
 let page_reads t = t.page_reads

@@ -99,6 +99,21 @@ val cleaner_step : t -> Vp.vp -> Vp.run_result
 
 val cleaner_ec : t -> Multics_sync.Eventcount.t
 
+(* Brownout levers — flipped by the kernel's overload controller. *)
+
+val set_read_ahead_enabled : t -> bool -> unit
+(** Enable/disable sequential read-ahead at runtime without changing
+    the configured depth.  Disabling is the overload controller's first
+    shedding step: prefetch is pure optional work.  Default enabled. *)
+
+val read_ahead_enabled : t -> bool
+
+val set_cleaner_throttled : t -> bool -> unit
+(** While throttled the cleaner daemon parks instead of scanning; the
+    fault path falls back to inline eviction.  Default unthrottled. *)
+
+val cleaner_throttled : t -> bool
+
 (* Statistics for the benches. *)
 val faults_served : t -> int
 val page_reads : t -> int

@@ -21,6 +21,7 @@ type proc = {
   mutable fault_count : int;
   mutable actions_done : int;
   mutable isa : Hw.Isa.state option;
+  mutable ready_since : int;  (* entered the ready queue; -1 = not queued *)
   state_uid : Ids.uid;
   p_ctx : int;  (* root request context; origin = accounting principal *)
 }
@@ -129,6 +130,19 @@ let reap t (p : proc) =
 
 let load t vp_id pid =
   let p = proc t pid in
+  (* Ready-queue wait: how long the process sat runnable before a VP
+     picked it up.  The canonical CPU-overload signal — the "sched.
+     ready_wait" SLO watchdog breaches when dispatch falls behind.
+     Sampled under the process's own context so the watchdog blames
+     the starved requester. *)
+  (if p.ready_since >= 0 then begin
+     let prev = Multics_obs.Sink.current t.obs in
+     Multics_obs.Sink.set_current t.obs p.p_ctx;
+     Multics_obs.Sink.add_latency t.obs ~name:"sched.ready_wait"
+       (Hw.Machine.now t.machine - p.ready_since);
+     Multics_obs.Sink.set_current t.obs prev
+   end);
+  p.ready_since <- -1;
   p.pstate <- P_running;
   p.quantum <- Scheduler.quantum_for t.sched pid;
   Hashtbl.replace t.current vp_id pid;
@@ -148,6 +162,7 @@ let unload t vp_id pid =
 let make_ready t pid =
   let p = proc t pid in
   p.pstate <- P_ready;
+  p.ready_since <- Hw.Machine.now t.machine;
   Multics_obs.Sink.count t.obs "upm.ready";
   Scheduler.enqueue t.sched pid;
   Sync.Eventcount.advance t.work_ec;
@@ -172,6 +187,7 @@ let user_step t (vp : Vp.vp) =
         ignore (Meter.take_pending t.meter);
         unload t vp.Vp.vp_id pid;
         p.pstate <- P_ready;
+        p.ready_since <- Hw.Machine.now t.machine;
         Scheduler.requeue_preempted t.sched pid;
         Sync.Eventcount.advance t.work_ec;
         Vp.Continue (Meter.take_pending t.meter)
@@ -292,7 +308,8 @@ let bind_user_vps t ~vp_ids =
 let bind_scheduler_daemon t ~vp_id =
   Vp.bind t.vp ~vp_id ~name:"scheduler_daemon" ~step:(scheduler_step t)
 
-let create_process t ~caller ~pname ~principal ~label ~trusted ~ring ~program =
+let create_process ?deadline t ~caller ~pname ~principal ~label ~trusted ~ring
+    ~program =
   entry t ~caller Cost.process_load;
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
@@ -317,13 +334,28 @@ let create_process t ~caller ~pname ~principal ~label ~trusted ~ring ~program =
     { pid; pname; principal; label; trusted; ring; vcpu; program; pc = 0;
       regs = Array.make Workload.n_registers (-1); pstate = P_ready;
       quantum = 0; cpu_ns = 0; fault_count = 0; actions_done = 0; isa = None;
+      ready_since = -1;
       state_uid;
       (* The process's root context: everything done on its behalf —
          gate calls, faults, the I/O they spawn — chains to this id,
          whose origin is the accounting principal, so per-user
          attribution is a root lookup. *)
       p_ctx =
-        Multics_obs.Sink.new_ctx t.obs ~parent:0 ~origin:principal.Acl.user ()
+        (* A process spawned on behalf of a deadlined request (a login
+           with a deadline, a gate call) carries that deadline into its
+           own root: the whole session is one end-to-end request. *)
+        (let deadline =
+           match deadline with
+           | Some _ as d -> d
+           | None ->
+               let ambient =
+                 Multics_obs.Sink.ctx_deadline t.obs
+                   (Multics_obs.Sink.current t.obs)
+               in
+               if ambient > 0 then Some ambient else None
+         in
+         Multics_obs.Sink.new_ctx t.obs ~parent:0 ?deadline
+           ~origin:principal.Acl.user ())
     }
   in
   Hashtbl.replace t.procs_tbl pid p;

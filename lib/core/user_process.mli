@@ -36,6 +36,10 @@ type proc = {
   mutable actions_done : int;
   mutable isa : Multics_hw.Isa.state option;
       (** live machine-code execution, carried across dispatch steps *)
+  mutable ready_since : int;
+      (** Instant the process entered the ready queue; [-1] while
+          running, blocked or done.  Feeds the ["sched.ready_wait"]
+          histogram (and its SLO watchdog) at dispatch. *)
   state_uid : Ids.uid;  (** the process-state segment *)
   p_ctx : int;
       (** root request context; its origin is the accounting principal,
@@ -78,10 +82,15 @@ val bind_scheduler_daemon : t -> vp_id:int -> unit
 (** Bind the scheduler daemon (drains the wakeup message queue). *)
 
 val create_process :
+  ?deadline:int ->
   t -> caller:string -> pname:string -> principal:Acl.principal ->
   label:Multics_aim.Label.t -> trusted:bool -> ring:int ->
   program:Workload.program -> int
-(** Returns the pid; the process is ready to run. *)
+(** Returns the pid; the process is ready to run.  [deadline] (an
+    absolute simulated instant) stamps the process's root context;
+    without it the root inherits the ambient context's deadline, so a
+    process spawned inside a deadlined login or gate call is bounded by
+    the same end-to-end deadline. *)
 
 val proc : t -> int -> proc
 val procs : t -> proc list

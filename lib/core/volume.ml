@@ -9,11 +9,18 @@ type t = {
   mutable full_pack_count : int;
   mutable signals : Upward_signal.t option;
   offline_signalled : (int, unit) Hashtbl.t;
+  mutable offline_signal_count : int;  (* monotone: one per offline window *)
   mutable spared : int;
   mutable damaged : int;
 }
 
 let name = Registry.disk_pack_manager
+
+let note_online t ~pack =
+  if Hashtbl.mem t.offline_signalled pack then begin
+    Hashtbl.remove t.offline_signalled pack;
+    Multics_obs.Sink.count (Hw.Machine.obs t.machine) "vol.pack_recovered"
+  end
 
 let entry t ~caller base_cost =
   Tracer.call t.tracer ~from:caller ~to_:name;
@@ -38,9 +45,17 @@ let create ?(faults = Hw.Fault_inject.none) ?choice ?io_config ~machine
      capturing it here wires the elevator's batch spans to the kernel's
      trace. *)
   Hw.Io_sched.set_obs io (Hw.Machine.obs machine);
-  { machine; meter; tracer; io; locator = Hashtbl.create 64;
-    full_pack_count = 0; signals = None;
-    offline_signalled = Hashtbl.create 4; spared = 0; damaged = 0 }
+  let t =
+    { machine; meter; tracer; io; locator = Hashtbl.create 64;
+      full_pack_count = 0; signals = None;
+      offline_signalled = Hashtbl.create 4; offline_signal_count = 0;
+      spared = 0; damaged = 0 }
+  in
+  (* A breaker closing after its half-open probe means the pack
+     demonstrably serves again: re-arm the one-shot offline signal so
+     a second offline window raises [Pack_offline] again. *)
+  Hw.Io_sched.set_on_recover io (fun ~pack -> note_online t ~pack);
+  t
 
 let set_signals t signals = t.signals <- Some signals
 
@@ -150,6 +165,9 @@ let quiesce t = Hw.Io_sched.quiesce t.io
 let crash t ~surviving_writes = Hw.Io_sched.crash t.io ~surviving_writes
 let set_on_apply t f = Hw.Io_sched.set_on_apply t.io f
 let io_stats t = Hw.Io_sched.stats t.io
+let set_batch_ceiling t n = Hw.Io_sched.set_batch_ceiling t.io n
+let batch_ceiling t = Hw.Io_sched.batch_ceiling t.io
+let breaker_state t ~pack = Hw.Io_sched.breaker_state t.io ~pack
 let io_queue_depth t ~pack = Hw.Io_sched.queue_depth t.io ~pack
 let io_latency_ns t = Hw.Io_sched.single_transfer_ns t.io
 
@@ -159,6 +177,7 @@ let io_latency_ns t = Hw.Io_sched.single_transfer_ns t.io
 let note_offline t ~pack =
   if not (Hashtbl.mem t.offline_signalled pack) then begin
     Hashtbl.replace t.offline_signalled pack ();
+    t.offline_signal_count <- t.offline_signal_count + 1;
     match t.signals with
     | Some signals ->
         Upward_signal.raise_signal signals ~from:name
@@ -166,7 +185,7 @@ let note_offline t ~pack =
     | None -> ()
   end
 
-let offline_signals t = Hashtbl.length t.offline_signalled
+let offline_signals t = t.offline_signal_count
 
 let spare_record t ~caller ~old_handle img =
   entry t ~caller (Cost.frame_alloc + Cost.disk_io_setup);

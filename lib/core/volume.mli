@@ -117,9 +117,19 @@ val set_on_apply :
 
 val note_offline : t -> pack:int -> unit
 (** Record that [pack] was seen offline; raises
-    {!Upward_signal.Pack_offline} the first time (once per pack). *)
+    {!Upward_signal.Pack_offline} the first time (once per offline
+    window — {!note_online} re-arms it). *)
+
+val note_online : t -> pack:int -> unit
+(** The pack serves again (the breaker's half-open probe succeeded, or
+    an operator says so): re-arm the one-shot offline signalling, so a
+    pack that goes offline twice signals twice.  Wired automatically
+    to the I/O scheduler's breaker-close hook. *)
 
 val offline_signals : t -> int
+(** Offline windows signalled so far — monotone: a pack that goes
+    offline, recovers (re-arming the signal) and goes offline again
+    counts twice. *)
 
 val spare_record :
   t -> caller:string -> old_handle:int -> Multics_hw.Word.t array ->
@@ -140,6 +150,16 @@ val damaged_pages : t -> int
 
 val io_stats : t -> Multics_hw.Io_sched.stats
 val io_queue_depth : t -> pack:int -> int
+
+val set_batch_ceiling : t -> int -> unit
+(** Forwarded to {!Multics_hw.Io_sched.set_batch_ceiling} — the
+    brownout controller's lever on elevator sweep size (clamped to the
+    configured bounds). *)
+
+val batch_ceiling : t -> int
+
+val breaker_state : t -> pack:int -> [ `Closed | `Open | `Half_open ]
+(** The pack's circuit-breaker state, from the I/O scheduler. *)
 
 val io_latency_ns : t -> int
 (** Cost of one unbatched transfer (seek + transfer) — the synchronous

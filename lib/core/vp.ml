@@ -88,12 +88,12 @@ let set_state t v s =
   v.vp_state <- s;
   Core_segment.write t.core t.state_region v.vp_id (encode_state s)
 
-let bind t ~vp_id ~name:bound ~step =
+let bind ?deadline t ~vp_id ~name:bound ~step =
   let v = vp t vp_id in
   if v.vp_state <> `Idle then
     invalid_arg (Printf.sprintf "Vp.bind: vp %d not idle" vp_id);
   v.bound_to <- Some bound;
-  v.vp_ctx <- Multics_obs.Sink.new_ctx t.obs ~parent:0 ~origin:bound ();
+  v.vp_ctx <- Multics_obs.Sink.new_ctx t.obs ~parent:0 ?deadline ~origin:bound ();
   t.step_fns.(vp_id) <- Some step;
   set_state t v `Ready
 

@@ -51,9 +51,13 @@ val state_word_agrees : t -> int -> bool
 (** Whether VP [i]'s wired state word (in the core segment) encodes its
     in-record state — an invariant the consistency oracle checks. *)
 
-val bind : t -> vp_id:int -> name:string -> step:(vp -> run_result) -> unit
+val bind :
+  ?deadline:int -> t -> vp_id:int -> name:string -> step:(vp -> run_result) ->
+  unit
 (** Bind an idle VP and mark it ready.  Raises [Invalid_argument] if the
-    VP is not idle. *)
+    VP is not idle.  [deadline] (an absolute simulated instant) stamps
+    the VP's root context — work the VP does after it passes is shed at
+    the deadline checkpoints. *)
 
 val find_idle : t -> int option
 

@@ -1,7 +1,9 @@
 type t = {
   transients : (int * int, int ref) Hashtbl.t;  (* remaining read failures *)
   bad : (int * int, unit) Hashtbl.t;
-  offline : (int, int) Hashtbl.t;  (* pack -> offline instant *)
+  (* pack -> offline windows [off, on), newest first; [max_int] closes
+     nothing — the pack never recovers from that window. *)
+  offline : (int, (int * int) list) Hashtbl.t;
   mutable crash : (int * int) option;  (* at_ns, surviving writes *)
   mutable armed : int;  (* faults added to the plan *)
   mutable injected : int;  (* attempts actually failed *)
@@ -24,10 +26,34 @@ let bad_record t ~pack ~record =
   t.armed <- t.armed + 1;
   Hashtbl.replace t.bad (pack, record) ()
 
+let windows t ~pack =
+  match Hashtbl.find_opt t.offline pack with Some ws -> ws | None -> []
+
 let pack_offline t ~pack ~at_ns =
   assert (at_ns >= 0);
   t.armed <- t.armed + 1;
-  Hashtbl.replace t.offline pack at_ns
+  Hashtbl.replace t.offline pack ((at_ns, max_int) :: windows t ~pack)
+
+let pack_online t ~pack ~at_ns =
+  assert (at_ns >= 0);
+  match windows t ~pack with
+  | (off, on) :: rest when on = max_int ->
+      assert (at_ns > off);
+      Hashtbl.replace t.offline pack ((off, at_ns) :: rest)
+  | _ -> invalid_arg "Fault_inject.pack_online: no open offline window"
+
+let offline_at t ~pack =
+  match List.rev (windows t ~pack) with
+  | (off, _) :: _ -> Some off
+  | [] -> None
+
+let online_at t ~pack =
+  match windows t ~pack with
+  | (_, on) :: _ when on < max_int -> Some on
+  | _ -> None
+
+let pack_is_offline t ~pack ~now =
+  List.exists (fun (off, on) -> now >= off && now < on) (windows t ~pack)
 
 let power_fail t ~at_ns ~surviving_writes =
   assert (at_ns > 0 && surviving_writes >= 0);
@@ -50,7 +76,6 @@ let read_attempt_fails t ~pack ~record =
 let write_attempt_fails t ~pack ~record =
   if Hashtbl.mem t.bad (pack, record) then fail t else false
 
-let offline_at t ~pack = Hashtbl.find_opt t.offline pack
 let crash_schedule t = t.crash
 let injected t = t.injected
 

@@ -51,7 +51,16 @@ val bad_record : t -> pack:int -> record:int -> unit
 
 val pack_offline : t -> pack:int -> at_ns:int -> unit
 (** From simulated time [at_ns], every attempt against [pack] fails
-    with [Pack_offline]. *)
+    with [Pack_offline] — until a recovery instant, if one is planned
+    with {!pack_online}. *)
+
+val pack_online : t -> pack:int -> at_ns:int -> unit
+(** The pack recovers at simulated time [at_ns]: attempts from that
+    instant on succeed again.  Closes the window opened by the latest
+    {!pack_offline} — so alternating calls describe repeated offline
+    windows [\[pack_offline, pack_online)]; a window never closed keeps
+    the pack down forever (the pre-window behaviour).  Raises
+    [Invalid_argument] without a matching open window. *)
 
 val power_fail : t -> at_ns:int -> surviving_writes:int -> unit
 (** Schedule a crash: at [at_ns] the kernel applies the first
@@ -69,7 +78,13 @@ val write_attempt_fails : t -> pack:int -> record:int -> bool
 (** Decide one write attempt (only permanent bad records fail writes). *)
 
 val offline_at : t -> pack:int -> int option
-(** The instant the pack goes offline, if scheduled. *)
+(** The instant of the pack's first offline window, if any. *)
+
+val online_at : t -> pack:int -> int option
+(** The recovery instant of the pack's latest window, if closed. *)
+
+val pack_is_offline : t -> pack:int -> now:int -> bool
+(** Whether [now] falls inside any of the pack's offline windows. *)
 
 val crash_schedule : t -> (int * int) option
 (** [(at_ns, surviving_writes)] of the scheduled power failure. *)

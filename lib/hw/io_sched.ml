@@ -11,16 +11,24 @@ type config = {
   transfer_ns : int;
   retry_limit : int;
   retry_backoff_ns : int;
+  retry_budget : int;
+  backoff_jitter : bool;
+  breaker_threshold : int;
+  breaker_cooldown_ns : int;
 }
 
 (* The deadline follows the Linux deadline scheduler's proportions:
    write expiry there is ~400 flat I/O times; 256 is still aggressive
-   and keeps the starvation-bound tests fast. *)
+   and keeps the starvation-bound tests fast.  The overload knobs
+   (budget, jitter, breaker) default off: the plane disabled is
+   bit-identical to the scheduler before it existed. *)
 let default_config =
   { max_batch = 8; max_batch_cap = 32; deadline_ns = 512_000_000;
     anticipate_ns = 800_000; pack_ways = 8; read_priority = true;
     seek_ns = 1_200_000; transfer_ns = 800_000;
-    retry_limit = 4; retry_backoff_ns = 400_000 }
+    retry_limit = 4; retry_backoff_ns = 400_000;
+    retry_budget = 0; backoff_jitter = false;
+    breaker_threshold = 0; breaker_cooldown_ns = 0 }
 
 let config_of_disk disk =
   { max_batch = 8;
@@ -32,13 +40,19 @@ let config_of_disk disk =
     seek_ns = Disk.seek_latency_ns disk;
     transfer_ns = Disk.transfer_latency_ns disk;
     retry_limit = 4;
-    retry_backoff_ns = Disk.transfer_latency_ns disk }
+    retry_backoff_ns = Disk.transfer_latency_ns disk;
+    retry_budget = 0;
+    backoff_jitter = false;
+    breaker_threshold = 0;
+    breaker_cooldown_ns = 0 }
 
-type io_error = Dead_record | Pack_offline
+type io_error = Dead_record | Pack_offline | Timed_out | Breaker_open
 
 let pp_io_error ppf = function
   | Dead_record -> Format.fprintf ppf "dead-record"
   | Pack_offline -> Format.fprintf ppf "pack-offline"
+  | Timed_out -> Format.fprintf ppf "timed-out"
+  | Breaker_open -> Format.fprintf ppf "breaker-open"
 
 type op =
   | Read of ((Word.t array, io_error) result -> unit)
@@ -68,8 +82,14 @@ type way = {
   mutable hold_gen : int;  (* invalidates stale hold-expiry events *)
 }
 
+(* Per-pack circuit breaker: [Br_open]'s payload is the absolute
+   instant the cooldown elapses and a half-open probe may go out. *)
+type breaker = Br_closed | Br_open of int | Br_half
+
 type pack_state = {
   id : int;
+  mutable breaker : breaker;
+  mutable consec_fails : int;  (* consecutive failed service attempts *)
   mutable queue : req list;  (* undispatched; order irrelevant, seq decides *)
   mutable depth : int;  (* List.length queue, maintained incrementally *)
   ways : way array;
@@ -100,6 +120,12 @@ type stats = {
   s_grown : int;
   s_shrunk : int;
   s_buffer_hits : int;
+  s_timeouts : int;
+  s_fast_fails : int;
+  s_budget_denied : int;
+  s_breaker_opens : int;
+  s_breaker_probes : int;
+  s_breaker_closes : int;
 }
 
 type t = {
@@ -137,6 +163,23 @@ type t = {
   mutable grown : int;
   mutable shrunk : int;
   mutable buffer_hits : int;
+  mutable timeouts : int;
+  mutable fast_fails : int;
+  mutable budget_denied : int;
+  mutable br_opens : int;
+  mutable br_probes : int;
+  mutable br_closes : int;
+  (* root context -> remaining retries; populated lazily, only when
+     [retry_budget > 0] and contexts are on. *)
+  budget_left : (int, int) Hashtbl.t;
+  (* set the first time a submitted request carries a context deadline;
+     the dispatch-time cancellation sweep is guarded by it so the
+     deadline-free hot path pays nothing. *)
+  mutable has_deadlines : bool;
+  (* effective adaptive ceiling, in [max_batch, max_batch_cap]; the
+     brownout controller lowers it under overload. *)
+  mutable batch_ceiling : int;
+  mutable on_recover : pack:int -> unit;
   mutable on_batch : pack:int -> size:int -> cost_ns:int -> unit;
   mutable on_apply :
     pack:int -> record:int -> acked:bool -> Word.t array -> unit;
@@ -154,10 +197,12 @@ let create ?config ?(faults = Fault_inject.none)
   assert (config.max_batch_cap >= config.max_batch);
   assert (config.pack_ways >= 1 && config.deadline_ns > 0);
   assert (config.anticipate_ns >= 0);
+  assert (config.retry_budget >= 0);
+  assert (config.breaker_threshold = 0 || config.breaker_cooldown_ns > 0);
   { disk; config; schedule; faults; choice; now;
     packs =
       Array.init (Disk.n_packs disk) (fun id ->
-          { id; queue = []; depth = 0;
+          { id; breaker = Br_closed; consec_fails = 0; queue = []; depth = 0;
             ways =
               Array.init config.pack_ways (fun wid ->
                   { wid; head = 0; w_busy = false; streak = 0;
@@ -170,12 +215,25 @@ let create ?config ?(faults = Fault_inject.none)
     max_batch_seen = 0; queue_peak = 0; busy_ns = 0; cancelled = 0;
     retries = 0; gave_up = 0; deadline_batches = 0; holds = 0;
     grown = 0; shrunk = 0; buffer_hits = 0;
+    timeouts = 0; fast_fails = 0; budget_denied = 0;
+    br_opens = 0; br_probes = 0; br_closes = 0;
+    budget_left = Hashtbl.create 16; has_deadlines = false;
+    batch_ceiling = config.max_batch_cap;
+    on_recover = (fun ~pack:_ -> ());
     on_batch = (fun ~pack:_ ~size:_ ~cost_ns:_ -> ());
     on_apply = (fun ~pack:_ ~record:_ ~acked:_ _ -> ());
     obs = Multics_obs.Sink.disabled (); batch_seq = 0 }
 
 let set_on_batch t f = t.on_batch <- f
 let set_on_apply t f = t.on_apply <- f
+let set_on_recover t f = t.on_recover <- f
+
+let set_batch_ceiling t cap =
+  let cap = max t.config.max_batch (min cap t.config.max_batch_cap) in
+  t.batch_ceiling <- cap;
+  Array.iter (fun p -> if p.cur_max > cap then p.cur_max <- cap) t.packs
+
+let batch_ceiling t = t.batch_ceiling
 let set_obs t sink = t.obs <- sink
 let single_transfer_ns t = t.config.seek_ns + t.config.transfer_ns
 
@@ -184,9 +242,115 @@ let pack_state t pack =
   t.packs.(pack)
 
 let pack_is_offline t pack =
-  match Fault_inject.offline_at t.faults ~pack with
-  | Some at -> t.now () >= at
-  | None -> false
+  Fault_inject.pack_is_offline t.faults ~pack ~now:(t.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-pack circuit breaker.  Disabled ([breaker_threshold = 0]) none
+   of this is ever consulted; enabled, the pack trips open on
+   [breaker_threshold] consecutive failed service attempts or on any
+   [Pack_offline], fails new work fast while open, sends the queued
+   work back out as a half-open probe once [breaker_cooldown_ns] has
+   elapsed, and closes (re-arming the owner's offline signalling via
+   [on_recover]) on the first probe success. *)
+
+let breaker_on t = t.config.breaker_threshold > 0
+
+(* Forward reference: the cooldown event must restart dispatch, which
+   is defined below. *)
+let dispatch_ref : (t -> pack_state -> unit) ref = ref (fun _ _ -> ())
+
+let breaker_half t p =
+  p.breaker <- Br_half;
+  t.br_probes <- t.br_probes + 1;
+  Multics_obs.Sink.count t.obs "io.breaker_probe";
+  Multics_obs.Sink.instant t.obs ~tid:p.id ~cat:"io" ~name:"breaker_half_open"
+    ()
+
+let breaker_trip t p =
+  let until = t.now () + t.config.breaker_cooldown_ns in
+  p.breaker <- Br_open until;
+  t.br_opens <- t.br_opens + 1;
+  Multics_obs.Sink.count t.obs "io.breaker_open";
+  Multics_obs.Sink.instant t.obs ~tid:p.id ~arg:until ~cat:"io"
+    ~name:"breaker_open" ();
+  t.schedule ~delay:t.config.breaker_cooldown_ns (fun () ->
+      (* A re-trip plants a fresh event with a later [until]; the
+         payload match makes this stale one a no-op. *)
+      match p.breaker with
+      | Br_open u when u = until ->
+          breaker_half t p;
+          !dispatch_ref t p
+      | _ -> ())
+
+let breaker_note_success t p =
+  if breaker_on t then begin
+    p.consec_fails <- 0;
+    match p.breaker with
+    | Br_half ->
+        p.breaker <- Br_closed;
+        t.br_closes <- t.br_closes + 1;
+        Multics_obs.Sink.count t.obs "io.breaker_close";
+        Multics_obs.Sink.instant t.obs ~tid:p.id ~cat:"io"
+          ~name:"breaker_close" ();
+        t.on_recover ~pack:p.id
+    | _ -> ()
+  end
+
+let breaker_note_failure t p ~offline =
+  if breaker_on t then begin
+    p.consec_fails <- p.consec_fails + 1;
+    match p.breaker with
+    | Br_half -> breaker_trip t p  (* the probe failed: back to open *)
+    | Br_closed
+      when offline || p.consec_fails >= t.config.breaker_threshold ->
+        breaker_trip t p
+    | _ -> ()
+  end
+
+(* Whether the breaker lets new work at the pack; flips open -> half
+   lazily once the cooldown has elapsed, so a submission arriving after
+   the cooldown (but before the planted event) becomes the probe. *)
+let breaker_admits t p =
+  (not (breaker_on t))
+  ||
+  match p.breaker with
+  | Br_closed | Br_half -> true
+  | Br_open until ->
+      if t.now () >= until then begin
+        breaker_half t p;
+        true
+      end
+      else false
+
+let breaker_suppressed t p =
+  breaker_on t
+  && match p.breaker with Br_open u -> t.now () < u | _ -> false
+
+(* Context deadlines: expired means the requester no longer wants the
+   answer.  Context 0 (tracking off) never expires. *)
+let ctx_expired t ctx =
+  Multics_obs.Sink.ctx_expired t.obs ~now:(t.now ()) ctx
+
+let jitter_ids = [| 0; 1; 2; 3 |]
+
+(* Per-root-context retry budget: every backoff retry consumes one
+   token from the requester's root context, so one luckless request
+   tree cannot monopolise a struggling pack.  Disabled
+   ([retry_budget = 0]) or with contexts off (ctx 0) always allows. *)
+let budget_allows t (r : req) =
+  t.config.retry_budget = 0 || r.req_ctx = 0
+  ||
+  let root = Multics_obs.Sink.ctx_root t.obs r.req_ctx in
+  let left =
+    match Hashtbl.find_opt t.budget_left root with
+    | Some n -> n
+    | None -> t.config.retry_budget
+  in
+  if left <= 0 then false
+  else begin
+    Hashtbl.replace t.budget_left root (left - 1);
+    true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The elevator: each sweep is one circular pass (C-SCAN) from a way's
@@ -344,10 +508,20 @@ let rec execute_req ?(sync = false) t pack (r : req) =
        bookkeeping), then restore. *)
     let prev_ctx = Multics_obs.Sink.current t.obs in
     Multics_obs.Sink.set_current t.obs r.req_ctx;
-    (if pack_is_offline t pack then begin
+    (if (not sync) && not (breaker_admits t (pack_state t pack)) then begin
+      (* Fail fast: the pack's breaker is open.  Quiesce ([sync]) is
+         exempt — at shutdown the request deserves its real outcome. *)
+      if (match r.op with Write _ -> true | Read _ -> false) then
+        drop_pending_write t pack r;
+      t.fast_fails <- t.fast_fails + 1;
+      Multics_obs.Sink.count t.obs "io.fast_fail";
+      deliver_error r Breaker_open
+    end
+    else if pack_is_offline t pack then begin
       if (match r.op with Write _ -> true | Read _ -> false) then
         drop_pending_write t pack r;
       Multics_obs.Sink.count t.obs "io.offline_fail";
+      breaker_note_failure t (pack_state t pack) ~offline:true;
       deliver_error r Pack_offline
     end
     else if Disk.record_is_dead t.disk ~pack ~record:r.record then begin
@@ -373,6 +547,7 @@ let rec execute_req ?(sync = false) t pack (r : req) =
               | Some (_, img) -> Array.copy img
               | None -> Disk.read_record t.disk ~pack ~record:r.record
             in
+            breaker_note_success t (pack_state t pack);
             done_ (Ok img)
       | Write (img, done_) ->
           if Fault_inject.write_attempt_fails t.faults ~pack ~record:r.record
@@ -380,6 +555,7 @@ let rec execute_req ?(sync = false) t pack (r : req) =
           else begin
             apply_write t pack r img ~acked:true;
             drop_pending_write t pack r;
+            breaker_note_success t (pack_state t pack);
             (match done_ with Some f -> f (Ok ()) | None -> ())
           end);
     Multics_obs.Sink.set_current t.obs prev_ctx
@@ -387,6 +563,7 @@ let rec execute_req ?(sync = false) t pack (r : req) =
 
 and attempt_failed t pack (r : req) ~sync =
   r.attempts <- r.attempts + 1;
+  breaker_note_failure t (pack_state t pack) ~offline:false;
   if r.attempts >= t.config.retry_limit then begin
     (* N consecutive failures: the record is declared dead and retired
        so nothing ever allocates or touches it again. *)
@@ -396,6 +573,15 @@ and attempt_failed t pack (r : req) ~sync =
     (match r.op with Write _ -> drop_pending_write t pack r | Read _ -> ());
     deliver_error r Dead_record
   end
+  else if (not sync) && not (budget_allows t r) then begin
+    (* The requester's retry budget is spent: give the record up for
+       this request (it stays alive for others) instead of queueing
+       another backoff nobody will wait for. *)
+    t.budget_denied <- t.budget_denied + 1;
+    Multics_obs.Sink.count t.obs "io.budget_denied";
+    (match r.op with Write _ -> drop_pending_write t pack r | Read _ -> ());
+    deliver_error r Timed_out
+  end
   else begin
     t.retries <- t.retries + 1;
     Multics_obs.Sink.count t.obs "io.retry";
@@ -404,7 +590,18 @@ and attempt_failed t pack (r : req) ~sync =
     else begin
       let p = pack_state t pack in
       p.retrying <- r :: p.retrying;
-      let backoff = t.config.retry_backoff_ns * (1 lsl (r.attempts - 1)) in
+      let base = t.config.retry_backoff_ns * (1 lsl (r.attempts - 1)) in
+      let backoff =
+        if not t.config.backoff_jitter then base
+        else
+          (* Deterministic jitter in quarter-steps of the base delay,
+             drawn through the choice plane: the inert strategy picks
+             0 (no jitter, bit-identical to the unjittered scheduler),
+             the seeded-LCG strategy spreads colliding retries, and
+             the explorer enumerates all four delays. *)
+          let k = Choice.pick t.choice ~domain:"io.backoff" ~ids:jitter_ids in
+          base + (k * base / 4)
+      in
       t.schedule ~delay:backoff (fun () ->
           p.retrying <- List.filter (fun x -> x != r) p.retrying;
           execute_req t pack r)
@@ -466,11 +663,40 @@ let release_records p batch =
    hold is one-shot per streak and other ways still serve the far
    work, so it costs at most one hold per stream death. *)
 let rec dispatch t p =
-  if p.depth > 0 then begin
-    (* Adaptive sweep bound: double under backlog, up to the cap.  The
-       shrink half lives in [launch] where the queue drains. *)
-    if p.depth > p.cur_max && p.cur_max < t.config.max_batch_cap then begin
-      p.cur_max <- min t.config.max_batch_cap (p.cur_max * 2);
+  (* Deadline checkpoint: cancel not-yet-issued reads whose context
+     deadline has passed — the requester no longer wants the answer,
+     so the arm time is better spent on the living.  Writes are never
+     cancelled here: the image must still reach the platter. *)
+  if t.has_deadlines && p.depth > 0 then begin
+    let now = t.now () in
+    let dead, alive =
+      List.partition
+        (fun r ->
+          is_read r && Multics_obs.Sink.ctx_expired t.obs ~now r.req_ctx)
+        p.queue
+    in
+    if dead <> [] then begin
+      p.queue <- alive;
+      p.depth <- p.depth - List.length dead;
+      List.iter
+        (fun (r : req) ->
+          t.timeouts <- t.timeouts + 1;
+          Multics_obs.Sink.count t.obs "io.timeout";
+          let prev = Multics_obs.Sink.current t.obs in
+          Multics_obs.Sink.set_current t.obs r.req_ctx;
+          deliver_error r Timed_out;
+          Multics_obs.Sink.set_current t.obs prev)
+        dead
+    end
+  end;
+  (* While the breaker is open nothing dispatches; the cooldown event
+     flips to half-open and re-enters here with the queue as probe. *)
+  if (not (breaker_suppressed t p)) && p.depth > 0 then begin
+    (* Adaptive sweep bound: double under backlog, up to the cap (the
+       configured cap, possibly lowered by the brownout controller).
+       The shrink half lives in [launch] where the queue drains. *)
+    if p.depth > p.cur_max && p.cur_max < t.batch_ceiling then begin
+      p.cur_max <- min t.batch_ceiling (p.cur_max * 2);
       t.grown <- t.grown + 1
     end;
     match select_pool t p with
@@ -611,6 +837,8 @@ and launch t p w ~sorted ~rest ~deadline_forced =
       (* More work and more arms may remain. *)
       dispatch t p
 
+let () = dispatch_ref := dispatch
+
 let kick t p =
   if not p.kick_planted then begin
     p.kick_planted <- true;
@@ -630,6 +858,8 @@ let submit t ~pack ~record op =
       attempts = 0 }
   in
   t.seq <- t.seq + 1;
+  if Multics_obs.Sink.ctx_deadline t.obs r.req_ctx > 0 then
+    t.has_deadlines <- true;
   Multics_obs.Sink.count t.obs "io.submit";
   Multics_obs.Sink.instant t.obs ~tid:p.id ~arg:record ~cat:"io"
     ~name:"submit" ();
@@ -639,8 +869,31 @@ let submit t ~pack ~record op =
   kick t p;
   r
 
+(* Deliver an error completion from a fresh event, under the
+   submitter's context — the shed request still completes through the
+   normal asynchronous channel, just without touching the pack. *)
+let shed t ~err deliver =
+  let ctx = Multics_obs.Sink.current t.obs in
+  t.schedule ~delay:0 (fun () ->
+      let prev = Multics_obs.Sink.current t.obs in
+      Multics_obs.Sink.set_current t.obs ctx;
+      deliver (Error err);
+      Multics_obs.Sink.set_current t.obs prev)
+
 let submit_read t ~pack ~record ~done_ =
   t.reads <- t.reads + 1;
+  if ctx_expired t (Multics_obs.Sink.current t.obs) then begin
+    (* Enqueue checkpoint: the requester's deadline already passed. *)
+    t.timeouts <- t.timeouts + 1;
+    Multics_obs.Sink.count t.obs "io.timeout";
+    shed t ~err:Timed_out done_
+  end
+  else if not (breaker_admits t (pack_state t pack)) then begin
+    t.fast_fails <- t.fast_fails + 1;
+    Multics_obs.Sink.count t.obs "io.fast_fail";
+    shed t ~err:Breaker_open done_
+  end
+  else
   (* Write-buffer read hit: the newest buffered image is exactly what
      this read must observe (every pending write predates it), and it
      is already in core — serve it without touching an arm.  Error
@@ -662,6 +915,17 @@ let submit_read t ~pack ~record ~done_ =
 
 let submit_write t ?done_ ~pack ~record img =
   t.writes <- t.writes + 1;
+  if not (breaker_admits t (pack_state t pack)) then begin
+    (* Fail fast without buffering an image a closed breaker would
+       later flush over newer data.  Expired-deadline writes are NOT
+       shed: durability outranks the deadline. *)
+    t.fast_fails <- t.fast_fails + 1;
+    Multics_obs.Sink.count t.obs "io.fast_fail";
+    match done_ with
+    | Some f -> shed t ~err:Breaker_open f
+    | None -> ()
+  end
+  else
   let r = submit t ~pack ~record (Write (Array.copy img, done_)) in
   let prev =
     match Hashtbl.find_opt t.pending_writes (pack, record) with
@@ -835,6 +1099,8 @@ let crash t ~surviving_writes =
     (fun p ->
       p.queue <- [];
       p.depth <- 0;
+      p.breaker <- Br_closed;
+      p.consec_fails <- 0;
       List.iter (fun (_, _, live, _, _) -> live := false) p.inflight;
       p.inflight <- [];
       p.retrying <- [];
@@ -852,13 +1118,22 @@ let crash t ~surviving_writes =
 
 let queue_depth t ~pack = (pack_state t pack).depth
 
+let breaker_state t ~pack =
+  match (pack_state t pack).breaker with
+  | Br_closed -> `Closed
+  | Br_open _ -> `Open
+  | Br_half -> `Half_open
+
 let stats t =
   { s_reads = t.reads; s_writes = t.writes; s_batches = t.batches;
     s_merges = t.merges; s_max_batch = t.max_batch_seen;
     s_queue_peak = t.queue_peak; s_busy_ns = t.busy_ns;
     s_cancelled = t.cancelled; s_retries = t.retries; s_gave_up = t.gave_up;
     s_deadline_batches = t.deadline_batches; s_holds = t.holds;
-    s_grown = t.grown; s_shrunk = t.shrunk; s_buffer_hits = t.buffer_hits }
+    s_grown = t.grown; s_shrunk = t.shrunk; s_buffer_hits = t.buffer_hits;
+    s_timeouts = t.timeouts; s_fast_fails = t.fast_fails;
+    s_budget_denied = t.budget_denied; s_breaker_opens = t.br_opens;
+    s_breaker_probes = t.br_probes; s_breaker_closes = t.br_closes }
 
 let mean_batch s =
   if s.s_batches = 0 then 0.0

@@ -104,6 +104,25 @@ type config = {
       (** consecutive failed attempts before a record is declared dead *)
   retry_backoff_ns : int;
       (** first retry delay; doubles on each further failure *)
+  retry_budget : int;
+      (** total backoff retries a root request context may consume
+          across all its requests; past it the request sees
+          [Timed_out].  [0] disables (unlimited, the pre-plane
+          behaviour). *)
+  backoff_jitter : bool;
+      (** add deterministic jitter (quarter-steps of the base delay,
+          drawn through the choice plane's ["io.backoff"] domain) to
+          each retry backoff.  Inert strategies draw 0, so the flag is
+          bit-identical to [false] until a live strategy is plugged —
+          the explorer enumerates the four delays, the seeded-LCG
+          strategy spreads colliding retries. *)
+  breaker_threshold : int;
+      (** consecutive failed service attempts that trip a pack's
+          circuit breaker ([Pack_offline] trips immediately);
+          [0] disables breakers entirely. *)
+  breaker_cooldown_ns : int;
+      (** how long a tripped breaker stays open before the queued work
+          goes back out as a half-open probe *)
 }
 
 val default_config : config
@@ -120,9 +139,14 @@ val config_of_disk : Disk.t -> config
 
 type io_error =
   | Dead_record
-      (** the record exhausted its retry budget (now retired), or was
+      (** the record exhausted its retry limit (now retired), or was
           already dead when the request was serviced *)
-  | Pack_offline  (** the pack passed its scheduled offline instant *)
+  | Pack_offline  (** the pack is inside its scheduled offline window *)
+  | Timed_out
+      (** the request context's deadline passed (cancelled at a
+          checkpoint), or its retry budget ran dry *)
+  | Breaker_open
+      (** failed fast: the pack's circuit breaker is open *)
 
 val pp_io_error : Format.formatter -> io_error -> unit
 
@@ -209,6 +233,21 @@ val set_on_apply :
     [acked = false] for writes a crash applied without completing.
     The chaos bench builds its shadow disk here. *)
 
+val set_on_recover : t -> (pack:int -> unit) -> unit
+(** Hook fired when a pack's breaker closes after a successful
+    half-open probe — the pack demonstrably serves again.  The volume
+    layer re-arms its one-shot [Pack_offline] signalling here, so a
+    pack that goes offline twice signals twice. *)
+
+val set_batch_ceiling : t -> int -> unit
+(** Lower (or restore) the adaptive sweep bound's ceiling, clamped to
+    [[max_batch, max_batch_cap]]; packs already grown past it shrink
+    immediately.  The brownout controller's lever. *)
+
+val batch_ceiling : t -> int
+
+val breaker_state : t -> pack:int -> [ `Closed | `Open | `Half_open ]
+
 val set_obs : t -> Multics_obs.Sink.t -> unit
 (** Install the kernel's observability sink.  Each dispatched sweep
     becomes an async ["io"/"batch"] span (tid = pack) paired by a batch
@@ -234,6 +273,14 @@ type stats = {
   s_shrunk : int;  (** adaptive sweep-bound halvings *)
   s_buffer_hits : int;
       (** reads served from the write-behind buffer without an arm *)
+  s_timeouts : int;
+      (** requests cancelled by an expired context deadline *)
+  s_fast_fails : int;  (** requests failed fast by an open breaker *)
+  s_budget_denied : int;
+      (** retries refused because the root context's budget ran dry *)
+  s_breaker_opens : int;  (** closed/half-open -> open transitions *)
+  s_breaker_probes : int;  (** open -> half-open transitions *)
+  s_breaker_closes : int;  (** half-open -> closed transitions *)
 }
 
 val stats : t -> stats

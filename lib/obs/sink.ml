@@ -42,9 +42,11 @@ type t = {
   mutable ctx_parent : int array;  (* indexed by id; 0 = root *)
   mutable ctx_root : int array;
   mutable ctx_origin : string array;
+  mutable ctx_deadline : int array;  (* absolute ns; 0 = none *)
   (* SLO watchdogs *)
   slo_tbl : (string, slo) Hashtbl.t;
   mutable slo_order : string list;  (* newest first *)
+  mutable on_breach : (string -> unit) option;
   (* flight-recorder dumps *)
   mutable last_dump : (string * string) option;  (* reason, text *)
   (* per-user attribution, keyed by root-ctx origin *)
@@ -60,7 +62,8 @@ let create ?(mode = Counters) ?(capacity = 16384) ?(flight_capacity = 256)
     track_ctx = ctx; cur = 0; ctx_n = 0;
     ctx_parent = Array.make 64 0; ctx_root = Array.make 64 0;
     ctx_origin = Array.make 64 "";
-    slo_tbl = Hashtbl.create 8; slo_order = [];
+    ctx_deadline = Array.make 64 0;
+    slo_tbl = Hashtbl.create 8; slo_order = []; on_breach = None;
     last_dump = None;
     user_tbl = Hashtbl.create 16 }
 
@@ -89,9 +92,12 @@ let grow_ctx t =
   t.ctx_root <- cr;
   let co = Array.make ncap "" in
   Array.blit t.ctx_origin 0 co 0 cap;
-  t.ctx_origin <- co
+  t.ctx_origin <- co;
+  let cd = Array.make ncap 0 in
+  Array.blit t.ctx_deadline 0 cd 0 cap;
+  t.ctx_deadline <- cd
 
-let new_ctx t ?parent ~origin () =
+let new_ctx t ?parent ?deadline ~origin () =
   if t.md = Off || not t.track_ctx then 0
   else begin
     let parent = match parent with Some p -> p | None -> t.cur in
@@ -101,6 +107,14 @@ let new_ctx t ?parent ~origin () =
     t.ctx_parent.(id) <- parent;
     t.ctx_root.(id) <- (if parent > 0 then t.ctx_root.(parent) else id);
     t.ctx_origin.(id) <- origin;
+    (* A child can tighten its inherited deadline but never loosen it:
+       the effective deadline is the min of the parent's and its own. *)
+    let inherited = if parent > 0 then t.ctx_deadline.(parent) else 0 in
+    let own = match deadline with Some d -> d | None -> 0 in
+    t.ctx_deadline.(id) <-
+      (if inherited = 0 then own
+       else if own = 0 then inherited
+       else min inherited own);
     id
   end
 
@@ -110,6 +124,14 @@ let ctx_count t = t.ctx_n
 let ctx_parent t id = if id > 0 && id <= t.ctx_n then t.ctx_parent.(id) else 0
 let ctx_root t id = if id > 0 && id <= t.ctx_n then t.ctx_root.(id) else 0
 let ctx_origin t id = if id > 0 && id <= t.ctx_n then t.ctx_origin.(id) else ""
+
+let ctx_deadline t id =
+  if id > 0 && id <= t.ctx_n then t.ctx_deadline.(id) else 0
+
+let ctx_expired t ~now id =
+  id > 0 && id <= t.ctx_n
+  && t.ctx_deadline.(id) > 0
+  && now > t.ctx_deadline.(id)
 
 let rec ctx_chain t id =
   if id <= 0 || id > t.ctx_n then [] else id :: ctx_chain t t.ctx_parent.(id)
@@ -181,7 +203,10 @@ let breach t s ns =
   s.slo_last_ctx <- t.cur;
   count t "slo.breach";
   emit t ~phase:Trace_buf.Instant ~cat:"slo" ~name:s.slo_histo ~tid:0 ~id:0
-    ~arg:ns
+    ~arg:ns;
+  match t.on_breach with Some f -> f s.slo_histo | None -> ()
+
+let set_on_breach t f = t.on_breach <- Some f
 
 let add_latency t ~name ns =
   if t.md <> Off then begin

@@ -60,12 +60,16 @@ val now : t -> int
 
 (* Request contexts *)
 
-val new_ctx : t -> ?parent:int -> origin:string -> unit -> int
+val new_ctx : t -> ?parent:int -> ?deadline:int -> origin:string -> unit -> int
 (** Allocate a causal context.  [parent] defaults to {!current} (pass
     [~parent:0] for a root); [origin] names what created it — the gate
     or fault name for children, the accounting principal or daemon
-    name for roots.  Returns 0 (and allocates nothing) when [Off] or
-    when the sink was created with [~ctx:false]. *)
+    name for roots.  [deadline] is an absolute simulated instant (0 or
+    absent = none); the child's effective deadline is the {e min} of
+    its own and the parent's, so a deadline propagates down the causal
+    tree and a child can only tighten it.  Returns 0 (and allocates
+    nothing) when [Off] or when the sink was created with
+    [~ctx:false]. *)
 
 val current : t -> int
 (** The context ambient at this instant; stamped on every event. *)
@@ -89,6 +93,15 @@ val ctx_origin : t -> int -> string
 
 val ctx_chain : t -> int -> int list
 (** [id; parent; ...; root], empty for 0. *)
+
+val ctx_deadline : t -> int -> int
+(** The context's effective absolute deadline, 0 when none. *)
+
+val ctx_expired : t -> now:int -> int -> bool
+(** Whether the context carries a deadline that [now] has passed.
+    Context 0 (untracked) never expires — the overload plane is inert
+    when contexts are off, which is what keeps the plane-off run
+    bit-identical. *)
 
 (* Counters *)
 
@@ -157,6 +170,14 @@ val set_slo : t -> histo:string -> threshold_ns:int -> unit
 
 val slos : t -> slo_view list
 (** In install order. *)
+
+val set_on_breach : t -> (string -> unit) -> unit
+(** Install the breach hook, called with the histogram name on every
+    SLO breach (after the counter and event are recorded).  The
+    brownout controller lives behind this: the sink stays purely
+    observational, the hook owner decides policy.  The hook runs on
+    the simulated clock's instant — everything it does is part of the
+    deterministic event order. *)
 
 (* Flight recorder *)
 

@@ -3,7 +3,7 @@ module Aim = Multics_aim
 
 type variant = Monolithic | Split
 
-type login_error = [ `Bad_password | `No_such_user ]
+type login_error = [ `Bad_password | `No_such_user | `Shed ]
 
 type user_entry = {
   ue_hash : Password.hashed;
@@ -20,11 +20,24 @@ type t = {
   sessions : (int, session) Hashtbl.t;
   mutable login_count : int;
   mutable failure_count : int;
+  (* Overload shedding: logins with [load_class >= shed_threshold] are
+     refused before any authentication work.  0 = shedding disabled. *)
+  mutable shed_threshold : int;
+  mutable shed_count : int;
 }
 
 let create ~kernel ~variant =
-  { kernel; variant; users = Hashtbl.create 16; acct = Accounting.create ();
-    sessions = Hashtbl.create 16; login_count = 0; failure_count = 0 }
+  let t =
+    { kernel; variant; users = Hashtbl.create 16; acct = Accounting.create ();
+      sessions = Hashtbl.create 16; login_count = 0; failure_count = 0;
+      shed_threshold = 0; shed_count = 0 }
+  in
+  (* Join the kernel's brownout ladder: its last rung (level 4) sheds
+     whole sessions, cheapest load class first.  The kernel calls up
+     through this hook, never depending on the services layer. *)
+  K.Kernel.set_on_brownout kernel (fun level ->
+      t.shed_threshold <- (if level >= 4 then 1 else 0));
+  t
 
 let variant t = t.variant
 
@@ -59,7 +72,7 @@ let authenticate t ~user ~password =
       if Password.verify entry.ue_hash password then Ok entry
       else Error `Bad_password
 
-let login t ~user ~password ~program =
+let login ?(load_class = 0) ?deadline_ns t ~user ~password ~program =
   (* A login is a request entry point: open a root context under the
      user's name so everything done on its behalf — authentication,
      process creation, the spawned process's own root — has a causal
@@ -67,8 +80,22 @@ let login t ~user ~password ~program =
      Login runs inline (the simulated clock does not advance), so the
      latency sample is the metered-cost delta across the call. *)
   let obs = K.Kernel.obs t.kernel in
+  if t.shed_threshold > 0 && load_class >= t.shed_threshold then begin
+    (* Brownout's last rung: refuse whole sessions, cheapest first.
+       No authentication work is charged — the point of shedding at
+       the front door is that a refused login costs almost nothing. *)
+    t.shed_count <- t.shed_count + 1;
+    Multics_obs.Sink.count obs "as.login_shed";
+    Error `Shed
+  end
+  else begin
   let prev_ctx = Multics_obs.Sink.current obs in
-  let ctx = Multics_obs.Sink.new_ctx obs ~parent:0 ~origin:user () in
+  let deadline =
+    match deadline_ns with
+    | None -> None
+    | Some d -> Some (Multics_obs.Sink.now obs + d)
+  in
+  let ctx = Multics_obs.Sink.new_ctx obs ~parent:0 ?deadline ~origin:user () in
   Multics_obs.Sink.set_current obs ctx;
   let cost0 = K.Meter.total (meter t) in
   let result =
@@ -104,6 +131,14 @@ let login t ~user ~password ~program =
     (K.Meter.total (meter t) - cost0);
   Multics_obs.Sink.set_current obs prev_ctx;
   result
+  end
+
+let set_shed_threshold t n =
+  assert (n >= 0);
+  t.shed_threshold <- n
+
+let shed_threshold t = t.shed_threshold
+let shed_logins t = t.shed_count
 
 let logout t ~pid =
   charge_server t K.Cost.accounting_update;

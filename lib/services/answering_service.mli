@@ -13,7 +13,9 @@
 
 type variant = Monolithic | Split
 
-type login_error = [ `Bad_password | `No_such_user ]
+type login_error = [ `Bad_password | `No_such_user | `Shed ]
+(** [`Shed]: refused by the overload controller before authentication
+    — the session's load class is at or above the shed threshold. *)
 
 type t
 
@@ -26,11 +28,30 @@ val register_user :
   t -> user:string -> password:string -> clearance:Multics_aim.Label.t -> unit
 
 val login :
-  t -> user:string -> password:string -> program:Multics_kernel.Workload.program ->
+  ?load_class:int -> ?deadline_ns:int -> t -> user:string -> password:string ->
+  program:Multics_kernel.Workload.program ->
   (int, login_error) result
 (** Authenticate and create the user's process at (or below) their
     registered clearance.  Costs land on the kernel meter under
-    "answering_service" / "login_server". *)
+    "answering_service" / "login_server".
+
+    [load_class] (default 0) ranks the session for overload shedding:
+    0 = interactive/premium (shed last), higher classes are shed first
+    once {!set_shed_threshold} arms a threshold.  [deadline_ns]
+    (relative simulated time) stamps the login's root context and is
+    inherited by the spawned process: the whole session becomes one
+    end-to-end request that the kernel's deadline checkpoints can
+    cancel. *)
+
+val set_shed_threshold : t -> int -> unit
+(** Refuse logins with [load_class >= n] before any authentication
+    work; [0] (the default) disables shedding.  Flipped by the kernel's
+    brownout controller at its last rung. *)
+
+val shed_threshold : t -> int
+
+val shed_logins : t -> int
+(** Logins refused with [`Shed]. *)
 
 val logout : t -> pid:int -> unit
 (** Record usage for the session. *)

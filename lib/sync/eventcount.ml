@@ -82,9 +82,16 @@ let await t ~value ~notify =
     Multics_obs.Sink.instant t.ec_obs ~cat:"sync" ~name:"ec_wait" ~arg:value ();
     let w_seq = t.wait_seq in
     t.wait_seq <- w_seq + 1;
+    let w_ctx = Multics_obs.Sink.current t.ec_obs in
+    (* Deadline checkpoint (observational): an expired request parking
+       on an eventcount is flagged; dispatch retires it for good. *)
+    if
+      Multics_obs.Sink.ctx_expired t.ec_obs
+        ~now:(Multics_obs.Sink.now t.ec_obs) w_ctx
+    then Multics_obs.Sink.count t.ec_obs "ec.expired_wait";
     t.pending <-
       { threshold = value; notify; since = Multics_obs.Sink.now t.ec_obs;
-        w_seq; w_ctx = Multics_obs.Sink.current t.ec_obs }
+        w_seq; w_ctx }
       :: t.pending;
     false
   end

@@ -52,10 +52,16 @@ let acquire_or_wait t ~owner ~notify =
     (* try_acquire already counted the contention. *)
     let wq_seq = t.wait_seq in
     t.wait_seq <- wq_seq + 1;
+    let wq_ctx = Multics_obs.Sink.current t.lk_obs in
+    (* Deadline checkpoint (observational): a waiter enqueueing after
+       its deadline is flagged here; dispatch retires it for good. *)
+    if
+      Multics_obs.Sink.ctx_expired t.lk_obs
+        ~now:(Multics_obs.Sink.now t.lk_obs) wq_ctx
+    then Multics_obs.Sink.count t.lk_obs "lock.expired_wait";
     t.queue <-
       { wq_owner = owner; wq_notify = notify;
-        wq_since = Multics_obs.Sink.now t.lk_obs; wq_seq;
-        wq_ctx = Multics_obs.Sink.current t.lk_obs }
+        wq_since = Multics_obs.Sink.now t.lk_obs; wq_seq; wq_ctx }
       :: t.queue;
     false
   end

@@ -52,6 +52,7 @@ awk -v tol="$tol" '
     for (i = 1; i <= n; i++) {
       k = keys[i]
       if (!(k in cur)) continue        # metric gone: section not re-run
+      if (k ~ /_rate$/) continue       # wall-clock throughput rows, never gated
       if (bunit[k] != "ns") continue   # only simulated time is gated
       b = base[k] + 0; c = cur[k] + 0
       if (b <= 0) continue

@@ -219,6 +219,71 @@ let test_counterexample_flight_dump () =
           check Alcotest.string "dump is deterministic" f_flight again
       | Check.Explore.Passed _ -> Alcotest.fail "bug vanished on re-run")
 
+(* ------------------------------------------------------------------ *)
+(* Circuit breakers under exploration.  The harness drives the I/O
+   scheduler directly, so the only choice points are completion
+   delivery order and backoff jitter — a space DFS can actually
+   close.  The seeded "bug" is a schedule-dependent tuning claim:
+   with the trip threshold at the noise floor, the default sweep
+   order interleaves a clean read between the two transient faults
+   (resetting the consecutive-failure count), but some reordering
+   aligns them and trips the breaker. *)
+
+let test_breaker_dfs_passes () =
+  let sys = Check.Harness.breaker_system () in
+  (match Check.Explore.check_default sys with
+  | Check.Explore.Passed _ -> ()
+  | Check.Explore.Failed { f_problems; _ } ->
+      Alcotest.fail
+        ("default breaker schedule violated oracle: "
+        ^ String.concat "; " f_problems));
+  match Check.Explore.check_dfs ~max_runs:400 sys with
+  | Check.Explore.Passed s ->
+      check Alcotest.bool "distinct breaker schedules" true
+        (s.Check.Explore.distinct > 1);
+      check Alcotest.int "space closed" 0 s.Check.Explore.frontier_left
+  | Check.Explore.Failed { f_problems; _ } ->
+      Alcotest.fail
+        ("breaker harness violated oracle: " ^ String.concat "; " f_problems)
+
+let test_breaker_dfs_finds_trip () =
+  let buggy = Check.Harness.breaker_system ~bug:true () in
+  (* The claim holds under the default sweep order: a clean read lands
+     between the two transients, so the breaker never sees two
+     consecutive failures.  Exploration is what falsifies it. *)
+  (match Check.Explore.check_default buggy with
+  | Check.Explore.Passed _ -> ()
+  | Check.Explore.Failed _ ->
+      Alcotest.fail "claim should hold under the default schedule");
+  match Check.Explore.check_dfs ~max_runs:400 buggy with
+  | Check.Explore.Passed _ ->
+      Alcotest.fail "mis-tuned breaker threshold not found"
+  | Check.Explore.Failed { f_problems; f_script; f_events; _ } ->
+      check Alcotest.bool "reports the transient trip" true
+        (List.exists
+           (fun p -> Astring.String.is_infix ~affix:"transient noise" p)
+           f_problems);
+      check Alcotest.bool "counterexample is not the default schedule" true
+        (f_script <> []);
+      (* Exact shrinking: the minimal script replays to the identical
+         violation and the identical decoded schedule, twice. *)
+      let p1, e1 = Check.Explore.replay buggy ~script:f_script in
+      let p2, e2 = Check.Explore.replay buggy ~script:f_script in
+      check (Alcotest.list Alcotest.string) "same violation" f_problems p1;
+      check (Alcotest.list Alcotest.string) "replay deterministic" p1 p2;
+      let decode evs =
+        List.map
+          (fun (ev : Choice.event) -> Format.asprintf "%a" Choice.pp_event ev)
+          evs
+      in
+      check (Alcotest.list Alcotest.string) "same schedule" (decode f_events)
+        (decode e1);
+      check (Alcotest.list Alcotest.string) "same schedule twice" (decode e1)
+        (decode e2);
+      let again, _ = Check.Explore.minimize buggy ~script:f_script in
+      check Alcotest.bool "minimization never grows the script" true
+        (List.length again <= List.length f_script)
+
 let test_minimize_no_longer () =
   let buggy = Check.Harness.eventcount_system ~bug:true ~events:2 () in
   match Check.Explore.check_random ~runs:100 ~seed:1 buggy with
@@ -255,4 +320,8 @@ let tests =
     Alcotest.test_case "explore: minimize shrinks" `Quick
       test_minimize_no_longer;
     Alcotest.test_case "explore: counterexample ships flight dump" `Quick
-      test_counterexample_flight_dump ]
+      test_counterexample_flight_dump;
+    Alcotest.test_case "explore: breaker space closes clean" `Quick
+      test_breaker_dfs_passes;
+    Alcotest.test_case "explore: DFS finds mis-tuned breaker" `Quick
+      test_breaker_dfs_finds_trip ]

@@ -353,6 +353,97 @@ let prop_fuzz_fault_plans_deterministic =
     (fun seed -> disk_checksum (chaos_run seed) = disk_checksum (chaos_run seed))
 
 (* ------------------------------------------------------------------ *)
+(* Chaos + overload: the same seeded random fault plans with the full
+   overload plane armed — a config-wide deadline at half the fault-free
+   horizon (so some sessions genuinely expire), a small retry budget,
+   jittered backoff, breakers and brownout.  Whatever the plan sheds,
+   the live machine conserves its resources (a shed request puts its
+   frames and quota pages back), salvage restores the global
+   invariants, and the run is a pure function of the seed. *)
+
+let overload_chaos_run seed =
+  let horizon = Lazy.force chaos_horizon in
+  let config =
+    { K.Kernel.small_config with
+      K.Kernel.faults =
+        Hw.Fault_inject.random ~seed ~packs:3 ~records_per_pack:64
+          ~horizon_ns:horizon;
+      overload =
+        Some
+          { K.Kernel.ov_deadline_ns = max 1 (horizon / 2);
+            ov_retry_budget = 2;
+            ov_backoff_jitter = true;
+            ov_breaker_threshold = 3;
+            ov_breaker_cooldown_ns = 2_000_000;
+            ov_brownout = true;
+            ov_brownout_tick_ns = max 1 (horizon / 8) } }
+  in
+  let k = K.Kernel.boot config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  List.iteri
+    (fun i prog ->
+      ignore (K.Kernel.spawn k ~pname:(Printf.sprintf "oz%d" i) prog))
+    (chaos_programs ());
+  K.Kernel.run ~max_events:500_000 k;
+  (* Live-machine conservation, before shutdown flushes anything: shed
+     work must leak neither frames nor quota pages.  A machine frozen
+     by a power failure is exempt (pages can be mid-transit). *)
+  let conserved =
+    K.Kernel.halted k
+    ||
+    let pfm = K.Kernel.page_frame k in
+    let used = ref 0 in
+    K.Page_frame.iter_used pfm (fun ~frame:_ ~ptw_abs:_ -> incr used);
+    !used + K.Page_frame.free_frames pfm = K.Page_frame.n_frames pfm
+    && List.for_all
+         (fun (_, used, limit) -> used >= 0 && used <= limit)
+         (K.Quota_cell.registered (K.Kernel.quota k))
+  in
+  let sheds =
+    K.Kernel.proc_timeouts k + (K.Kernel.io_stats k).K.Kernel.io_timeouts
+  in
+  let k =
+    if K.Kernel.halted k then
+      K.Kernel.reboot
+        { config with K.Kernel.faults = Hw.Fault_inject.none }
+        ~from:k
+    else begin
+      K.Kernel.shutdown k;
+      k
+    end
+  in
+  ignore (K.Salvager.repair k);
+  (k, conserved, sheds)
+
+let prop_fuzz_overload_chaos =
+  QCheck.Test.make
+    ~name:
+      "fuzz: chaos + overload plane — conserved, and salvaged invariants hold"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let k, conserved, _sheds = overload_chaos_run seed in
+      if not conserved then
+        Printf.printf "seed %d: shed work leaked frames or quota\n" seed;
+      match K.Invariants.check k with
+      | [] -> conserved
+      | problems ->
+          List.iter (fun p -> Printf.printf "invariant: %s\n" p) problems;
+          false)
+
+let prop_fuzz_overload_chaos_deterministic =
+  QCheck.Test.make
+    ~name:"fuzz: chaos + overload identical seeds give identical runs"
+    ~count:8
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let fingerprint () =
+        let k, conserved, sheds = overload_chaos_run seed in
+        (disk_checksum k, conserved, sheds)
+      in
+      fingerprint () = fingerprint ())
+
+(* ------------------------------------------------------------------ *)
 (* Farmed sweeps: the seeded fault-plan and random-schedule suites fan
    out over the domain pool.  Each task boots its own kernel from its
    seed alone, so the farm's self-containment contract applies; the
@@ -414,6 +505,8 @@ let tests =
     qcheck prop_fuzz_schedule_deterministic;
     qcheck prop_fuzz_fault_plans;
     qcheck prop_fuzz_fault_plans_deterministic;
+    qcheck prop_fuzz_overload_chaos;
+    qcheck prop_fuzz_overload_chaos_deterministic;
     Alcotest.test_case "fuzz: farmed fault-plan sweep, domains 1 = 4" `Slow
       test_farmed_fault_plans;
     Alcotest.test_case "fuzz: farmed schedule sweep, domains 1 = 4" `Slow

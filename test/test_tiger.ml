@@ -45,7 +45,8 @@ let attack_admin_gates () =
       match K.Gate.call gate ~name:g ~caller_ring:5 (fun () -> ()) with
       | Error `Ring_violation -> ()
       | Ok () -> Alcotest.failf "ring 5 reached %s" g
-      | Error `No_gate -> Alcotest.failf "missing gate %s" g)
+      | Error `No_gate -> Alcotest.failf "missing gate %s" g
+      | Error `Timed_out -> Alcotest.failf "unexpected timeout at %s" g)
     [ "hphcs_$create_proc"; "hphcs_$set_quota"; "hphcs_$shutdown";
       "hphcs_$reclassify"; "phcs_$ring0_peek" ];
   check Alcotest.bool "violations recorded" true
