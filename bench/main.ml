@@ -19,10 +19,11 @@ let sections =
     ("C4", "chaos: fault injection, sparing, crash recovery", Bench_chaos.run);
     ("C5", "schedule exploration: model-checking scheduler", Bench_check.run);
     ("C6", "overload: deadlines, breakers, brownout", Bench_overload.run);
+    ("C7", "cluster: sharded computing utility at 1e5 users", Bench_cluster.run);
     ("micro", "bechamel wall-clock micro-benchmarks", Bench_micro.run) ]
 
 let default_sections =
-  [ "T1"; "F2"; "P1"; "A1"; "C1"; "C2"; "C3"; "C4"; "C5"; "C6"; "micro" ]
+  [ "T1"; "F2"; "P1"; "A1"; "C1"; "C2"; "C3"; "C4"; "C5"; "C6"; "C7"; "micro" ]
 
 let aliases =
   [ ("T1", "T1"); ("S1", "T1"); ("S4", "T1"); ("S6", "T1");
@@ -36,6 +37,7 @@ let aliases =
     ("C4", "C4"); ("CHAOS", "C4"); ("FAULTS", "C4");
     ("C5", "C5"); ("CHECK", "C5"); ("EXPLORE", "C5");
     ("C6", "C6"); ("OVERLOAD", "C6"); ("BROWNOUT", "C6");
+    ("C7", "C7"); ("CLUSTER", "C7"); ("UTILITY", "C7");
     ("micro", "micro") ]
 
 (* `--smoke` and `smoke` both select the cache section. *)

@@ -263,7 +263,11 @@ let rec boot_internal ?previous_disk cfg =
             c_misses = acc.Meter.c_misses + Hw.Assoc_mem.misses cpu.Hw.Cpu.tlb;
             c_invalidations =
               acc.Meter.c_invalidations + Hw.Assoc_mem.flushes cpu.Hw.Cpu.tlb })
-        { Meter.c_hits = 0; c_misses = 0; c_invalidations = 0 }
+        (* Reaped processes' vCPUs leave the broadcast set; their
+           counters persist in the machine's retired totals. *)
+        { Meter.c_hits = machine.Hw.Machine.retired_tlb_hits;
+          c_misses = machine.Hw.Machine.retired_tlb_misses;
+          c_invalidations = machine.Hw.Machine.retired_tlb_flushes }
         (Hw.Machine.all_cpus machine));
   Meter.register_cache meter ~name:"pathname" (fun () ->
       { Meter.c_hits = Name_space.cache_hits name_space;

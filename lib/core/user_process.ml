@@ -126,7 +126,11 @@ let reap t (p : proc) =
   Address_space.destroy_space t.address_space ~caller:name ~proc:p.pid;
   Known_segment.destroy_kst t.known ~caller:name ~proc:p.pid;
   Segment.delete_by_uid t.segment ~caller:name ~uid:p.state_uid
-    ~cell:Quota_cell.no_cell
+    ~cell:Quota_cell.no_cell;
+  (* The dead process's virtual CPU leaves the setfaults broadcast
+     set; keeping it would make every AM clear walk every process the
+     machine has ever run. *)
+  Hw.Machine.unregister_cpu t.machine p.vcpu
 
 let load t vp_id pid =
   let p = proc t pid in

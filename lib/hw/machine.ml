@@ -6,6 +6,9 @@ type t = {
   events : Event_queue.t;
   mutable now : int;
   mutable extra_cpus : Cpu.t list;
+  mutable retired_tlb_hits : int;
+  mutable retired_tlb_misses : int;
+  mutable retired_tlb_flushes : int;
   mutable obs : Multics_obs.Sink.t;
   mutable halted : bool;
 }
@@ -24,6 +27,7 @@ let create ?(disk_packs = 4) ?(records_per_pack = 1024) ?disk
     events = Event_queue.create ();
     now = 0;
     extra_cpus = [];
+    retired_tlb_hits = 0; retired_tlb_misses = 0; retired_tlb_flushes = 0;
     obs = Multics_obs.Sink.disabled ();
     halted = false }
 
@@ -35,6 +39,18 @@ let obs t = t.obs
 let set_obs t sink = t.obs <- sink
 
 let register_cpu t cpu = t.extra_cpus <- cpu :: t.extra_cpus
+
+(* Physical identity, not [=]: a vCPU holds cyclic/mutable state.  Its
+   associative-memory counters fold into the retired totals so the
+   machine-wide cache statistics survive the departure. *)
+let unregister_cpu t cpu =
+  if List.exists (fun c -> c == cpu) t.extra_cpus then begin
+    t.retired_tlb_hits <- t.retired_tlb_hits + Assoc_mem.hits cpu.Cpu.tlb;
+    t.retired_tlb_misses <- t.retired_tlb_misses + Assoc_mem.misses cpu.Cpu.tlb;
+    t.retired_tlb_flushes <-
+      t.retired_tlb_flushes + Assoc_mem.flushes cpu.Cpu.tlb;
+    t.extra_cpus <- List.filter (fun c -> not (c == cpu)) t.extra_cpus
+  end
 
 let all_cpus t = Array.to_list t.cpus @ List.rev t.extra_cpus
 

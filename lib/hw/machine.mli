@@ -16,6 +16,12 @@ type t = {
   mutable extra_cpus : Cpu.t list;
       (** Virtual CPUs registered by the kernel so descriptor changes
           can broadcast associative-memory clears to all of them. *)
+  mutable retired_tlb_hits : int;
+      (** Associative-memory counters of unregistered (reaped) virtual
+          CPUs, folded in so machine-wide cache statistics survive
+          process destruction. *)
+  mutable retired_tlb_misses : int;
+  mutable retired_tlb_flushes : int;
   mutable obs : Multics_obs.Sink.t;
       (** Observability sink; starts life {!Multics_obs.Sink.disabled}
           until the kernel installs its own with [set_obs]. *)
@@ -60,6 +66,13 @@ val run : ?until:int -> ?max_events:int -> t -> unit
 
 val register_cpu : t -> Cpu.t -> unit
 (** Add a virtual CPU to the broadcast set for [flush_all_tlbs]. *)
+
+val unregister_cpu : t -> Cpu.t -> unit
+(** Remove a virtual CPU from the broadcast set (compared by physical
+    identity).  A destroyed process must drop out, or the broadcast
+    set — and with it the cost of every setfaults trailer walk —
+    grows with every process the system has {e ever} run, which turns
+    a long-lived utility quadratic. *)
 
 val all_cpus : t -> Cpu.t list
 (** Physical CPUs followed by registered virtual CPUs, in

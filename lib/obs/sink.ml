@@ -312,3 +312,8 @@ let by_user t =
   Hashtbl.fold (fun user u acc -> (user, (u.u_cpu_ns, u.u_ios)) :: acc)
     t.user_tbl []
   |> List.sort compare
+
+let user_usage t ~user =
+  match Hashtbl.find_opt t.user_tbl user with
+  | Some u -> Some (u.u_cpu_ns, u.u_ios)
+  | None -> None

@@ -204,4 +204,9 @@ val attribute : t -> ctx:int -> cpu_ns:int -> ios:int -> unit
 val by_user : t -> (string * (int * int)) list
 (** [(user, (cpu_ns, ios))], sorted by user for deterministic output. *)
 
+val user_usage : t -> user:string -> (int * int) option
+(** One user's [(cpu_ns, ios)], O(1).  [by_user] walks and sorts the
+    whole table, which turns per-logout accounting quadratic once a
+    utility-scale population churns through — use this on hot paths. *)
+
 val buf : t -> Trace_buf.t

@@ -4,6 +4,7 @@ type record = {
   mutable connect_ns : int;
   mutable cpu_ns : int;
   mutable pages_used : int;
+  mutable remote_pages : int;
 }
 
 type t = (string, record) Hashtbl.t
@@ -16,7 +17,7 @@ let record_for t ~user =
   | None ->
       let r =
         { logins = 0; failed_logins = 0; connect_ns = 0; cpu_ns = 0;
-          pages_used = 0 }
+          pages_used = 0; remote_pages = 0 }
       in
       Hashtbl.replace t user r;
       r
@@ -34,6 +35,13 @@ let note_usage t ~user ~connect_ns ~cpu_ns ~pages =
   r.connect_ns <- r.connect_ns + connect_ns;
   r.cpu_ns <- r.cpu_ns + cpu_ns;
   r.pages_used <- max r.pages_used pages
+
+let note_settlement t ~user ~pages =
+  let r = record_for t ~user in
+  r.remote_pages <- r.remote_pages + pages
+
+let total_remote_pages t =
+  Hashtbl.fold (fun _ r acc -> acc + r.remote_pages) t 0
 
 let users t = Hashtbl.fold (fun u _ acc -> u :: acc) t [] |> List.sort compare
 

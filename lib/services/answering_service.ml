@@ -151,8 +151,7 @@ let logout t ~pid =
          write-behinds and read-aheads spawned for them). *)
       let ios =
         match
-          List.assoc_opt s.s_user
-            (Multics_obs.Sink.by_user (K.Kernel.obs t.kernel))
+          Multics_obs.Sink.user_usage (K.Kernel.obs t.kernel) ~user:s.s_user
         with
         | Some (_cpu, ios) -> ios
         | None -> 0

@@ -22,11 +22,22 @@ type t
 val create : kernel:Multics_kernel.Kernel.t -> variant:variant -> t
 val variant : t -> variant
 
+val set_choice : t -> Multics_choice.Choice.t -> unit
+(** Hand delivery ordering to a choice state.  While the choice is
+    {e active} (recording or scripted), messages ready at the same
+    instant are delivered in the order the ["net.deliver"] domain
+    picks — the same domain the cluster's {!Multics_cluster.Link}
+    consults, so one scripted schedule can reorder both.  An inert or
+    absent choice leaves the original direct delivery path,
+    bit-identical to the service without one. *)
+
 val attach_channel : t -> net:net -> channel:string -> unit
 (** Declare a subchannel (a socket or a terminal line).  Delivered
     messages advance the channel's eventcount, which workloads can
     await through {!Multics_kernel.Kernel.user_process}'s named
-    eventcounts (the channel name). *)
+    eventcounts (the channel name).  Raises [Invalid_argument] on a
+    duplicate attach — a subchannel is one mailbox, and rebinding it
+    would strand the first awaiter. *)
 
 val inject :
   t -> net:net -> channel:string -> bytes:int -> delay_ns:int -> unit
@@ -35,6 +46,11 @@ val inject :
     placement-appropriate domain, and the channel eventcount advances. *)
 
 val delivered : t -> int
+
+val delivery_order : t -> string list
+(** Channel of every delivered message, oldest first — what the
+    scripted ["net.deliver"] tests assert against. *)
+
 val kernel_protocol_ns : t -> int
 (** Simulated time spent on protocol work inside ring 0. *)
 

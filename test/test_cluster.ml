@@ -1,0 +1,348 @@
+(* The multi-machine computing utility: ring placement properties,
+   link delivery order, bit-identity of a 1-shard cluster against a
+   bare kernel, domain-count independence, and cross-shard quota
+   settlement. *)
+
+module K = Multics_kernel
+module S = Multics_services
+module Hw = Multics_hw
+module C = Multics_cluster
+module Choice = Multics_choice.Choice
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+let check = Alcotest.check
+
+let low = Multics_aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+let prog () = K.Workload.compute_bound ~steps:3 ~step_ns:60_000
+
+(* ------------------------------------------------------------------ *)
+(* Ring properties. *)
+
+let prop_ring_balance =
+  QCheck.Test.make ~name:"ring: balanced across 1e5 keys" ~count:4
+    QCheck.(2 -- 8)
+    (fun n ->
+      let r = C.Ring.create ~shards:n () in
+      let counts = Array.make n 0 in
+      for i = 0 to 99_999 do
+        let s = C.Ring.shard_of r (Printf.sprintf "user-%d" i) in
+        counts.(s) <- counts.(s) + 1
+      done;
+      let mean = 100_000. /. float_of_int n in
+      Array.for_all
+        (fun c ->
+          let c = float_of_int c in
+          c <= 1.5 *. mean && c >= 0.5 *. mean)
+        counts)
+
+let prop_ring_add_moves_minimally =
+  QCheck.Test.make
+    ~name:"ring: adding a shard moves only keys, onto the new shard"
+    ~count:10
+    QCheck.(2 -- 6)
+    (fun n ->
+      let r = C.Ring.create ~shards:n () in
+      let r' = C.Ring.add_shard r in
+      let total = 10_000 in
+      let moved = ref 0 in
+      let all_to_new = ref true in
+      for i = 0 to total - 1 do
+        let key = Printf.sprintf "key-%d" i in
+        let a = C.Ring.shard_of r key in
+        let b = C.Ring.shard_of r' key in
+        if a <> b then begin
+          incr moved;
+          if b <> n then all_to_new := false
+        end
+      done;
+      (* Expected fraction is 1/(n+1); allow 2x for vnode variance. *)
+      !all_to_new && !moved > 0
+      && float_of_int !moved
+         <= 2.0 *. float_of_int total /. float_of_int (n + 1))
+
+let prop_ring_remove_leaves_survivors =
+  QCheck.Test.make
+    ~name:"ring: removing a shard never moves surviving keys" ~count:10
+    QCheck.(pair (2 -- 6) small_nat)
+    (fun (n, vseed) ->
+      let victim = vseed mod n in
+      let r = C.Ring.create ~shards:n () in
+      let r' = C.Ring.remove_shard r victim in
+      let ok = ref true in
+      for i = 0 to 9_999 do
+        let key = Printf.sprintf "key-%d" i in
+        let a = C.Ring.shard_of r key in
+        let b = C.Ring.shard_of r' key in
+        if a <> victim && a <> b then ok := false;
+        if b = victim then ok := false
+      done;
+      !ok)
+
+let prop_ring_deterministic =
+  QCheck.Test.make
+    ~name:"ring: placements identical across builds and round-trips"
+    ~count:30
+    QCheck.(pair (2 -- 6) (small_list string))
+    (fun (n, keys) ->
+      let r1 = C.Ring.create ~shards:n () in
+      let r2 = C.Ring.create ~shards:n () in
+      (* Adding then removing the added shard restores every placement:
+         existing shards never lose their points. *)
+      let r3 = C.Ring.remove_shard (C.Ring.add_shard r1) n in
+      List.for_all
+        (fun key ->
+          let s = C.Ring.shard_of r1 key in
+          s = C.Ring.shard_of r2 key && s = C.Ring.shard_of r3 key)
+        keys)
+
+let test_ring_hash_pinned () =
+  (* Pinned values: the hash is self-contained FNV-1a + finalizer, so
+     these may never drift between compiler versions or machines — a
+     drift would silently re-home every user in the utility. *)
+  List.iter
+    (fun (key, expected) ->
+      check Alcotest.int ("hash of " ^ key) expected (C.Ring.hash key))
+    [ ("", 821694572336006002);
+      ("Multics", 1404273057899362198);
+      ("user-42", 2564011397080227469);
+      (">udd>m>alice", 1705255186201563565) ]
+
+(* ------------------------------------------------------------------ *)
+(* Link delivery order. *)
+
+let env ~src ~seq =
+  { C.Link.e_src = src; e_dst = 9; e_seq = seq; e_send_ns = 0; e_user = "u";
+    e_session = 1; e_deadline_ns = 0;
+    e_payload = C.Link.Req (C.Link.R_settle { pid = 1 }) }
+
+let delivered_seqs ?choice () =
+  let l = C.Link.create ~latency_ns:1_000 ?choice () in
+  List.iter (C.Link.post l) [ env ~src:0 ~seq:0; env ~src:1 ~seq:1;
+                              env ~src:2 ~seq:2 ];
+  List.map (fun e -> e.C.Link.e_seq) (C.Link.deliver_ready l ~now:1_000)
+
+let test_link_canonical_order () =
+  check (Alcotest.list Alcotest.int) "(arrival, src, seq) order" [ 0; 1; 2 ]
+    (delivered_seqs ());
+  let l = C.Link.create ~latency_ns:1_000 () in
+  C.Link.post l (env ~src:0 ~seq:0);
+  check (Alcotest.list Alcotest.int) "not yet arrived" []
+    (List.map (fun e -> e.C.Link.e_seq) (C.Link.deliver_ready l ~now:999));
+  check Alcotest.int "still in flight" 1 (C.Link.in_flight l)
+
+let test_link_scripted_order () =
+  (* Scripted picks: index 2 of [0;1;2], then the exhausted script
+     defaults to 0 of [0;1], then the single survivor. *)
+  let seqs = delivered_seqs ~choice:(Choice.scripted [ 2 ]) () in
+  check (Alcotest.list Alcotest.int) "scripted permutation" [ 2; 0; 1 ] seqs;
+  let l = C.Link.create ~latency_ns:1_000 ~choice:(Choice.scripted [ 2 ]) () in
+  List.iter (C.Link.post l) [ env ~src:0 ~seq:0; env ~src:1 ~seq:1;
+                              env ~src:2 ~seq:2 ];
+  ignore (C.Link.deliver_ready l ~now:1_000);
+  check (Alcotest.list Alcotest.int) "delivery log matches" [ 2; 0; 1 ]
+    (C.Link.delivery_log l);
+  check Alcotest.int "messages counted" 3 (C.Link.messages l)
+
+(* ------------------------------------------------------------------ *)
+(* 1-shard cluster ≡ bare kernel, bit for bit (clock and disk). *)
+
+(* user, login instant, rgate keys. *)
+let identity_sessions =
+  [ ("alice", 1_000_000, [ "report"; "ledger" ]);
+    ("bob", 1_500_000, [ "mail" ]);
+    ("carol", 3_200_000, [ "stats"; "draft" ]) ]
+
+let identity_words = 1_200
+
+let cluster_fingerprint () =
+  let c =
+    C.Cluster.create
+      (C.Cluster.config [ C.Cluster.Kernel_shard K.Kernel.small_config ])
+  in
+  List.iter
+    (fun (user, _, _) -> C.Cluster.register_user c ~user ~password:"pw")
+    identity_sessions;
+  List.iter
+    (fun (user, at, keys) ->
+      C.Cluster.login_at c ~at_ns:at ~remote_keys:keys
+        ~remote_words:identity_words ~user ~password:"pw" (prog ()))
+    identity_sessions;
+  C.Cluster.run c;
+  let st = C.Cluster.stats c in
+  check Alcotest.int "every call stayed local" 0 st.C.Cluster.st_remote_calls;
+  check Alcotest.int "sessions closed" 3 st.C.Cluster.st_sessions_closed;
+  C.Cluster.shutdown c;
+  let s = C.Cluster.shard c 0 in
+  (C.Shard.now s, C.Shard.disk_hash s)
+
+(* The same traffic against a bare kernel: identical boot steps,
+   identical scheduled instants, identical gate-call bodies — the
+   reference the 1-shard cluster must not diverge from. *)
+let bare_fingerprint () =
+  let k = K.Kernel.boot K.Kernel.small_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  K.Kernel.mkdir k ~path:">rgate" ~acl:open_acl ~label:low;
+  K.Kernel.set_quota k ~path:">rgate" ~limit:64;
+  let svc =
+    S.Answering_service.create ~kernel:k ~variant:S.Answering_service.Split
+  in
+  List.iter
+    (fun (user, _, _) ->
+      S.Answering_service.register_user svc ~user ~password:"pw"
+        ~clearance:low)
+    identity_sessions;
+  let m = K.Kernel.machine k in
+  List.iter
+    (fun (user, at, keys) ->
+      Hw.Machine.schedule_at m ~time:(max at (Hw.Machine.now m)) (fun () ->
+          match
+            S.Answering_service.login ~load_class:0 svc ~user ~password:"pw"
+              ~program:(prog ())
+          with
+          | Error _ -> ()
+          | Ok _pid ->
+              List.iter
+                (fun key ->
+                  let path = ">rgate>" ^ key in
+                  K.Kernel.create_file k ~path ~acl:open_acl ~label:low;
+                  K.Kernel.load_program k ~path
+                    (List.init identity_words (fun i -> Hw.Word.of_int (i + 1))))
+                keys))
+    identity_sessions;
+  K.Kernel.run k;
+  K.Kernel.shutdown k;
+  (K.Kernel.now k, C.Shard.disk_hash_of_machine m)
+
+let test_one_shard_bit_identical () =
+  let cnow, cdisk = cluster_fingerprint () in
+  let bnow, bdisk = bare_fingerprint () in
+  check Alcotest.int "clocks identical" bnow cnow;
+  check Alcotest.int "disks identical" bdisk cdisk
+
+(* ------------------------------------------------------------------ *)
+(* Domain-count independence: the coordinator's conservative-PDES
+   barriers make which domain ran a shard invisible. *)
+
+let drive_small_cluster ~domains =
+  let c =
+    C.Cluster.create
+      (C.Cluster.config
+         [ C.Cluster.Kernel_shard K.Kernel.small_config;
+           C.Cluster.Kernel_shard K.Kernel.small_config;
+           C.Cluster.Kernel_shard K.Kernel.small_config ])
+  in
+  for i = 0 to 29 do
+    C.Cluster.register_user c ~user:(Printf.sprintf "u%02d" i) ~password:"pw"
+  done;
+  for i = 0 to 29 do
+    C.Cluster.login_at c
+      ~at_ns:(1_000_000 + (i / 6 * 2_000_000))
+      ~remote_keys:[ Printf.sprintf "doc-%d" (i mod 7) ]
+      ~user:(Printf.sprintf "u%02d" i) ~password:"pw" (prog ())
+  done;
+  C.Cluster.run ~domains c;
+  let st = C.Cluster.stats c in
+  C.Cluster.shutdown c;
+  (C.Cluster.fingerprint c, st)
+
+let test_domains_1_vs_4 () =
+  let fp1, st1 = drive_small_cluster ~domains:1 in
+  let fp4, st4 = drive_small_cluster ~domains:4 in
+  check Alcotest.string "fingerprints identical at domains 1 vs 4" fp1 fp4;
+  check Alcotest.bool "stats identical" true (st1 = st4);
+  check Alcotest.int "all sessions closed" 30 st1.C.Cluster.st_sessions_closed;
+  check Alcotest.int "conservation: ledger empty" 0
+    st1.C.Cluster.st_ledger_pages;
+  check Alcotest.int "conservation: settled = charged"
+    st1.C.Cluster.st_charged_pages st1.C.Cluster.st_settled_pages
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard settlement and deadline shedding. *)
+
+let find_key c ~shard ~prefix =
+  let rec go i =
+    if i > 10_000 then Alcotest.fail "no key maps to the wanted shard"
+    else
+      let k = Printf.sprintf "%s-%d" prefix i in
+      if C.Cluster.home_of c k = shard then k else go (i + 1)
+  in
+  go 0
+
+let two_shards () =
+  C.Cluster.create
+    (C.Cluster.config
+       [ C.Cluster.Kernel_shard K.Kernel.small_config;
+         C.Cluster.Kernel_shard K.Kernel.small_config ])
+
+let test_cross_shard_settlement () =
+  let c = two_shards () in
+  let user = find_key c ~shard:0 ~prefix:"user" in
+  let key = find_key c ~shard:1 ~prefix:"seg" in
+  C.Cluster.register_user c ~user ~password:"pw";
+  C.Cluster.login_at c ~at_ns:1_000_000 ~remote_keys:[ key ]
+    ~remote_words:1_200 ~user ~password:"pw" (prog ());
+  C.Cluster.run c;
+  let st = C.Cluster.stats c in
+  check Alcotest.int "one remote call" 1 st.C.Cluster.st_remote_calls;
+  check Alcotest.int "no local calls" 0 st.C.Cluster.st_local_calls;
+  check Alcotest.int "session closed" 1 st.C.Cluster.st_sessions_closed;
+  check Alcotest.bool "pages were charged remotely" true
+    (st.C.Cluster.st_charged_pages > 0);
+  check Alcotest.int "settled = charged" st.C.Cluster.st_charged_pages
+    st.C.Cluster.st_settled_pages;
+  check Alcotest.int "ledger drained" 0 st.C.Cluster.st_ledger_pages;
+  (* The settlement landed in the home shard's accounting for that
+     principal. *)
+  let acct = C.Shard.accounting (C.Cluster.shard c 0) in
+  let rec_ = S.Accounting.record_for acct ~user in
+  check Alcotest.bool "remote pages accounted home" true
+    (rec_.S.Accounting.remote_pages > 0);
+  (* Round trips: one create, one settle, each at least 2x the link
+     latency on the home clock. *)
+  let h = C.Cluster.call_histo c in
+  check Alcotest.int "two round trips" 2 (Multics_obs.Histo.count h);
+  check Alcotest.bool "RTT >= 2x link latency" true
+    (Multics_obs.Histo.percentile h ~pct:50 >= 2_000_000);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "invariants hold on both shards" [] (C.Cluster.invariants c);
+  check Alcotest.bool "frames conserved" true (C.Cluster.frames_conserved c)
+
+let test_remote_deadline_shed () =
+  let c = two_shards () in
+  let user = find_key c ~shard:0 ~prefix:"user" in
+  let key = find_key c ~shard:1 ~prefix:"seg" in
+  C.Cluster.register_user c ~user ~password:"pw";
+  (* The deadline expires long before the link latency can be paid:
+     the remote shard must refuse the create — PR 9's shedding,
+     exercised across the wire. *)
+  C.Cluster.login_at c ~at_ns:1_000_000 ~deadline_ns:1_000
+    ~remote_keys:[ key ] ~user ~password:"pw" (prog ());
+  C.Cluster.run c;
+  let st = C.Cluster.stats c in
+  check Alcotest.int "remote create shed" 1 st.C.Cluster.st_shed;
+  check Alcotest.int "session still closed" 1
+    st.C.Cluster.st_sessions_closed;
+  check Alcotest.int "nothing charged" 0 st.C.Cluster.st_charged_pages;
+  check Alcotest.int "nothing settled" 0 st.C.Cluster.st_settled_pages;
+  check Alcotest.int "ledger empty" 0 st.C.Cluster.st_ledger_pages
+
+let tests =
+  [ qcheck prop_ring_balance;
+    qcheck prop_ring_add_moves_minimally;
+    qcheck prop_ring_remove_leaves_survivors;
+    qcheck prop_ring_deterministic;
+    Alcotest.test_case "ring: hash values pinned across builds" `Quick
+      test_ring_hash_pinned;
+    Alcotest.test_case "link: canonical (arrival, src, seq) delivery" `Quick
+      test_link_canonical_order;
+    Alcotest.test_case "link: scripted net.deliver permutes delivery" `Quick
+      test_link_scripted_order;
+    Alcotest.test_case "1-shard cluster bit-identical to bare kernel" `Quick
+      test_one_shard_bit_identical;
+    Alcotest.test_case "cluster byte-identical at Par domains 1 vs 4" `Quick
+      test_domains_1_vs_4;
+    Alcotest.test_case "cross-shard quota settles home at logout" `Quick
+      test_cross_shard_settlement;
+    Alcotest.test_case "expired deadline sheds the remote create" `Quick
+      test_remote_deadline_shed ]

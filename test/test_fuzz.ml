@@ -493,6 +493,96 @@ let test_farmed_schedules () =
     solo;
   Alcotest.(check bool) "schedule sweep: domains 1 = 4" true (solo = farmed)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard conservation fuzz: random bursty workloads over random
+   2–4 shard clusters (sometimes with a legacy member).  However the
+   ring scatters users and keys, once every logout has settled the
+   global books balance: every page charged on any shard's rgate cell
+   was settled home exactly once, no shard still holds ledger pages,
+   page frames are conserved and the kernel invariants hold.  Failures
+   print the seed for exact replay. *)
+
+module Cl = Multics_cluster
+
+let cluster_run seed =
+  let rng = Random.State.make [| seed |] in
+  let n_shards = 2 + Random.State.int rng 3 in
+  let legacy_at =
+    (* Sometimes one member runs the legacy supervisor, MultiK-style. *)
+    if Random.State.int rng 3 = 0 then Random.State.int rng n_shards else -1
+  in
+  let shards =
+    List.init n_shards (fun i ->
+        if i = legacy_at then Cl.Cluster.Legacy_shard L.Old_supervisor.default_config
+        else Cl.Cluster.Kernel_shard K.Kernel.default_config)
+  in
+  let c = Cl.Cluster.create (Cl.Cluster.config ~rgate_quota:128 shards) in
+  let n_users = 3 + Random.State.int rng 8 in
+  for i = 0 to n_users - 1 do
+    Cl.Cluster.register_user c ~user:(Printf.sprintf "fz%d" i) ~password:"pw"
+  done;
+  for i = 0 to n_users - 1 do
+    let keys =
+      List.init (Random.State.int rng 3) (fun _ ->
+          Printf.sprintf "k%d" (Random.State.int rng 12))
+    in
+    let deadline_ns =
+      (* Occasionally a deadline the link latency cannot meet, so the
+         shed path is fuzzed too. *)
+      if Random.State.int rng 5 = 0 then Some 500_000 else None
+    in
+    Cl.Cluster.login_at c
+      ~at_ns:(1_000_000 + Random.State.int rng 8_000_000)
+      ?deadline_ns ~remote_keys:keys
+      ~remote_words:(200 + Random.State.int rng 800)
+      ~user:(Printf.sprintf "fz%d" i) ~password:"pw"
+      (K.Workload.compute_bound
+         ~steps:(1 + Random.State.int rng 4)
+         ~step_ns:(20_000 + Random.State.int rng 80_000))
+  done;
+  Cl.Cluster.run c;
+  (c, Cl.Cluster.stats c)
+
+let prop_fuzz_cluster_conservation =
+  QCheck.Test.make
+    ~name:"fuzz: cross-shard quota settles conservatively on any cluster"
+    ~count:12
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let c, st = cluster_run seed in
+      let closed = st.Cl.Cluster.st_sessions_closed = st.Cl.Cluster.st_logins in
+      let settled =
+        st.Cl.Cluster.st_settled_pages = st.Cl.Cluster.st_charged_pages
+        && st.Cl.Cluster.st_ledger_pages = 0
+      in
+      let frames = Cl.Cluster.frames_conserved c in
+      let inv = Cl.Cluster.invariants c in
+      if not (closed && settled && frames && inv = []) then begin
+        Printf.printf
+          "cluster seed %d: closed %d/%d, settled %d, charged %d, ledger %d, \
+           frames %s\n"
+          seed st.Cl.Cluster.st_sessions_closed st.Cl.Cluster.st_logins
+          st.Cl.Cluster.st_settled_pages st.Cl.Cluster.st_charged_pages
+          st.Cl.Cluster.st_ledger_pages
+          (if frames then "ok" else "LEAKED");
+        List.iter
+          (fun (sh, p) -> Printf.printf "shard %d invariant: %s\n" sh p)
+          inv
+      end;
+      closed && settled && frames && inv = [])
+
+let prop_fuzz_cluster_deterministic =
+  QCheck.Test.make
+    ~name:"fuzz: identical cluster seeds give identical fingerprints"
+    ~count:6
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let fp () =
+        let c, st = cluster_run seed in
+        (Cl.Cluster.fingerprint c, st)
+      in
+      fp () = fp ())
+
 let tests =
   [ qcheck prop_fuzz_new_kernel;
     qcheck prop_fuzz_invariants;
@@ -507,6 +597,8 @@ let tests =
     qcheck prop_fuzz_fault_plans_deterministic;
     qcheck prop_fuzz_overload_chaos;
     qcheck prop_fuzz_overload_chaos_deterministic;
+    qcheck prop_fuzz_cluster_conservation;
+    qcheck prop_fuzz_cluster_deterministic;
     Alcotest.test_case "fuzz: farmed fault-plan sweep, domains 1 = 4" `Slow
       test_farmed_fault_plans;
     Alcotest.test_case "fuzz: farmed schedule sweep, domains 1 = 4" `Slow

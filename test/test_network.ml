@@ -1,0 +1,134 @@
+(* The multiplexed network service: delivery determinism, channel
+   attachment discipline, and delivery order as a ["net.deliver"]
+   choice point. *)
+
+module K = Multics_kernel
+module S = Multics_services
+module Aim = Multics_aim
+module Choice = Multics_choice.Choice
+
+let check = Alcotest.check
+
+let low = Aim.Label.system_low
+let open_acl = [ K.Acl.entry "*" K.Acl.rwe ]
+
+let boot () =
+  let k = K.Kernel.boot K.Kernel.small_config in
+  K.Kernel.mkdir k ~path:">home" ~acl:open_acl ~label:low;
+  k
+
+(* One network with three channels and a fixed injection pattern;
+   returns what a run delivered and when it finished. *)
+let run_pattern ?choice () =
+  let k = boot () in
+  let net = S.Network.create ~kernel:k ~variant:S.Network.Generic_demux in
+  (match choice with Some c -> S.Network.set_choice net c | None -> ());
+  S.Network.attach_channel net ~net:S.Network.Arpanet ~channel:"sock.a";
+  S.Network.attach_channel net ~net:S.Network.Arpanet ~channel:"sock.b";
+  S.Network.attach_channel net ~net:S.Network.Front_end ~channel:"tty01";
+  (* Two messages land at the same instant (the reorderable pair), one
+     strictly later. *)
+  S.Network.inject net ~net:S.Network.Arpanet ~channel:"sock.a" ~bytes:512
+    ~delay_ns:1_000;
+  S.Network.inject net ~net:S.Network.Arpanet ~channel:"sock.b" ~bytes:256
+    ~delay_ns:1_000;
+  S.Network.inject net ~net:S.Network.Front_end ~channel:"tty01" ~bytes:64
+    ~delay_ns:5_000;
+  ignore (K.Kernel.run_to_completion k);
+  (S.Network.delivery_order net, S.Network.delivered net, K.Kernel.now k)
+
+let test_delivery_deterministic () =
+  let order1, n1, t1 = run_pattern () in
+  let order2, n2, t2 = run_pattern () in
+  check (Alcotest.list Alcotest.string) "same order across runs" order1 order2;
+  check Alcotest.int "all delivered" 3 n1;
+  check Alcotest.int "same count" n1 n2;
+  check Alcotest.int "same clock" t1 t2;
+  (* Delay order is delivery order on the inert path. *)
+  check (Alcotest.list Alcotest.string) "delays order delivery"
+    [ "sock.a"; "sock.b"; "tty01" ] order1
+
+let test_inert_choice_matches_bare () =
+  (* An inert-choice network (no set_choice) and one driven by the
+     recording default must deliver identically — consulting the hook
+     cannot perturb the schedule. *)
+  let bare, _, t_bare = run_pattern () in
+  let recorded, _, t_rec = run_pattern ~choice:(Choice.record_default ()) () in
+  check (Alcotest.list Alcotest.string) "recording changes nothing" bare
+    recorded;
+  check Alcotest.int "clock identical" t_bare t_rec
+
+let test_scripted_reorder () =
+  (* Script alternative 1 at the first real branch: the simultaneous
+     pair delivers b-first.  The late tty01 message is never a branch
+     (single alternative), so the script's tail is irrelevant. *)
+  let order, n, _ = run_pattern ~choice:(Choice.scripted [ 1 ]) () in
+  check Alcotest.int "all delivered" 3 n;
+  check (Alcotest.list Alcotest.string) "scripted permutation"
+    [ "sock.b"; "sock.a"; "tty01" ] order
+
+let test_recorded_trace_replays () =
+  let c = Choice.record_default () in
+  let order1, _, _ = run_pattern ~choice:c () in
+  let replay = Choice.scripted (Choice.choices c) in
+  let order2, _, _ = run_pattern ~choice:replay () in
+  check (Alcotest.list Alcotest.string) "replay reproduces" order1 order2
+
+let test_duplicate_attach_rejected () =
+  let k = boot () in
+  let net = S.Network.create ~kernel:k ~variant:S.Network.Generic_demux in
+  S.Network.attach_channel net ~net:S.Network.Arpanet ~channel:"sock.a";
+  Alcotest.check_raises "same net rejected"
+    (Invalid_argument "Network.attach_channel: duplicate channel sock.a")
+    (fun () ->
+      S.Network.attach_channel net ~net:S.Network.Arpanet ~channel:"sock.a");
+  Alcotest.check_raises "other net rejected too"
+    (Invalid_argument "Network.attach_channel: duplicate channel sock.a")
+    (fun () ->
+      S.Network.attach_channel net ~net:S.Network.Front_end ~channel:"sock.a")
+
+let test_inject_unknown_channel () =
+  let k = boot () in
+  let net = S.Network.create ~kernel:k ~variant:S.Network.Generic_demux in
+  Alcotest.check_raises "unknown channel"
+    (Invalid_argument "Network.inject: unknown channel") (fun () ->
+      S.Network.inject net ~net:S.Network.Arpanet ~channel:"nope" ~bytes:1
+        ~delay_ns:1)
+
+let test_eventcount_advances_under_choice () =
+  (* The choice path must still wake awaiters: the channel eventcount
+     advances once per delivered message, same as the direct path. *)
+  let deliveries variant_choice =
+    let k = boot () in
+    let net = S.Network.create ~kernel:k ~variant:S.Network.Generic_demux in
+    (match variant_choice with
+    | Some c -> S.Network.set_choice net c
+    | None -> ());
+    S.Network.attach_channel net ~net:S.Network.Arpanet ~channel:"sock.a";
+    S.Network.inject net ~net:S.Network.Arpanet ~channel:"sock.a" ~bytes:128
+      ~delay_ns:1_000;
+    S.Network.inject net ~net:S.Network.Arpanet ~channel:"sock.a" ~bytes:128
+      ~delay_ns:1_000;
+    ignore (K.Kernel.run_to_completion k);
+    Multics_sync.Eventcount.read
+      (K.User_process.user_eventcount (K.Kernel.user_process k) "sock.a")
+  in
+  check Alcotest.int "bare path advances" 2 (deliveries None);
+  check Alcotest.int "choice path advances" 2
+    (deliveries (Some (Choice.record_default ())))
+
+let tests =
+  [ Alcotest.test_case "delivery order deterministic across runs" `Quick
+      test_delivery_deterministic;
+    Alcotest.test_case "recording default is invisible" `Quick
+      test_inert_choice_matches_bare;
+    Alcotest.test_case "scripted net.deliver reorders simultaneous pair"
+      `Quick test_scripted_reorder;
+    Alcotest.test_case "recorded trace replays exactly" `Quick
+      test_recorded_trace_replays;
+    Alcotest.test_case "duplicate channel attach rejected" `Quick
+      test_duplicate_attach_rejected;
+    Alcotest.test_case "inject on unknown channel rejected" `Quick
+      test_inject_unknown_channel;
+    Alcotest.test_case "eventcounts advance on both delivery paths" `Quick
+      test_eventcount_advances_under_choice ]
